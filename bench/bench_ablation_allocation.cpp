@@ -1,0 +1,94 @@
+// Ablation: chunk-allocation strategies end to end. DESIGN.md calls out
+// load-aware placement as the strategy the self-* machinery prefers; this
+// bench quantifies what it buys over round-robin/random — aggregate write
+// throughput and storage balance across providers.
+#include "harness.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+struct Outcome {
+  double agg_mbps;
+  double imbalance;  // max/mean provider bytes
+  double p99_op_sec;
+};
+
+Outcome run_with(const std::string& strategy, std::uint64_t seed) {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.data_providers = 24;
+  cfg.metadata_providers = 4;
+  cfg.pm_options.strategy = strategy;
+  cfg.pm_options.rng_seed = seed;
+  blob::Deployment dep(sim, cfg);
+
+  const int n_clients = 16;
+  std::vector<workload::ClientRunStats> stats(n_clients);
+  workload::ThroughputTracker tracker;
+  Histogram op_hist(0, 30, 300);
+  for (int i = 0; i < n_clients; ++i) {
+    blob::BlobClient* c = dep.add_client();
+    auto blob = run_task(sim, c->create(32 * units::MB));
+    workload::WriterOptions w;
+    w.total_bytes = 1 * units::GB;
+    w.op_bytes = 128 * units::MB;
+    sim.spawn(workload::Writer::run(*c, blob.value(), w, &stats[i],
+                                    &tracker));
+  }
+  sim.run_until(simtime::minutes(5));
+
+  Outcome out{};
+  SimTime last_finish = 0;
+  for (const auto& s : stats) {
+    last_finish = std::max(last_finish, s.finished);
+    op_hist.add(s.op_duration_sec.max());
+  }
+  out.agg_mbps = tracker.mean_mbps(0, last_finish);
+  RunningStats bytes;
+  double max_bytes = 0;
+  for (auto& p : dep.providers()) {
+    bytes.add(static_cast<double>(p->used()));
+    max_bytes = std::max(max_bytes, static_cast<double>(p->used()));
+  }
+  out.imbalance = bytes.mean() > 0 ? max_bytes / bytes.mean() : 0;
+  out.p99_op_sec = op_hist.quantile(0.99);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("ABLATION  allocation strategies (16 writers x 1 GB, 24 "
+               "providers)",
+               "design choice: on a homogeneous idle pool, load-aware "
+               "placement must match round-robin (the optimum) and beat "
+               "random placement on balance");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const char* strategy : {"round_robin", "random", "load_aware"}) {
+    RunningStats mbps, imb;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      Outcome o = run_with(strategy, seed);
+      mbps.add(o.agg_mbps);
+      imb.add(o.imbalance);
+    }
+    char a[32], b[48];
+    std::snprintf(a, sizeof(a), "%.0f", mbps.mean());
+    std::snprintf(b, sizeof(b), "%.3f (worst %.3f)", imb.mean(), imb.max());
+    rows.push_back({strategy, a, b});
+    std::printf("  %-12s agg=%s MB/s  imbalance(max/mean)=%s\n", strategy,
+                a, b);
+  }
+  std::printf("\n%s",
+              viz::table({"strategy", "aggregate MB/s",
+                          "storage imbalance"},
+                         rows)
+                  .c_str());
+  std::printf("\nshape: round_robin is optimal on a homogeneous pool and "
+              "load_aware tracks it closely (its pending-allocation "
+              "feedback only pays off under skewed load); random trails "
+              "both on balance and throughput.\n");
+  return 0;
+}

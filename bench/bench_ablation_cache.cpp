@@ -1,0 +1,120 @@
+// Ablation: the monitoring storage servers' burst cache (§III-B: "we also
+// built a caching mechanism for the storage servers, so as to enable them
+// to cope with bursts of monitoring data generated when the system is under
+// heavy load"). Compares write-behind caching against synchronous disk
+// writes under record bursts: store-request latency and sustained burst
+// absorption.
+#include "harness.hpp"
+#include "mon/storage.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+struct Outcome {
+  double mean_latency_ms;
+  double p99_latency_ms;
+  std::uint64_t dropped;
+  double persist_lag_s;  // time to drain everything after the burst
+};
+
+Outcome run_burst(bool cache_enabled, std::size_t cache_capacity) {
+  sim::Simulation sim;
+  rpc::Cluster cluster(sim, net::Topology::single_site());
+  // Slow monitoring disk: the burst exceeds what it can absorb in real
+  // time (that's the scenario the cache exists for).
+  rpc::NodeSpec spec;
+  spec.disk_bps = net::mb_per_sec(2.0);
+  rpc::Node* storage_node = cluster.add_node(0, spec);
+  mon::MonStorageOptions opts;
+  opts.cache_enabled = cache_enabled;
+  opts.cache_capacity = cache_capacity;
+  // Rich records (1 KB on disk): the offered burst (~2.5 MB/s) exceeds the
+  // 2 MB/s monitoring disk, which is exactly when the cache matters.
+  opts.record_disk_bytes = 1024;
+  mon::MonStorageServer server(*storage_node, opts);
+  server.start();
+  rpc::Node* service = cluster.add_node(0);
+
+  Histogram latency(0, 5000, 1000);  // ms
+  const int kBatches = 200;
+  const int kPerBatch = 128;
+
+  sim.spawn([](sim::Simulation& s, rpc::Cluster& c, rpc::Node& src,
+               NodeId dst, Histogram& lat) -> sim::Task<void> {
+    for (int b = 0; b < kBatches; ++b) {
+      mon::MonStoreReq req;
+      for (int i = 0; i < kPerBatch; ++i) {
+        mon::Record r;
+        r.key = {mon::Domain::provider,
+                 static_cast<std::uint64_t>(i % 32),
+                 mon::Metric::used_bytes};
+        r.time = s.now();
+        r.value = i;
+        req.records.push_back(r);
+      }
+      const SimTime t0 = s.now();
+      rpc::CallOptions o;
+      o.timeout = simtime::minutes(5);
+      (void)co_await c.call<mon::MonStoreReq, mon::MonStoreResp>(
+          src, dst, std::move(req), o);
+      lat.add(simtime::to_millis(s.now() - t0));
+      co_await s.delay(simtime::millis(50));  // 2560 records/s offered
+    }
+  }(sim, cluster, *service, storage_node->id(), latency));
+
+  sim.run_until(simtime::minutes(2));
+  const SimTime burst_end = sim.now();
+  // Let the drain finish.
+  SimTime drained_at = burst_end;
+  while (server.cache_depth() > 0 && sim.step()) {
+    drained_at = sim.now();
+  }
+
+  Outcome out{};
+  out.mean_latency_ms = latency.mean();
+  out.p99_latency_ms = latency.quantile(0.99);
+  out.dropped = server.records_dropped();
+  out.persist_lag_s = simtime::to_seconds(drained_at - burst_end);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("ABLATION  monitoring storage burst cache",
+               "design choice: write-behind cache absorbs monitoring "
+               "bursts; synchronous disk writes stall the pipeline");
+
+  std::vector<std::vector<std::string>> rows;
+  struct Case {
+    const char* name;
+    bool enabled;
+    std::size_t capacity;
+  };
+  for (const Case c : {Case{"no cache (sync disk)", false, 1},
+                       Case{"cache 1k records", true, 1024},
+                       Case{"cache 8k records", true, 8192},
+                       Case{"cache 64k records", true, 65536}}) {
+    Outcome o = run_burst(c.enabled, c.capacity);
+    char m[32], p[32], d[32], lag[32];
+    std::snprintf(m, sizeof(m), "%.2f", o.mean_latency_ms);
+    std::snprintf(p, sizeof(p), "%.2f", o.p99_latency_ms);
+    std::snprintf(d, sizeof(d), "%llu", (unsigned long long)o.dropped);
+    std::snprintf(lag, sizeof(lag), "%.1f", o.persist_lag_s);
+    rows.push_back({c.name, m, p, d, lag});
+    std::printf("  %-22s store-latency mean=%sms p99=%sms dropped=%s "
+                "drain-lag=%ss\n",
+                c.name, m, p, d, lag);
+  }
+  std::printf("\n%s", viz::table({"configuration", "mean latency ms",
+                                  "p99 latency ms", "records dropped",
+                                  "post-burst drain s"},
+                                 rows)
+                          .c_str());
+  std::printf("\nshape: the cache keeps ingest latency flat (microseconds "
+              "of queueing instead of disk stalls) at the cost of bounded "
+              "post-burst drain lag; undersized caches drop records.\n");
+  return 0;
+}

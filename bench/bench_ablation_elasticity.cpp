@@ -1,0 +1,166 @@
+// Ablation: self-configuration via dynamic provider deployment (§V).
+// Replays a bursty storage-demand trace against static pools of several
+// sizes and against the elastic controller; reports provisioning quality
+// (mean pool size, utilization band violations, failed writes).
+#include "core/controller.hpp"
+#include "core/elasticity.hpp"
+#include "core/removal.hpp"
+#include "harness.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+constexpr std::uint64_t kProviderCapacity = 256 * units::MB;
+const SimTime kRunLength = simtime::minutes(16);
+
+struct Outcome {
+  double mean_pool;
+  double peak_pool;
+  double pct_in_band;     // % of time utilization within [0.2, 0.8]
+  std::uint64_t failed_writes;
+};
+
+/// Demand trace: a staircase of temporary datasets — quiet, surge, decay.
+sim::Task<void> demand_trace(sim::Simulation& sim, blob::BlobClient& client,
+                             std::uint64_t* failed) {
+  co_await sim.delay(simtime::seconds(10));
+  auto write_temp = [&](std::uint64_t bytes,
+                        SimDuration ttl) -> sim::Task<void> {
+    auto blob = co_await client.create(16 * units::MB, 1, ttl);
+    if (!blob.ok()) {
+      ++*failed;
+      co_return;
+    }
+    auto w = co_await client.write(*blob, 0,
+                                   blob::Payload::synthetic(bytes, 1));
+    if (!w.ok()) ++*failed;
+  };
+  // Phase 1: light load.
+  for (int i = 0; i < 2; ++i) {
+    co_await write_temp(96 * units::MB, simtime::minutes(14));
+    co_await sim.delay(simtime::seconds(15));
+  }
+  // Phase 2 (t~=1min): surge — 2 GB of temporaries with 4-minute TTL,
+  // paced so a reactive controller has a chance to keep up.
+  for (int i = 0; i < 8; ++i) {
+    co_await write_temp(256 * units::MB, simtime::minutes(4));
+    co_await sim.delay(simtime::seconds(20));
+  }
+  // Phase 3 (t~=4..16min): quiet; TTLs expire and demand decays.
+}
+
+Outcome run_case(std::size_t static_pool, bool elastic) {
+  sim::Simulation sim;
+  StackConfig scfg;
+  scfg.providers = elastic ? 4 : static_pool;
+  scfg.metadata_providers = 2;
+  scfg.provider_capacity = kProviderCapacity;
+  scfg.monitoring = true;
+  Stack stack(sim, scfg);
+
+  std::unique_ptr<core::AutonomicController> controller;
+  if (elastic) {
+    controller = std::make_unique<core::AutonomicController>(
+        *stack.dep, *stack.intro);
+    core::ElasticityOptions eopts;
+    eopts.min_providers = 4;
+    eopts.cooldown = simtime::seconds(15);
+    controller->add_module(std::make_unique<core::ElasticityModule>(eopts));
+    controller->add_module(std::make_unique<core::RemovalModule>());
+    controller->executor().set_provider_added_hook(
+        [&stack](blob::DataProvider& p) {
+          stack.monitoring->attach_provider(p);
+        });
+    controller->start();
+  } else {
+    // Static pools still need TTL cleanup for a fair comparison.
+    controller = std::make_unique<core::AutonomicController>(
+        *stack.dep, *stack.intro);
+    controller->add_module(std::make_unique<core::RemovalModule>());
+    controller->start();
+  }
+
+  blob::BlobClient* client = stack.add_client();
+  std::uint64_t failed = 0;
+  sim.spawn(demand_trace(sim, *client, &failed));
+
+  RunningStats pool_size;
+  double peak = 0;
+  std::uint64_t in_band = 0, samples = 0;
+  sim.spawn([](sim::Simulation& s, blob::Deployment& d, RunningStats& ps,
+               double& pk, std::uint64_t& ib,
+               std::uint64_t& n) -> sim::Task<void> {
+    while (s.now() < kRunLength) {
+      std::size_t alive = 0;
+      std::uint64_t used = 0, cap = 0;
+      for (auto& p : d.providers()) {
+        if (!p->node().up()) continue;
+        ++alive;
+        used += p->used();
+        cap += p->capacity();
+      }
+      ps.add(static_cast<double>(alive));
+      pk = std::max(pk, static_cast<double>(alive));
+      const double util =
+          cap > 0 ? static_cast<double>(used) / static_cast<double>(cap)
+                  : 0;
+      if (util >= 0.2 && util <= 0.8) ++ib;
+      ++n;
+      co_await s.delay(simtime::seconds(2));
+    }
+  }(sim, *stack.dep, pool_size, peak, in_band, samples));
+
+  sim.run_until(kRunLength);
+
+  Outcome out{};
+  out.mean_pool = pool_size.mean();
+  out.peak_pool = peak;
+  out.pct_in_band =
+      samples > 0 ? 100.0 * static_cast<double>(in_band) /
+                        static_cast<double>(samples)
+                  : 0;
+  out.failed_writes = failed;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("ABLATION  static pools vs elastic provider deployment",
+               "design choice: the elasticity engine tracks a bursty "
+               "demand trace with fewer machine-hours than worst-case "
+               "static provisioning and no write failures");
+
+  std::vector<std::vector<std::string>> rows;
+  struct Case {
+    const char* name;
+    std::size_t pool;
+    bool elastic;
+  };
+  for (const Case c :
+       {Case{"static 4", 4, false}, Case{"static 10", 10, false},
+        Case{"static 16", 16, false}, Case{"elastic (min 4)", 0, true}}) {
+    Outcome o = run_case(c.pool, c.elastic);
+    char mp[32], pk[32], band[32], fw[32];
+    std::snprintf(mp, sizeof(mp), "%.1f", o.mean_pool);
+    std::snprintf(pk, sizeof(pk), "%.0f", o.peak_pool);
+    std::snprintf(band, sizeof(band), "%.0f%%", o.pct_in_band);
+    std::snprintf(fw, sizeof(fw), "%llu",
+                  (unsigned long long)o.failed_writes);
+    rows.push_back({c.name, mp, pk, band, fw});
+    std::printf("  %-16s mean-pool=%s peak=%s in-band=%s failed-writes=%s\n",
+                c.name, mp, pk, band, fw);
+  }
+  std::printf("\n%s",
+              viz::table({"configuration", "mean pool", "peak pool",
+                          "util in [20,80]%", "failed writes"},
+                         rows)
+                  .c_str());
+  std::printf("\nshape: small static pools fail writes at the surge; large "
+              "static pools idle below the band afterwards; the elastic "
+              "pool grows for the surge and shrinks back, spending the "
+              "most time in the target utilization band.\n");
+  return 0;
+}

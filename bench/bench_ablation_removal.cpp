@@ -1,0 +1,124 @@
+// Ablation: data-removal strategies (§V self-optimization). An
+// overwrite-heavy workload (checkpoint-style: the same region rewritten
+// repeatedly) under different removal policies; reports steady-state
+// storage footprint and retained history depth.
+#include "core/controller.hpp"
+#include "core/removal.hpp"
+#include "harness.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+struct Outcome {
+  double final_stored_mb;
+  double peak_stored_mb;
+  std::uint64_t versions_left;
+};
+
+Outcome run_case(std::size_t keep_versions, bool ttl_enabled) {
+  sim::Simulation sim;
+  StackConfig scfg;
+  scfg.providers = 8;
+  scfg.metadata_providers = 2;
+  scfg.monitoring = true;
+  Stack stack(sim, scfg);
+
+  core::AutonomicController controller(*stack.dep, *stack.intro);
+  core::RemovalOptions ropts;
+  ropts.keep_versions = keep_versions;
+  ropts.ttl_enabled = ttl_enabled;
+  controller.add_module(std::make_unique<core::RemovalModule>(ropts));
+  controller.start();
+
+  blob::BlobClient* client = stack.add_client();
+  // A durable checkpoint blob, rewritten every 10 s...
+  auto ckpt = run_task(sim, client->create(8 * units::MB));
+  // ...plus short-lived scratch blobs (TTL 30 s) created every 15 s.
+  sim.spawn([](sim::Simulation& s, blob::BlobClient& c,
+               BlobId checkpoint) -> sim::Task<void> {
+    for (int round = 0; round < 18; ++round) {
+      (void)co_await c.write(
+          checkpoint, 0,
+          blob::Payload::synthetic(64 * units::MB, round));
+      co_await s.delay(simtime::seconds(10));
+    }
+  }(sim, *client, ckpt.value()));
+  sim.spawn([](sim::Simulation& s, blob::BlobClient& c) -> sim::Task<void> {
+    for (int i = 0; i < 12; ++i) {
+      auto scratch = co_await c.create(8 * units::MB, 1,
+                                       /*ttl=*/simtime::seconds(30));
+      if (scratch.ok()) {
+        (void)co_await c.write(
+            *scratch, 0, blob::Payload::synthetic(32 * units::MB, i));
+      }
+      co_await s.delay(simtime::seconds(15));
+    }
+  }(sim, *client));
+
+  double peak = 0;
+  sim.spawn([](sim::Simulation& s, blob::Deployment& d,
+               double& pk) -> sim::Task<void> {
+    while (s.now() < simtime::minutes(6)) {
+      std::uint64_t used = 0;
+      for (auto& p : d.providers()) used += p->used();
+      pk = std::max(pk, static_cast<double>(used));
+      co_await s.delay(simtime::seconds(2));
+    }
+  }(sim, *stack.dep, peak));
+
+  sim.run_until(simtime::minutes(6));
+
+  Outcome out{};
+  std::uint64_t used = 0;
+  for (auto& p : stack.dep->providers()) used += p->used();
+  out.final_stored_mb = static_cast<double>(used) / 1e6;
+  out.peak_stored_mb = peak / 1e6;
+  auto versions = run_task(sim, client->versions(ckpt.value()));
+  out.versions_left = versions.ok() ? versions.value().size() : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "ABLATION  data-removal strategies (checkpoint overwrites + "
+      "TTL scratch data)",
+      "design choice: version trimming bounds the history of "
+      "overwrite-heavy blobs; TTL GC reclaims temporary data "
+      "(18 x 64 MB checkpoint rewrites + 12 x 32 MB scratch blobs)");
+
+  std::vector<std::vector<std::string>> rows;
+  struct Case {
+    const char* name;
+    std::size_t keep;
+    bool ttl;
+  };
+  for (const Case c :
+       {Case{"no removal", 0, false}, Case{"ttl only", 0, true},
+        Case{"keep 4 versions + ttl", 4, true},
+        Case{"keep 1 version + ttl", 1, true}}) {
+    Outcome o = run_case(c.keep, c.ttl);
+    char f[32], p[32], v[32];
+    std::snprintf(f, sizeof(f), "%.0f", o.final_stored_mb);
+    std::snprintf(p, sizeof(p), "%.0f", o.peak_stored_mb);
+    std::snprintf(v, sizeof(v), "%llu",
+                  (unsigned long long)o.versions_left);
+    rows.push_back({c.name, f, p, v});
+    std::printf("  %-22s final=%s MB  peak=%s MB  ckpt versions=%s\n",
+                c.name, f, p, v);
+  }
+  std::printf("\n%s", viz::table({"strategy", "final stored MB",
+                                  "peak stored MB",
+                                  "checkpoint versions kept"},
+                                 rows)
+                          .c_str());
+  std::printf("\nshape: without removal the footprint is the full write "
+              "history (~1.5 GB); TTL GC reclaims scratch data; version "
+              "trimming caps the checkpoint history at the configured "
+              "depth, bounding steady-state storage near the live data "
+              "size.\n");
+  return 0;
+}

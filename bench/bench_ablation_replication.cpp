@@ -1,0 +1,140 @@
+// Ablation: self-optimization via automatic replication (§V). Compares
+// fixed replication degrees against the adaptive replication module under
+// a read-hot workload with provider failures: read availability, read
+// throughput, and storage cost.
+#include "core/controller.hpp"
+#include "core/replication.hpp"
+#include "harness.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+struct Outcome {
+  double read_success_pct;
+  double read_mbps;
+  double storage_cost;  // stored bytes / logical bytes
+};
+
+Outcome run_case(std::uint32_t base_replication, bool adaptive) {
+  sim::Simulation sim;
+  StackConfig scfg;
+  scfg.providers = 12;
+  scfg.metadata_providers = 2;
+  scfg.monitoring = adaptive;  // the MAPE loop needs introspection
+  Stack stack(sim, scfg);
+
+  std::unique_ptr<core::AutonomicController> controller;
+  if (adaptive) {
+    controller = std::make_unique<core::AutonomicController>(
+        *stack.dep, *stack.intro);
+    core::ReplicationOptions ropts;
+    ropts.hot_read_rate = 30e6;
+    controller->add_module(
+        std::make_unique<core::ReplicationModule>(ropts));
+    controller->start();
+  }
+
+  // One hot blob, written once.
+  blob::BlobClient* writer = stack.add_client();
+  auto blob = run_task(sim, writer->create(8 * units::MB,
+                                           base_replication));
+  auto w = run_task(sim, writer->write(
+                             blob.value(), 0,
+                             blob::Payload::synthetic(256 * units::MB, 1)));
+  if (!w.ok()) return Outcome{0, 0, 0};
+
+  // Readers hammer it for 4 minutes.
+  const int n_readers = 6;
+  std::vector<workload::ClientRunStats> stats(n_readers);
+  workload::ThroughputTracker tracker;
+  for (int i = 0; i < n_readers; ++i) {
+    blob::BlobClient* c = stack.add_client();
+    workload::ReaderOptions r;
+    r.loop_forever = true;
+    r.op_bytes = 32 * units::MB;
+    r.deadline = simtime::minutes(4);
+    r.rng_seed = 50 + i;
+    r.retry_backoff = simtime::millis(500);
+    sim.spawn(workload::Reader::run(*c, blob.value(), r, &stats[i],
+                                    &tracker));
+  }
+
+  // Kill one provider per 45 s, starting at t=60 (3 failures total).
+  sim.spawn([](sim::Simulation& s, blob::Deployment& d) -> sim::Task<void> {
+    co_await s.delay(simtime::seconds(60));
+    for (int k = 0; k < 3; ++k) {
+      // Kill the provider currently holding the most chunks.
+      blob::DataProvider* victim = nullptr;
+      for (auto& p : d.providers()) {
+        if (!p->node().up()) continue;
+        if (victim == nullptr || p->chunk_count() > victim->chunk_count()) {
+          victim = p.get();
+        }
+      }
+      if (victim != nullptr) d.cluster().retire_node(victim->id());
+      co_await s.delay(simtime::seconds(45));
+    }
+  }(sim, *stack.dep));
+
+  sim.run_until(simtime::minutes(4));
+
+  Outcome out{};
+  std::uint64_t ok = 0, failed = 0;
+  for (const auto& s : stats) {
+    ok += s.ops_ok;
+    failed += s.ops_failed;
+  }
+  out.read_success_pct =
+      ok + failed > 0
+          ? 100.0 * static_cast<double>(ok) / static_cast<double>(ok + failed)
+          : 0;
+  out.read_mbps = tracker.mean_mbps(0, simtime::minutes(4));
+  std::uint64_t stored = 0;
+  for (auto& p : stack.dep->providers()) {
+    if (p->node().up()) stored += p->used();  // live copies only
+  }
+  out.storage_cost = static_cast<double>(stored) / (256.0 * units::MB);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("ABLATION  fixed vs adaptive replication under failures",
+               "design choice: the replication module restores lost "
+               "replicas and scales the degree with read heat");
+
+  std::vector<std::vector<std::string>> rows;
+  struct Case {
+    const char* name;
+    std::uint32_t base;
+    bool adaptive;
+  };
+  for (const Case c :
+       {Case{"fixed r=1", 1, false}, Case{"fixed r=2", 2, false},
+        Case{"fixed r=3", 3, false}, Case{"adaptive (base 1)", 1, true}}) {
+    Outcome o = run_case(c.base, c.adaptive);
+    char s[32], m[32], cost[32];
+    std::snprintf(s, sizeof(s), "%.1f%%", o.read_success_pct);
+    std::snprintf(m, sizeof(m), "%.0f", o.read_mbps);
+    std::snprintf(cost, sizeof(cost), "%.2fx", o.storage_cost);
+    rows.push_back({c.name, s, m, cost});
+    std::printf("  %-18s reads-ok=%s  agg-read=%s MB/s  storage=%s\n",
+                c.name, s, m, cost);
+  }
+  std::printf("\n%s", viz::table({"configuration", "read success",
+                                  "aggregate read MB/s",
+                                  "storage cost (stored/logical)"},
+                                 rows)
+                          .c_str());
+  std::printf("\nshape: r=1 loses half its reads after the failures; fixed "
+              "r=3 pays 3x storage from the first byte; adaptive starts at "
+              "1x, detects the read-hot blob, raises replication (cap 4) "
+              "and heals failures -- full availability, paying extra "
+              "storage only while the blob is hot (this run ends mid-heat; "
+              "once demand fades the module shrinks chunks back to the "
+              "creation floor -- see Replication.ShrinksWhenDemandFades).\n");
+  return 0;
+}

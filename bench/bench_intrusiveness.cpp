@@ -1,0 +1,104 @@
+// Experiment E-B (§IV-B): impact of the introspection architecture on
+// BlobSeer data-access performance.
+//
+// Paper setup: 150 data providers; 5..80 clients, each writing 1 GB to
+// BlobSeer; compared bare BlobSeer against BlobSeer with the full
+// introspection stack. Reported result: "the performance of the BlobSeer
+// operations is not influenced by the introspection architecture, the
+// intrusiveness of the instrumentation layer being minimal even when the
+// number of generated monitoring parameters reaches 10,000".
+#include "harness.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+namespace {
+
+struct Point {
+  int clients;
+  double bare_mbps;       // mean per-client throughput, no monitoring
+  double monitored_mbps;  // with the introspection architecture
+  std::uint64_t events;
+  std::uint64_t records;
+  std::size_t series;
+};
+
+Point run_point(int n_clients, bool monitored) {
+  sim::Simulation sim;
+  StackConfig cfg;
+  cfg.providers = 150;
+  cfg.metadata_providers = 8;
+  cfg.monitoring = monitored;
+  cfg.monitoring_services = 4;
+  cfg.storage_servers = 4;
+  Stack stack(sim, cfg);
+
+  const std::uint64_t per_client = 1 * units::GB;
+  std::vector<workload::ClientRunStats> stats(n_clients);
+  std::vector<BlobId> blobs;
+  for (int i = 0; i < n_clients; ++i) {
+    blob::BlobClient* c = stack.add_client();
+    auto blob = run_task(sim, c->create(64 * units::MB));
+    blobs.push_back(blob.value());
+    workload::WriterOptions w;
+    w.total_bytes = per_client;
+    w.op_bytes = 256 * units::MB;
+    sim.spawn(workload::Writer::run(*c, blobs.back(), w, &stats[i]));
+  }
+  sim.run_until(simtime::minutes(10));
+
+  RunningStats per_client_mbps;
+  for (const auto& s : stats) per_client_mbps.add(s.run_mbps());
+
+  Point p{};
+  p.clients = n_clients;
+  (monitored ? p.monitored_mbps : p.bare_mbps) = per_client_mbps.mean();
+  if (monitored && stack.monitoring) {
+    // Flush the pipeline tail before counting.
+    sim.run_until(sim.now() + simtime::seconds(5));
+    p.events = stack.monitoring->total_events();
+    p.records = stack.monitoring->total_records();
+    p.series = stack.monitoring->distinct_series();
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "E-B  introspection intrusiveness (150 providers, 1 GB/client)",
+      "throughput unchanged by the introspection architecture; minimal "
+      "intrusiveness even at ~10,000 monitoring parameters (>80 clients)");
+
+  std::vector<std::vector<std::string>> rows;
+  for (int clients : {5, 10, 20, 40, 60, 80}) {
+    Point bare = run_point(clients, false);
+    Point mon = run_point(clients, true);
+    const double overhead =
+        bare.bare_mbps > 0
+            ? (bare.bare_mbps - mon.monitored_mbps) / bare.bare_mbps * 100.0
+            : 0.0;
+    char b[32], m[32], o[32], e[32], r[32];
+    std::snprintf(b, sizeof(b), "%.1f", bare.bare_mbps);
+    std::snprintf(m, sizeof(m), "%.1f", mon.monitored_mbps);
+    std::snprintf(o, sizeof(o), "%+.2f%%", overhead);
+    std::snprintf(e, sizeof(e), "%llu", (unsigned long long)mon.events);
+    std::snprintf(r, sizeof(r), "%llu/%zu", (unsigned long long)mon.records,
+                  mon.series);
+    rows.push_back({std::to_string(clients), b, m, o, e, r});
+    std::printf("  clients=%-3d bare=%s MB/s monitored=%s MB/s "
+                "overhead=%s\n",
+                clients, b, m, o);
+  }
+  std::printf("\n%s",
+              viz::table({"clients", "bare MB/s/client",
+                          "monitored MB/s/client", "overhead",
+                          "raw events", "records/series"},
+                         rows)
+                  .c_str());
+  std::printf("\nshape check vs paper: overhead stays within noise (a few "
+              "percent) across 5..80 clients while monitoring volume grows "
+              "to thousands of parameters.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Microbenchmark: provider-manager allocation strategies — placement cost
+// per chunk vs pool size, for each strategy.
+#include <benchmark/benchmark.h>
+
+#include "blob/allocation.hpp"
+
+using namespace bs;
+using namespace bs::blob;
+
+namespace {
+
+std::vector<ProviderEntry> make_pool(std::size_t n) {
+  std::vector<ProviderEntry> pool(n);
+  Rng rng(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i].node = NodeId{i};
+    pool[i].capacity = 64ull << 30;
+    pool[i].free_space = rng.next_below(64ull << 30);
+    pool[i].chunks = rng.next_below(10000);
+    pool[i].store_rate = rng.uniform(0, 2e8);
+  }
+  return pool;
+}
+
+void run_strategy(benchmark::State& state, const char* name) {
+  auto strategy = make_strategy(name);
+  auto pool = make_pool(static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    std::vector<ProviderEntry*> candidates;
+    candidates.reserve(pool.size());
+    for (auto& e : pool) candidates.push_back(&e);
+    auto placed = strategy->place_chunk(candidates, 64 << 20,
+                                        /*replication=*/3, rng);
+    benchmark::DoNotOptimize(placed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Alloc_RoundRobin(benchmark::State& state) {
+  run_strategy(state, "round_robin");
+}
+void BM_Alloc_Random(benchmark::State& state) {
+  run_strategy(state, "random");
+}
+void BM_Alloc_LoadAware(benchmark::State& state) {
+  run_strategy(state, "load_aware");
+}
+BENCHMARK(BM_Alloc_RoundRobin)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_Alloc_Random)->Arg(10)->Arg(100)->Arg(1000);
+BENCHMARK(BM_Alloc_LoadAware)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Microbenchmark: monitoring-pipeline component costs — data-filter ingest
+// throughput, flush cost, and UserActivityHistory queries.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "intro/activity.hpp"
+#include "mon/filters.hpp"
+
+using namespace bs;
+using namespace bs::mon;
+
+namespace {
+
+std::vector<MetricEvent> make_events(int n, int clients, int providers) {
+  Rng rng(3);
+  std::vector<MetricEvent> out(static_cast<std::size_t>(n));
+  for (auto& ev : out) {
+    const auto kind = rng.next_below(4);
+    ev.kind = kind == 0   ? MetricKind::chunk_write
+              : kind == 1 ? MetricKind::chunk_read
+              : kind == 2 ? MetricKind::provider_storage
+                          : MetricKind::cpu_load;
+    ev.client = ClientId{1 + rng.next_below(clients)};
+    ev.source = NodeId{1 + rng.next_below(providers)};
+    ev.blob = BlobId{1 + rng.next_below(16)};
+    ev.value = rng.uniform(0, 1e8);
+    ev.aux = 4096;
+  }
+  return out;
+}
+
+void BM_FilterIngest(benchmark::State& state) {
+  auto events = make_events(10000, static_cast<int>(state.range(0)), 150);
+  auto filters = default_filters();
+  std::vector<Record> sink;
+  for (auto _ : state) {
+    for (const auto& ev : events) {
+      for (auto& f : filters) f->ingest(ev);
+    }
+    sink.clear();
+    for (auto& f : filters) f->flush(simtime::seconds(1), sink);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FilterIngest)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ActivityIngest(benchmark::State& state) {
+  intro::UserActivityHistory uah(simtime::minutes(10));
+  Rng rng(5);
+  SimTime t = 0;
+  for (auto _ : state) {
+    Record r;
+    r.key = {Domain::client, 1 + rng.next_below(200),
+             Metric::write_ops};
+    r.time = (t += simtime::millis(10));
+    r.value = 1;
+    uah.ingest(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActivityIngest);
+
+void BM_ActivityRateQuery(benchmark::State& state) {
+  intro::UserActivityHistory uah(simtime::minutes(10));
+  for (int c = 1; c <= 100; ++c) {
+    for (int t = 0; t < 300; ++t) {
+      Record r;
+      r.key = {Domain::client, static_cast<std::uint64_t>(c),
+               Metric::write_ops};
+      r.time = simtime::seconds(t);
+      r.value = 3;
+      uah.ingest(r);
+    }
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    const ClientId c{1 + rng.next_below(100)};
+    benchmark::DoNotOptimize(uah.rate(c, Metric::write_ops,
+                                      simtime::seconds(60),
+                                      simtime::seconds(300)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActivityRateQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Microbenchmark: Security Violation Detection Engine scan cost vs number
+// of active clients and policy-set size, plus policy parsing throughput.
+#include <benchmark/benchmark.h>
+
+#include "sec/engine.hpp"
+
+using namespace bs;
+using namespace bs::sec;
+
+namespace {
+
+void fill_activity(intro::UserActivityHistory& uah, int clients) {
+  for (int c = 1; c <= clients; ++c) {
+    for (int t = 1; t <= 60; ++t) {
+      mon::Record r;
+      r.key = {mon::Domain::client, static_cast<std::uint64_t>(c),
+               mon::Metric::write_ops};
+      r.time = simtime::seconds(t);
+      r.value = (c % 10 == 0) ? 200 : 5;  // every 10th client floods
+      uah.ingest(r);
+      r.key.metric = mon::Metric::write_bytes;
+      r.value = 1e6;
+      uah.ingest(r);
+    }
+  }
+}
+
+void BM_EngineScan(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  sim.run_until(simtime::seconds(60));
+  intro::UserActivityHistory uah(simtime::minutes(5));
+  fill_activity(uah, clients);
+  TrustManager trust;
+  PolicyEnforcement enforcement(sim, trust);
+  DetectionOptions opts;
+  opts.refractory = 0;  // re-evaluate every scan (worst case)
+  DetectionEngine engine(sim, uah, trust, enforcement, opts);
+  (void)engine.load_source(default_policy_source());
+  for (auto _ : state) {
+    auto violations = engine.scan();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_EngineScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EngineScan_ManyPolicies(benchmark::State& state) {
+  const int n_policies = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  sim.run_until(simtime::seconds(60));
+  intro::UserActivityHistory uah(simtime::minutes(5));
+  fill_activity(uah, 100);
+  TrustManager trust;
+  PolicyEnforcement enforcement(sim, trust);
+  DetectionOptions opts;
+  opts.refractory = 0;
+  DetectionEngine engine(sim, uah, trust, enforcement, opts);
+  std::string src;
+  for (int i = 0; i < n_policies; ++i) {
+    src += "policy p" + std::to_string(i) +
+           " { when rate(write_ops, 10s) > " +
+           std::to_string(100 + i) + "; then log; }\n";
+  }
+  (void)engine.load_source(src);
+  for (auto _ : state) {
+    auto violations = engine.scan();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.SetItemsProcessed(state.iterations() * n_policies);
+}
+BENCHMARK(BM_EngineScan_ManyPolicies)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_PolicyParse(benchmark::State& state) {
+  const std::string src = default_policy_source();
+  for (auto _ : state) {
+    auto parsed = parse_policies(src);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_PolicyParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Microbenchmark: raw substrate performance — event-queue throughput,
+// coroutine task switching, flow-scheduler arrival/departure cost, RPC
+// round trips. These bound how large an experiment the simulator can run.
+#include <benchmark/benchmark.h>
+
+#include "net/flow.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/sync.hpp"
+
+using namespace bs;
+
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Mailbox<int> a(sim), b(sim);
+    constexpr int kRounds = 1000;
+    sim.spawn([](sim::Mailbox<int>& in, sim::Mailbox<int>& out)
+                  -> sim::Task<void> {
+      for (int i = 0; i < kRounds; ++i) {
+        out.push(co_await in.recv() + 1);
+      }
+    }(a, b));
+    int last = 0;
+    sim.spawn([](sim::Mailbox<int>& in, sim::Mailbox<int>& out,
+                 int& result) -> sim::Task<void> {
+      out.push(0);
+      for (int i = 0; i < kRounds; ++i) {
+        const int v = co_await in.recv();
+        if (i + 1 < kRounds) out.push(v);
+        result = v;
+      }
+    }(b, a, last));
+    sim.run();
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_FlowChurn(benchmark::State& state) {
+  // `concurrent` flows alive at once; measure cost per completed flow
+  // (each arrival/departure triggers a max-min rate recomputation).
+  const int concurrent = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::FlowScheduler flows(sim);
+    auto* link = flows.create_resource("link", net::mb_per_sec(1000));
+    sim::WaitGroup wg(sim);
+    for (int i = 0; i < concurrent; ++i) {
+      wg.launch([](sim::Simulation& s, net::FlowScheduler& f,
+                   net::Resource* r, int idx) -> sim::Task<void> {
+        co_await s.delay(simtime::millis(idx));
+        for (int k = 0; k < 8; ++k) {
+          std::vector<net::Resource*> rs{r};
+          co_await f.transfer(1e6, std::move(rs));
+        }
+      }(sim, flows, link, i));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(flows.completed_flows());
+  }
+  state.SetItemsProcessed(state.iterations() * concurrent * 8);
+}
+BENCHMARK(BM_FlowChurn)->Arg(8)->Arg(64)->Arg(256);
+
+struct PingReq {
+  static constexpr const char* kName = "bench.ping";
+  std::uint64_t wire_size() const { return 32; }
+};
+struct PingResp {
+  std::uint64_t wire_size() const { return 32; }
+};
+
+void BM_RpcRoundTrip(benchmark::State& state) {
+  sim::Simulation sim;
+  rpc::Cluster cluster(sim, net::Topology::single_site());
+  rpc::Node* server = cluster.add_node(0);
+  rpc::Node* client = cluster.add_node(0);
+  server->serve<PingReq, PingResp>(
+      [](const PingReq&, const rpc::Envelope&)
+          -> sim::Task<Result<PingResp>> { co_return PingResp{}; });
+  for (auto _ : state) {
+    bool done = false;
+    sim.spawn([](rpc::Cluster& c, rpc::Node& n, NodeId to,
+                 bool& flag) -> sim::Task<void> {
+      auto r = co_await c.call<PingReq, PingResp>(n, to, PingReq{});
+      benchmark::DoNotOptimize(r);
+      flag = true;
+    }(cluster, *client, server->id(), done));
+    while (!done && sim.step()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RpcRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

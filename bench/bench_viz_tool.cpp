@@ -1,0 +1,76 @@
+// Experiment E-A (§IV-A): the visualization tool for BlobSeer-specific
+// data. Qualitative in the paper: "provides synthetic images of the most
+// relevant events in BlobSeer, such as the evolution of the physical
+// parameters (e.g., CPU load, memory), the storage space on each provider
+// and at the system level, the BLOB access patterns or the distribution of
+// the BLOBs across providers."
+//
+// This bench drives a mixed workload on an instrumented deployment and
+// renders every panel the paper lists, plus a CSV export of the system
+// storage series (what a GUI would plot).
+#include "dos_common.hpp"
+#include "viz/dashboard.hpp"
+
+using namespace bs;
+using namespace bs::bench;
+
+int main() {
+  print_header("E-A  visualization tool for BlobSeer-specific data",
+               "synthetic images of physical parameters, per-provider and "
+               "system storage space, BLOB access patterns, BLOB "
+               "distribution across providers");
+
+  sim::Simulation sim;
+  StackConfig cfg;
+  cfg.providers = 8;
+  cfg.metadata_providers = 2;
+  Stack stack(sim, cfg);
+
+  // Two writers on different blobs + a reader hammering blob A.
+  blob::BlobClient* w1 = stack.add_client();
+  blob::BlobClient* w2 = stack.add_client();
+  blob::BlobClient* r1 = stack.add_client();
+  auto blob_a = run_task(sim, w1->create(8 * units::MB));
+  auto blob_b = run_task(sim, w2->create(8 * units::MB));
+
+  workload::ClientRunStats s1, s2, s3;
+  workload::WriterOptions wa;
+  wa.total_bytes = 768 * units::MB;
+  wa.op_bytes = 64 * units::MB;
+  sim.spawn(workload::Writer::run(*w1, blob_a.value(), wa, &s1));
+  workload::WriterOptions wb;
+  wb.total_bytes = 256 * units::MB;
+  wb.op_bytes = 32 * units::MB;
+  wb.start = simtime::seconds(20);
+  sim.spawn(workload::Writer::run(*w2, blob_b.value(), wb, &s2));
+  workload::ReaderOptions ra;
+  ra.total_bytes = 512 * units::MB;
+  ra.op_bytes = 64 * units::MB;
+  ra.start = simtime::seconds(15);
+  sim.spawn(workload::Reader::run(*r1, blob_a.value(), ra, &s3));
+
+  sim.run_until(simtime::seconds(90));
+
+  viz::Dashboard dash(*stack.intro);
+  std::fputs(dash.render(0, sim.now()).c_str(), stdout);
+
+  // CSV export of the system-level storage evolution.
+  std::printf("\n== CSV export: system.total_used_bytes ==\n");
+  if (const TimeSeries* ts = stack.intro->series(
+          {mon::Domain::system, 0, mon::Metric::total_used_bytes})) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& s :
+         ts->range(0, simtime::kInfinite)) {
+      if (rows.size() >= 12) break;  // sample for the console
+      rows.push_back({std::to_string(simtime::to_seconds(s.time)),
+                      std::to_string(s.value)});
+    }
+    std::fputs(viz::to_csv({"time_s", "bytes"}, rows).c_str(), stdout);
+  }
+
+  std::printf("\npanels rendered: physical parameters, storage evolution "
+              "(provider+system), BLOB access patterns, chunk "
+              "distribution, client activity  -> qualitative claim "
+              "REPRODUCED\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Shared setup for the §IV-C self-protection experiments: the paper's
+// testbed was "70 BlobSeer nodes, 8 monitoring services and up to 50
+// concurrent clients" on Grid'5000. Here: 56 data providers + 8 metadata
+// providers + managers (≈70 BlobSeer nodes), 8 monitoring services, and the
+// same client counts. Providers are modelled DoS-sensitive: one request
+// slot, 5 ms service overhead (200 req/s), bounded queue — so a flood of
+// small writes saturates request processing exactly like the paper's
+// attack, while honest bulk transfers are bandwidth-bound.
+#pragma once
+
+#include "harness.hpp"
+
+namespace bs::bench {
+
+inline StackConfig dos_stack_config(bool with_security) {
+  StackConfig cfg;
+  cfg.providers = 56;
+  cfg.metadata_providers = 8;
+  cfg.monitoring_services = 8;
+  cfg.storage_servers = 2;
+  cfg.node_spec.service_concurrency = 1;
+  cfg.node_spec.service_overhead = simtime::millis(25);  // 40 req/s/provider
+  cfg.node_spec.service_queue_limit = 64;
+  cfg.security = with_security;
+  // Pipeline latencies comparable to a MonALISA deployment: 1 s
+  // instrumentation flush, 2 s aggregation flush, 5 s detection scans.
+  cfg.instrument.flush_interval = simtime::seconds(1);
+  cfg.service_flush = simtime::seconds(2);
+  cfg.security_config.detection.scan_interval = simtime::seconds(5);
+  // The flood policy: no honest client issues anywhere near 60 chunk
+  // writes per second (a 1 Gb/s writer moves ~2 x 64 MB chunks/s). The
+  // 60 s window is what spreads detection delay across attacker
+  // aggressiveness levels.
+  cfg.security_config.policy_source =
+      "policy dos_write_flood {\n"
+      "  severity high;\n"
+      "  description \"chunk-write request flood\";\n"
+      "  when rate(write_ops, 60s) > 60;\n"
+      "  then block(300s), trust(-0.4), alert;\n"
+      "}\n";
+  return cfg;
+}
+
+struct DosScenario {
+  Stack* stack{nullptr};
+  std::vector<blob::BlobClient*> honest;
+  std::vector<workload::ClientRunStats> honest_stats;
+  std::vector<workload::AttackerStats> attacker_stats;
+  workload::ThroughputTracker tracker{simtime::seconds(1)};
+};
+
+/// Launches `n_honest` loop-forever writers (64 MB appends to private
+/// blobs) and `n_attackers` staggered-rate flooders starting at
+/// `attack_start`.
+inline void launch_dos_workload(sim::Simulation& sim, Stack& stack,
+                                DosScenario& sc, int n_honest,
+                                int n_attackers, SimTime attack_start,
+                                SimTime deadline,
+                                std::uint64_t op_bytes = 256 * units::MB) {
+  sc.stack = &stack;
+  sc.honest_stats.resize(n_honest);
+  for (int i = 0; i < n_honest; ++i) {
+    blob::BlobClient* c = stack.add_client();
+    sc.honest.push_back(c);
+    auto blob = run_task(sim, c->create(64 * units::MB));
+    workload::WriterOptions w;
+    w.loop_forever = true;
+    w.op_bytes = op_bytes;
+    w.deadline = deadline;
+    sim.spawn(workload::Writer::run(*c, blob.value(), w,
+                                    &sc.honest_stats[i], &sc.tracker));
+  }
+  std::vector<NodeId> targets;
+  for (auto& p : stack.dep->providers()) targets.push_back(p->id());
+  sc.attacker_stats.resize(n_attackers);
+  Rng rng(0xA77AC4);
+  for (int i = 0; i < n_attackers; ++i) {
+    rpc::Node* node = stack.dep->cluster().add_node(stack.dep->next_site());
+    workload::AttackerOptions a;
+    // Heterogeneous aggressiveness: barely-over-threshold attackers take
+    // much longer to cross the 60 s rate window than blatant ones.
+    a.request_rate = rng.uniform(90.0, 400.0);
+    a.start = attack_start;
+    a.deadline = deadline;
+    a.rng_seed = 1000 + i;
+    sim.spawn(workload::DosAttacker::run(*node, ClientId{500 + i}, targets,
+                                         a, &sc.attacker_stats[i]));
+  }
+}
+
+}  // namespace bs::bench

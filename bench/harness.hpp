@@ -1,0 +1,94 @@
+// Shared harness for the experiment benches: assembles the full
+// self-adaptive stack (BlobSeer + monitoring + introspection + security) on
+// one simulation, and provides small driver/printing helpers. Each bench
+// binary reproduces one experiment of the paper's §IV and prints the
+// paper's reported numbers next to the measured ones.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "mon/layer.hpp"
+#include "sec/framework.hpp"
+#include "viz/chart.hpp"
+#include "workload/clients.hpp"
+
+namespace bs::bench {
+
+template <class T>
+T run_task(sim::Simulation& sim, sim::Task<T> task) {
+  std::optional<T> out;
+  sim.spawn([](sim::Task<T> t, std::optional<T>& slot) -> sim::Task<void> {
+    slot.emplace(co_await std::move(t));
+  }(std::move(task), out));
+  while (!out.has_value() && sim.step()) {
+  }
+  return std::move(*out);
+}
+
+struct StackConfig {
+  std::size_t providers{20};
+  std::size_t metadata_providers{4};
+  std::size_t monitoring_services{2};
+  std::size_t storage_servers{2};
+  std::uint64_t provider_capacity{64ull * units::GB};
+  rpc::NodeSpec node_spec{};
+  bool monitoring{true};
+  bool security{false};
+  sec::SecurityConfig security_config{};
+  mon::InstrumentOptions instrument{};
+  SimDuration service_flush{simtime::seconds(1)};
+};
+
+/// The full §III architecture on one simulation.
+struct Stack {
+  Stack(sim::Simulation& sim, const StackConfig& config) {
+    blob::DeploymentConfig cfg;
+    cfg.data_providers = config.providers;
+    cfg.metadata_providers = config.metadata_providers;
+    cfg.provider_capacity = config.provider_capacity;
+    cfg.node_spec = config.node_spec;
+    dep = std::make_unique<blob::Deployment>(sim, cfg);
+
+    if (config.monitoring) {
+      rpc::Node* intro_node = dep->cluster().add_node(0);
+      intro = std::make_unique<intro::IntrospectionService>(*intro_node);
+      intro->start();
+      mon::MonitoringConfig mcfg;
+      mcfg.services = config.monitoring_services;
+      mcfg.storage_servers = config.storage_servers;
+      mcfg.instrument = config.instrument;
+      mcfg.service_flush_interval = config.service_flush;
+      mcfg.sinks = {intro_node->id()};
+      monitoring = std::make_unique<mon::MonitoringLayer>(*dep, mcfg);
+      monitoring->start();
+    }
+    if (config.security) {
+      security = std::make_unique<sec::SecurityFramework>(
+          sim, intro->activity(), config.security_config);
+      security->attach_deployment(*dep);
+      security->start();
+    }
+  }
+
+  blob::BlobClient* add_client() {
+    blob::BlobClient* c = dep->add_client();
+    if (monitoring) monitoring->attach_client(*c);
+    return c;
+  }
+
+  std::unique_ptr<blob::Deployment> dep;
+  std::unique_ptr<intro::IntrospectionService> intro;
+  std::unique_ptr<mon::MonitoringLayer> monitoring;
+  std::unique_ptr<sec::SecurityFramework> security;
+};
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bs::bench

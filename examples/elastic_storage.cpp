@@ -1,0 +1,97 @@
+// Self-configuration demo (§V): the provider pool tracks the workload. A
+// write surge pushes utilization over the target band, the MAPE-K loop
+// deploys new data providers; when temporary data expires and pressure
+// drops, the pool drains back down.
+//
+//   $ ./examples/elastic_storage
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "core/elasticity.hpp"
+#include "core/removal.hpp"
+#include "mon/layer.hpp"
+#include "workload/clients.hpp"
+
+using namespace bs;
+
+int main() {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.data_providers = 4;
+  cfg.metadata_providers = 2;
+  cfg.provider_capacity = 512 * units::MB;
+  blob::Deployment dep(sim, cfg);
+
+  rpc::Node* intro_node = dep.cluster().add_node(0);
+  intro::IntrospectionService introspection(*intro_node);
+  introspection.start();
+  mon::MonitoringConfig mcfg;
+  mcfg.sinks = {intro_node->id()};
+  mon::MonitoringLayer monitoring(dep, mcfg);
+  monitoring.start();
+
+  core::AutonomicController controller(dep, introspection);
+  core::ElasticityOptions eopts;
+  eopts.min_providers = 4;
+  eopts.util_high = 0.65;
+  eopts.util_low = 0.30;
+  eopts.cooldown = simtime::seconds(15);
+  controller.add_module(std::make_unique<core::ElasticityModule>(eopts));
+  controller.add_module(std::make_unique<core::RemovalModule>());
+  // New providers must join the monitoring layer, or the knowledge base
+  // never sees their capacity and the loop over-provisions.
+  controller.executor().set_provider_added_hook(
+      [&monitoring](blob::DataProvider& p) { monitoring.attach_provider(p); });
+  controller.start();
+
+  // Record pool size once per second.
+  std::vector<std::size_t> pool_sizes;
+  sim.spawn([](sim::Simulation& s, blob::Deployment& d,
+               std::vector<std::size_t>& out) -> sim::Task<void> {
+    while (s.now() < simtime::minutes(6)) {
+      std::size_t alive = 0;
+      for (auto& p : d.providers()) {
+        if (p->node().up()) ++alive;
+      }
+      out.push_back(alive);
+      co_await s.delay(simtime::seconds(1));
+    }
+  }(sim, dep, pool_sizes));
+
+  // Phase 1 (t=5s..): a burst of temporary datasets (TTL 2 min) filling
+  // most of the initial 2 GB pool.
+  blob::BlobClient* loader = dep.add_client();
+  monitoring.attach_client(*loader);
+  sim.spawn([](sim::Simulation& s, blob::BlobClient& c) -> sim::Task<void> {
+    co_await s.delay(simtime::seconds(5));
+    for (int i = 0; i < 6; ++i) {
+      auto blob = co_await c.create(16 * units::MB, 1,
+                                    /*ttl=*/simtime::minutes(2));
+      if (!blob.ok()) continue;
+      (void)co_await c.write(
+          *blob, 0, blob::Payload::synthetic(256 * units::MB, i));
+    }
+  }(sim, *loader));
+
+  sim.run_until(simtime::minutes(6));
+
+  std::printf("=== elastic provider pool ===\n");
+  std::printf("t(s)  pool size\n");
+  for (std::size_t i = 0; i < pool_sizes.size(); i += 10) {
+    std::printf("%4zu  %zu %s\n", i * 1, pool_sizes[i],
+                std::string(pool_sizes[i], '#').c_str());
+  }
+  const std::size_t peak =
+      *std::max_element(pool_sizes.begin(), pool_sizes.end());
+  std::printf("\ninitial pool: 4, peak pool: %zu, final pool: %zu\n", peak,
+              pool_sizes.back());
+  std::printf("autonomic loop iterations: %llu, actions: ",
+              (unsigned long long)controller.iterations());
+  std::size_t adds = 0, drains = 0;
+  for (const auto& a : controller.action_log()) {
+    if (a.action.type == core::AdaptAction::Type::add_provider) ++adds;
+    if (a.action.type == core::AdaptAction::Type::drain_provider) ++drains;
+  }
+  std::printf("%zu provider additions, %zu drains\n", adds, drains);
+  return peak > 4 ? 0 : 1;
+}

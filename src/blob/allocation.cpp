@@ -1,0 +1,92 @@
+#include "blob/allocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bs::blob {
+
+namespace {
+void note_placement(ProviderEntry& e, std::uint64_t chunk_size) {
+  ++e.pending_allocs;
+  e.free_space -= std::min(e.free_space, chunk_size);
+}
+}  // namespace
+
+std::vector<NodeId> RoundRobinStrategy::place_chunk(
+    std::vector<ProviderEntry*>& candidates, std::uint64_t chunk_size,
+    std::uint32_t replication, Rng&) {
+  std::vector<NodeId> out;
+  if (candidates.empty()) return out;
+  const std::size_t n = candidates.size();
+  for (std::size_t tried = 0; tried < n && out.size() < replication;
+       ++tried) {
+    ProviderEntry* e = candidates[cursor_ % n];
+    ++cursor_;
+    note_placement(*e, chunk_size);
+    out.push_back(e->node);
+  }
+  return out;
+}
+
+std::vector<NodeId> RandomStrategy::place_chunk(
+    std::vector<ProviderEntry*>& candidates, std::uint64_t chunk_size,
+    std::uint32_t replication, Rng& rng) {
+  std::vector<NodeId> out;
+  if (candidates.empty()) return out;
+  std::vector<ProviderEntry*> pool = candidates;
+  while (!pool.empty() && out.size() < replication) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.next_below(pool.size()));
+    note_placement(*pool[i], chunk_size);
+    out.push_back(pool[i]->node);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return out;
+}
+
+double LoadAwareStrategy::score(const ProviderEntry& e) {
+  const double fullness =
+      e.capacity > 0
+          ? 1.0 - static_cast<double>(e.free_space) /
+                      static_cast<double>(e.capacity)
+          : 1.0;
+  // Pending allocations dominate (they represent imminent transfers), the
+  // recent store rate captures current disk pressure, fullness breaks ties.
+  return static_cast<double>(e.pending_allocs) * 10.0 +
+         e.store_rate / 1e8 + fullness;
+}
+
+std::vector<NodeId> LoadAwareStrategy::place_chunk(
+    std::vector<ProviderEntry*>& candidates, std::uint64_t chunk_size,
+    std::uint32_t replication, Rng& rng) {
+  std::vector<NodeId> out;
+  if (candidates.empty()) return out;
+  std::vector<ProviderEntry*> pool = candidates;
+  while (!pool.empty() && out.size() < replication) {
+    std::size_t pick;
+    if (pool.size() == 1) {
+      pick = 0;
+    } else {
+      // Two random choices, keep the lighter one.
+      const std::size_t a =
+          static_cast<std::size_t>(rng.next_below(pool.size()));
+      std::size_t b =
+          static_cast<std::size_t>(rng.next_below(pool.size() - 1));
+      if (b >= a) ++b;
+      pick = score(*pool[a]) <= score(*pool[b]) ? a : b;
+    }
+    note_placement(*pool[pick], chunk_size);
+    out.push_back(pool[pick]->node);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+std::unique_ptr<AllocationStrategy> make_strategy(const std::string& name) {
+  if (name == "round_robin") return std::make_unique<RoundRobinStrategy>();
+  if (name == "random") return std::make_unique<RandomStrategy>();
+  if (name == "load_aware") return std::make_unique<LoadAwareStrategy>();
+  return nullptr;
+}
+
+}  // namespace bs::blob

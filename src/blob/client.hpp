@@ -1,0 +1,162 @@
+// BlobSeer client actor: the library applications link against. Implements
+// client-side operations for each interaction with the system (§III-A):
+// CREATE, WRITE, APPEND, READ plus stat/versions. Writes pipeline chunk
+// transfers with bounded parallelism, retry failed puts on fresh providers,
+// build segment-tree metadata locally (forward references) and publish
+// through the version manager; reads walk the published tree and fetch
+// chunks from replicas with failover.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "blob/messages.hpp"
+#include "blob/meta_ops.hpp"
+#include "blob/metadata_provider.hpp"
+#include "common/rng.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/sync.hpp"
+
+namespace bs::blob {
+
+struct ClientConfig {
+  std::uint32_t put_parallelism{4};   ///< concurrent chunk puts per write
+  std::uint32_t get_parallelism{8};   ///< concurrent chunk gets per read
+  std::uint32_t meta_parallelism{8};  ///< concurrent metadata puts
+  std::uint32_t max_put_retries{3};   ///< fresh-provider retries per chunk
+  SimDuration rpc_timeout{simtime::seconds(30)};
+  /// Commit can legitimately wait for earlier concurrent writers.
+  SimDuration commit_timeout{simtime::seconds(120)};
+};
+
+struct WriteReceipt {
+  Version version{0};
+  std::uint64_t offset{0};
+  std::uint64_t size{0};
+  SimDuration duration{0};
+  std::uint32_t put_retries{0};
+  std::uint32_t rebuilds{0};
+
+  [[nodiscard]] double throughput_bps() const {
+    const double s = simtime::to_seconds(duration);
+    return s > 0 ? static_cast<double>(size) / s : 0.0;
+  }
+};
+
+/// One resolved chunk of a read.
+struct ChunkRead {
+  std::uint64_t chunk_index{0};
+  std::uint64_t offset{0};  ///< byte offset in blob space
+  std::uint64_t bytes{0};
+  std::uint64_t checksum{0};
+  bool hole{false};
+  std::shared_ptr<const std::vector<std::uint8_t>> data;  // when stored inline
+};
+
+struct ReadResult {
+  Version version{0};
+  std::uint64_t bytes{0};  ///< non-hole bytes delivered
+  SimDuration duration{0};
+  std::vector<ChunkRead> chunks;
+
+  [[nodiscard]] double throughput_bps() const {
+    const double s = simtime::to_seconds(duration);
+    return s > 0 ? static_cast<double>(bytes) / s : 0.0;
+  }
+
+  /// Reassembles inline data (zero-filling holes); nullopt when any
+  /// non-hole chunk was stored without inline bytes.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> assemble(
+      std::uint64_t from_offset, std::uint64_t length) const;
+};
+
+/// Per-operation record for instrumentation / experiment harnesses.
+struct ClientOpInfo {
+  enum class Op { create, write, append, read };
+  Op op{Op::write};
+  ClientId client{};
+  BlobId blob{};
+  Version version{0};
+  std::uint64_t bytes{0};
+  SimDuration duration{0};
+  Errc outcome{Errc::ok};
+};
+
+class BlobClient {
+ public:
+  /// Addresses of the deployment's actors.
+  struct Endpoints {
+    NodeId version_manager;
+    NodeId provider_manager;
+    std::vector<NodeId> metadata_providers;
+  };
+
+  BlobClient(rpc::Node& node, ClientId id, Endpoints endpoints,
+             ClientConfig config = {}, std::uint64_t rng_seed = 1);
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] rpc::Node& node() { return node_; }
+
+  sim::Task<Result<BlobId>> create(std::uint64_t chunk_size,
+                                   std::uint32_t replication = 1,
+                                   SimDuration ttl = 0);
+
+  /// Writes `data` at `offset` (must be chunk-aligned). Returns once the
+  /// new version is published.
+  sim::Task<Result<WriteReceipt>> write(BlobId blob, std::uint64_t offset,
+                                        Payload data);
+
+  /// Appends `data` after the current end (chunk-aligned up).
+  sim::Task<Result<WriteReceipt>> append(BlobId blob, Payload data);
+
+  /// Reads [offset, offset+length) of `version` (default: latest published).
+  sim::Task<Result<ReadResult>> read(BlobId blob, std::uint64_t offset,
+                                     std::uint64_t length,
+                                     Version version = kLatestVersion);
+
+  sim::Task<Result<BlobDescriptor>> stat(BlobId blob);
+  sim::Task<Result<std::vector<VersionInfo>>> versions(BlobId blob);
+
+  /// Drops published versions older than `keep_from` (data-removal
+  /// strategy hook); returns the trim summary from the version manager.
+  sim::Task<Result<TrimBlobResp>> trim(BlobId blob, Version keep_from);
+
+  /// Marks the blob deleted (chunk reclamation is asynchronous).
+  sim::Task<Result<void>> remove(BlobId blob);
+
+  void set_op_observer(std::function<void(const ClientOpInfo&)> obs) {
+    op_observer_ = std::move(obs);
+  }
+
+ private:
+  struct WritePlan;
+
+  sim::Task<Result<WriteReceipt>> write_impl(BlobId blob,
+                                             std::uint64_t offset,
+                                             Payload data,
+                                             ClientOpInfo::Op op);
+  /// Stores one chunk on `replication` providers, re-allocating around
+  /// failures. On success fills `desc.replicas`.
+  sim::Task<Result<void>> put_chunk_replicated(WritePlan& plan,
+                                               std::size_t chunk_idx);
+  sim::Task<Result<void>> put_metadata(
+      const std::vector<std::pair<NodeKey, TreeNode>>& nodes);
+  sim::Task<Result<ChunkRead>> fetch_chunk(const meta_ops::LeafRef& leaf,
+                                           std::uint64_t chunk_size,
+                                           std::uint64_t read_lo,
+                                           std::uint64_t read_hi);
+  void observe(ClientOpInfo info);
+
+  rpc::CallOptions opts(SimDuration timeout) const;
+
+  rpc::Node& node_;
+  ClientId id_;
+  Endpoints endpoints_;
+  ClientConfig config_;
+  Rng rng_;
+  std::unique_ptr<RemoteMetadataStore> meta_store_;
+  std::function<void(const ClientOpInfo&)> op_observer_;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,221 @@
+#include "blob/data_provider.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace bs::blob {
+
+DataProvider::DataProvider(rpc::Node& node, Options options)
+    : node_(node), options_(options) {
+  register_handlers();
+}
+
+void DataProvider::register_handlers() {
+  node_.serve<PutChunkReq, PutChunkResp>(
+      [this](const PutChunkReq& req, const rpc::Envelope& env) {
+        return handle_put(req, env.client);
+      });
+  node_.serve<GetChunkReq, GetChunkResp>(
+      [this](const GetChunkReq& req, const rpc::Envelope& env) {
+        return handle_get(req, env.client);
+      });
+  node_.serve<RemoveChunkReq, RemoveChunkResp>(
+      [this](const RemoveChunkReq& req, const rpc::Envelope&) {
+        return handle_remove(req);
+      });
+  node_.serve<ReplicateChunkReq, ReplicateChunkResp>(
+      [this](const ReplicateChunkReq& req, const rpc::Envelope&) {
+        return handle_replicate(req);
+      });
+  node_.serve<RemoveBlobChunksReq, RemoveBlobChunksResp>(
+      [this](const RemoveBlobChunksReq& req, const rpc::Envelope&)
+          -> sim::Task<Result<RemoveBlobChunksResp>> {
+        RemoveBlobChunksResp resp;
+        for (auto it = chunks_.begin(); it != chunks_.end();) {
+          if (it->first.blob == req.blob) {
+            resp.bytes_freed += it->second.size;
+            ++resp.chunks_removed;
+            used_ -= it->second.size;
+            it = chunks_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (resp.bytes_freed > 0) {
+          notify_storage(-static_cast<std::int64_t>(resp.bytes_freed));
+        }
+        co_return resp;
+      });
+
+  node_.serve<ProviderStatusReq, ProviderStatusResp>(
+      [this](const ProviderStatusReq&,
+             const rpc::Envelope&) -> sim::Task<Result<ProviderStatusResp>> {
+        ProviderStatusResp resp;
+        resp.capacity = options_.capacity;
+        resp.used = used_;
+        resp.chunks = chunks_.size();
+        co_return resp;
+      });
+  node_.serve<ListChunksReq, ListChunksResp>(
+      [this](const ListChunksReq&,
+             const rpc::Envelope&) -> sim::Task<Result<ListChunksResp>> {
+        ListChunksResp resp;
+        resp.keys = chunk_keys();
+        co_return resp;
+      });
+}
+
+std::vector<ChunkKey> DataProvider::chunk_keys() const {
+  std::vector<ChunkKey> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [k, v] : chunks_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void DataProvider::notify_storage(std::int64_t delta) {
+  if (!storage_observer_) return;
+  StorageEvent ev;
+  ev.node = node_.id();
+  ev.used = used_;
+  ev.capacity = options_.capacity;
+  ev.chunks = chunks_.size();
+  ev.delta = delta;
+  storage_observer_(ev);
+}
+
+void DataProvider::notify_access(const ChunkKey& key, std::uint64_t bytes,
+                                 bool write, ClientId client) {
+  if (!access_observer_) return;
+  AccessEvent ev;
+  ev.key = key;
+  ev.bytes = bytes;
+  ev.write = write;
+  ev.client = client;
+  access_observer_(ev);
+}
+
+sim::Task<Result<PutChunkResp>> DataProvider::handle_put(
+    const PutChunkReq& req, ClientId client) {
+  auto it = chunks_.find(req.key);
+  if (it != chunks_.end()) {
+    // Chunks are immutable: a re-put (retry, abort-repair) is idempotent.
+    co_return PutChunkResp{};
+  }
+  if (used_ + req.payload.size > options_.capacity) {
+    co_return Error{Errc::out_of_space, "provider full"};
+  }
+  used_ += req.payload.size;
+  stores_.add(node_.cluster().sim().now(),
+              static_cast<double>(req.payload.size));
+  chunks_.emplace(req.key, req.payload);
+  notify_storage(static_cast<std::int64_t>(req.payload.size));
+  notify_access(req.key, req.payload.size, /*write=*/true, client);
+  co_return PutChunkResp{};
+}
+
+sim::Task<Result<GetChunkResp>> DataProvider::handle_get(
+    const GetChunkReq& req, ClientId client) {
+  auto it = chunks_.find(req.key);
+  if (it == chunks_.end()) {
+    co_return Error{Errc::not_found, "chunk not stored here"};
+  }
+  const Payload& stored = it->second;
+  if (req.offset >= stored.size && stored.size > 0) {
+    co_return Error{Errc::invalid_argument, "chunk read past end"};
+  }
+  const std::uint64_t len =
+      std::min(req.length, stored.size - req.offset);
+  notify_access(req.key, len, /*write=*/false, client);
+  GetChunkResp resp;
+  if (req.offset == 0 && len == stored.size) {
+    resp.payload = stored;
+  } else {
+    resp.payload.size = len;
+    resp.payload.checksum = stored.checksum;  // whole-chunk checksum
+    if (stored.bytes) {
+      auto slice = std::make_shared<std::vector<std::uint8_t>>(
+          stored.bytes->begin() + static_cast<std::ptrdiff_t>(req.offset),
+          stored.bytes->begin() + static_cast<std::ptrdiff_t>(req.offset + len));
+      resp.payload.checksum = Payload::checksum_of(*slice);
+      resp.payload.bytes = std::move(slice);
+    }
+  }
+  co_return resp;
+}
+
+sim::Task<Result<RemoveChunkResp>> DataProvider::handle_remove(
+    const RemoveChunkReq& req) {
+  auto it = chunks_.find(req.key);
+  if (it == chunks_.end()) co_return RemoveChunkResp{false};
+  used_ -= it->second.size;
+  const auto delta = -static_cast<std::int64_t>(it->second.size);
+  chunks_.erase(it);
+  notify_storage(delta);
+  co_return RemoveChunkResp{true};
+}
+
+sim::Task<Result<ReplicateChunkResp>> DataProvider::handle_replicate(
+    const ReplicateChunkReq& req) {
+  auto it = chunks_.find(req.key);
+  if (it == chunks_.end()) {
+    co_return Error{Errc::not_found, "chunk not stored here"};
+  }
+  PutChunkReq put;
+  put.key = req.key;
+  put.payload = it->second;
+  auto result = co_await node_.cluster().call<PutChunkReq, PutChunkResp>(
+      node_, req.target, std::move(put));
+  if (!result.ok()) co_return result.error();
+  co_return ReplicateChunkResp{};
+}
+
+void DataProvider::start_heartbeats(NodeId provider_manager) {
+  if (heartbeats_on_) return;
+  heartbeats_on_ = true;
+  node_.cluster().sim().spawn(heartbeat_loop(provider_manager));
+}
+
+sim::Task<void> DataProvider::heartbeat_loop(NodeId provider_manager) {
+  auto& cluster = node_.cluster();
+  auto& sim = cluster.sim();
+  // Register (retrying until the manager is reachable).
+  while (heartbeats_on_) {
+    RegisterProviderReq reg;
+    reg.provider = node_.id();
+    reg.capacity = options_.capacity;
+    auto r = co_await cluster.call<RegisterProviderReq, RegisterProviderResp>(
+        node_, provider_manager, reg);
+    if (r.ok()) break;
+    co_await sim.delay(options_.heartbeat_interval);
+  }
+  while (heartbeats_on_ && node_.up()) {
+    co_await sim.delay(options_.heartbeat_interval);
+    if (!heartbeats_on_ || !node_.up()) break;
+    HeartbeatReq hb;
+    hb.provider = node_.id();
+    hb.free_space = free_space();
+    hb.chunks = chunks_.size();
+    hb.store_rate = store_rate(sim.now());
+    auto r = co_await cluster.call<HeartbeatReq, HeartbeatResp>(
+        node_, provider_manager, hb);
+    if (r.ok() && !r.value().known) {
+      RegisterProviderReq reg;
+      reg.provider = node_.id();
+      reg.capacity = options_.capacity;
+      (void)co_await cluster.call<RegisterProviderReq, RegisterProviderResp>(
+          node_, provider_manager, reg);
+    }
+  }
+  // Mark stopped so a revived provider can call start_heartbeats() again.
+  heartbeats_on_ = false;
+}
+
+void DataProvider::wipe() {
+  if (used_ > 0) notify_storage(-static_cast<std::int64_t>(used_));
+  chunks_.clear();
+  used_ = 0;
+}
+
+}  // namespace bs::blob

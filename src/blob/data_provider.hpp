@@ -1,0 +1,104 @@
+// Data provider actor: stores immutable chunks on its node's disk, enforces
+// capacity, serves puts/gets/removes, replicates chunks to peers, and
+// heartbeats the provider manager. One of the five BlobSeer actors (§III-A).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "blob/messages.hpp"
+#include "common/stats.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::blob {
+
+struct DataProviderOptions {
+  std::uint64_t capacity{64ull * units::GB};
+  SimDuration heartbeat_interval{simtime::seconds(2)};
+};
+
+class DataProvider {
+ public:
+  using Options = DataProviderOptions;
+
+  /// Storage-change notification for the instrumentation layer.
+  struct StorageEvent {
+    NodeId node;
+    std::uint64_t used{0};
+    std::uint64_t capacity{0};
+    std::uint64_t chunks{0};
+    std::int64_t delta{0};  ///< bytes added (negative: removed)
+  };
+
+  /// Served chunk access (put/get), with blob attribution — the
+  /// instrumentation layer turns these into per-blob access patterns.
+  struct AccessEvent {
+    ChunkKey key;
+    std::uint64_t bytes{0};
+    bool write{false};
+    ClientId client{};
+  };
+
+  DataProvider(rpc::Node& node, Options options = {});
+
+  /// Registers with the provider manager and starts the heartbeat loop.
+  void start_heartbeats(NodeId provider_manager);
+  void stop_heartbeats() { heartbeats_on_ = false; }
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] rpc::Node& node() { return node_; }
+  [[nodiscard]] std::uint64_t capacity() const { return options_.capacity; }
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t free_space() const {
+    return options_.capacity - used_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] bool has_chunk(const ChunkKey& key) const {
+    return chunks_.count(key) > 0;
+  }
+  [[nodiscard]] std::vector<ChunkKey> chunk_keys() const;
+
+  /// Recent store throughput (bytes/s over the trailing window) — the load
+  /// signal carried by heartbeats and consumed by load-aware allocation.
+  [[nodiscard]] double store_rate(SimTime now) const {
+    return stores_.rate_per_sec(now);
+  }
+
+  void set_storage_observer(std::function<void(const StorageEvent&)> obs) {
+    storage_observer_ = std::move(obs);
+  }
+
+  void set_access_observer(std::function<void(const AccessEvent&)> obs) {
+    access_observer_ = std::move(obs);
+  }
+
+  /// Failure injection: drops all stored chunks (models a disk loss).
+  void wipe();
+
+ private:
+  void register_handlers();
+  sim::Task<void> heartbeat_loop(NodeId provider_manager);
+  void notify_storage(std::int64_t delta);
+
+  void notify_access(const ChunkKey& key, std::uint64_t bytes, bool write,
+                     ClientId client);
+
+  sim::Task<Result<PutChunkResp>> handle_put(const PutChunkReq& req,
+                                             ClientId client);
+  sim::Task<Result<GetChunkResp>> handle_get(const GetChunkReq& req,
+                                             ClientId client);
+  sim::Task<Result<RemoveChunkResp>> handle_remove(const RemoveChunkReq& req);
+  sim::Task<Result<ReplicateChunkResp>> handle_replicate(
+      const ReplicateChunkReq& req);
+
+  rpc::Node& node_;
+  Options options_;
+  std::unordered_map<ChunkKey, Payload> chunks_;
+  std::uint64_t used_{0};
+  SlidingWindowCounter stores_{simtime::seconds(10)};
+  bool heartbeats_on_{false};
+  std::function<void(const StorageEvent&)> storage_observer_;
+  std::function<void(const AccessEvent&)> access_observer_;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,61 @@
+// Client-side segment-tree algorithms.
+//
+// Writes use BlobSeer's *forward references*: the version manager hands each
+// writer the blob's write history (including writes still in flight), from
+// which the writer computes every child-version pointer locally — no
+// metadata reads, so concurrent writers build their trees fully in parallel
+// and only the tiny version-assignment step is serialized.
+//
+// Reads walk the published tree level by level, fetching the nodes of each
+// level in parallel from the metadata providers.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "blob/meta_tree.hpp"
+#include "sim/simulation.hpp"
+
+namespace bs::blob::meta_ops {
+
+/// Latest version <= vmax whose write overlaps chunks [lo, lo+count);
+/// kInvalidVersion when none does (the subtree is a hole).
+Version subtree_version(std::span<const WriteExtent> history, Version vmax,
+                        std::uint64_t lo, std::uint64_t count);
+
+/// All (key, node) records the write `w` must store: one leaf per written
+/// chunk plus the copy-on-write inner path above them, up to a root covering
+/// [0, root_chunks). `leaves[i]` describes chunk `w.first_chunk + i`.
+/// `history` must contain every write of this blob with version < w.version
+/// (committed or pending); deterministic, pure.
+std::vector<std::pair<NodeKey, TreeNode>> build_nodes(
+    BlobId blob, const WriteExtent& w,
+    std::span<const ChunkDescriptor> leaves,
+    std::span<const WriteExtent> history, std::uint64_t root_chunks);
+
+/// The (offset, size) chunk ranges of every tree node the write `w`
+/// created (leaves, inner path, bridges) — exactly the keys build_nodes
+/// would emit. Used by the version manager to compute which metadata nodes
+/// a trim makes unreferenced.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> node_ranges(
+    const WriteExtent& w, std::span<const WriteExtent> history,
+    std::uint64_t root_chunks);
+
+/// One resolved leaf of a read: either a hole (never-written chunk) or a
+/// chunk descriptor telling the reader where replicas live.
+struct LeafRef {
+  std::uint64_t chunk_index{0};
+  bool hole{true};
+  ChunkDescriptor chunk;
+};
+
+/// Walks the tree of published version `root_version` (root coverage
+/// `root_chunks`) and resolves all leaves intersecting chunk range
+/// [lo, lo+count), in chunk order. Levels are fetched in parallel.
+sim::Task<Result<std::vector<LeafRef>>> collect(
+    sim::Simulation& sim, MetadataStore& store, BlobId blob,
+    Version root_version, std::uint64_t root_chunks, std::uint64_t lo,
+    std::uint64_t count);
+
+}  // namespace bs::blob::meta_ops

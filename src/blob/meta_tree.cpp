@@ -1,0 +1,19 @@
+#include "blob/meta_tree.hpp"
+
+namespace bs::blob {
+
+sim::Task<Result<TreeNode>> InMemoryMetadataStore::get(const NodeKey& key) {
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) {
+    co_return Error{Errc::not_found, "metadata node not found"};
+  }
+  co_return it->second;
+}
+
+sim::Task<Result<void>> InMemoryMetadataStore::put(const NodeKey& key,
+                                                   TreeNode node) {
+  nodes_[key] = std::move(node);
+  co_return ok_result();
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,91 @@
+// Versioned copy-on-write segment tree — BlobSeer's metadata scheme. Each
+// blob version has a root covering [0, root_chunks) (power of two); inner
+// nodes record, per child half, the version whose tree that half belongs to;
+// leaves (single chunks) hold chunk descriptors. Writing a range creates new
+// leaves + the inner path above them and *borrows* untouched subtrees from
+// earlier versions by version reference, so old versions stay readable
+// forever and concurrent writers never mutate shared state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "blob/blob_types.hpp"
+#include "common/result.hpp"
+#include "sim/task.hpp"
+
+namespace bs::blob {
+
+/// Identifies one tree node: blob + version that created it + the chunk
+/// range it covers (size_chunks is a power of two; 1 = leaf).
+struct NodeKey {
+  BlobId blob{};
+  Version version{kInvalidVersion};
+  std::uint64_t offset_chunks{0};
+  std::uint64_t size_chunks{0};
+
+  friend constexpr auto operator<=>(const NodeKey&, const NodeKey&) = default;
+
+  [[nodiscard]] bool is_leaf() const { return size_chunks == 1; }
+
+  [[nodiscard]] std::uint64_t hash() const {
+    return hash_combine(
+        hash_combine(hash_combine(fnv1a_u64(blob.value), version),
+                     offset_chunks),
+        size_chunks);
+  }
+
+  [[nodiscard]] std::uint64_t wire_size() const { return 32; }
+};
+
+struct TreeNode {
+  // Inner node: versions of the two child subtrees (kInvalidVersion = that
+  // half has never been written = hole).
+  Version left_version{kInvalidVersion};
+  Version right_version{kInvalidVersion};
+  bool leaf{false};
+  ChunkDescriptor chunk;  ///< meaningful iff leaf
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return leaf ? 17 + chunk.wire_size() : 17;
+  }
+};
+
+/// Abstract metadata node storage. The distributed implementation hashes
+/// NodeKeys across metadata providers; tests use the in-memory store.
+/// put() must be idempotent: rebuilding a write after an abort-repair
+/// overwrites nodes with identical keys.
+class MetadataStore {
+ public:
+  virtual ~MetadataStore() = default;
+  virtual sim::Task<Result<TreeNode>> get(const NodeKey& key) = 0;
+  virtual sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) = 0;
+};
+
+/// Purely local store for unit tests and single-node deployments.
+class InMemoryMetadataStore final : public MetadataStore {
+ public:
+  sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
+  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const NodeKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+  std::unordered_map<NodeKey, TreeNode, KeyHash> nodes_;
+};
+
+}  // namespace bs::blob
+
+namespace std {
+template <>
+struct hash<bs::blob::NodeKey> {
+  size_t operator()(const bs::blob::NodeKey& k) const noexcept {
+    return static_cast<size_t>(k.hash());
+  }
+};
+}  // namespace std

@@ -1,0 +1,70 @@
+#include "blob/metadata_provider.hpp"
+
+#include <cassert>
+
+namespace bs::blob {
+
+MetadataProvider::MetadataProvider(rpc::Node& node) : node_(node) {
+  node_.serve<MetaPutReq, MetaPutResp>(
+      [this](const MetaPutReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<MetaPutResp>> {
+        auto [it, inserted] = nodes_.insert_or_assign(req.key, req.node);
+        if (inserted) bytes_ += req.node.wire_size();
+        co_return MetaPutResp{};
+      });
+  node_.serve<MetaRemoveReq, MetaRemoveResp>(
+      [this](const MetaRemoveReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<MetaRemoveResp>> {
+        auto it = nodes_.find(req.key);
+        if (it == nodes_.end()) co_return MetaRemoveResp{false};
+        bytes_ -= it->second.wire_size();
+        nodes_.erase(it);
+        co_return MetaRemoveResp{true};
+      });
+
+  node_.serve<MetaGetReq, MetaGetResp>(
+      [this](const MetaGetReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<MetaGetResp>> {
+        auto it = nodes_.find(req.key);
+        if (it == nodes_.end()) {
+          co_return Error{Errc::not_found, "tree node not stored here"};
+        }
+        co_return MetaGetResp{it->second};
+      });
+}
+
+RemoteMetadataStore::RemoteMetadataStore(rpc::Node& self,
+                                         std::vector<NodeId> providers,
+                                         ClientId as_client,
+                                         SimDuration timeout)
+    : self_(self), providers_(std::move(providers)) {
+  assert(!providers_.empty());
+  opts_.client = as_client;
+  opts_.timeout = timeout;
+}
+
+NodeId RemoteMetadataStore::provider_for(const NodeKey& key) const {
+  return providers_[key.hash() % providers_.size()];
+}
+
+sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key) {
+  MetaGetReq req;
+  req.key = key;
+  auto r = co_await self_.cluster().call<MetaGetReq, MetaGetResp>(
+      self_, provider_for(key), req, opts_);
+  if (!r.ok()) co_return r.error();
+  co_return std::move(r.value().node);
+}
+
+sim::Task<Result<void>> RemoteMetadataStore::put(const NodeKey& key,
+                                                 TreeNode node) {
+  MetaPutReq req;
+  req.key = key;
+  req.node = std::move(node);
+  auto r = co_await self_.cluster().call<MetaPutReq, MetaPutResp>(
+      self_, provider_for(key), std::move(req), opts_);
+  if (!r.ok()) co_return r.error();
+  co_return ok_result();
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,47 @@
+// Metadata provider actor: a partition of the distributed segment-tree node
+// store. Clients hash NodeKeys across the metadata provider set
+// (RemoteMetadataStore below), exactly as BlobSeer distributes its metadata.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "blob/messages.hpp"
+#include "blob/meta_tree.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::blob {
+
+class MetadataProvider {
+ public:
+  explicit MetadataProvider(rpc::Node& node);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t bytes_stored() const { return bytes_; }
+
+ private:
+  rpc::Node& node_;
+  std::unordered_map<NodeKey, TreeNode> nodes_;
+  std::uint64_t bytes_{0};
+};
+
+/// Client-side MetadataStore view over a set of metadata providers: each
+/// NodeKey deterministically maps to one provider by hash.
+class RemoteMetadataStore final : public MetadataStore {
+ public:
+  RemoteMetadataStore(rpc::Node& self, std::vector<NodeId> providers,
+                      ClientId as_client, SimDuration timeout);
+
+  sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
+  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;
+
+  [[nodiscard]] NodeId provider_for(const NodeKey& key) const;
+
+ private:
+  rpc::Node& self_;
+  std::vector<NodeId> providers_;
+  rpc::CallOptions opts_;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,154 @@
+#include "blob/provider_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace bs::blob {
+
+ProviderManager::ProviderManager(rpc::Node& node, Options options)
+    : node_(node), options_(std::move(options)),
+      strategy_(make_strategy(options_.strategy)), rng_(options_.rng_seed) {
+  assert(strategy_ != nullptr && "unknown allocation strategy");
+  register_handlers();
+}
+
+std::size_t ProviderManager::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : registry_) {
+    if (!e.decommissioning) ++n;
+  }
+  return n;
+}
+
+std::vector<ProviderEntry> ProviderManager::snapshot() const {
+  std::vector<ProviderEntry> out;
+  out.reserve(registry_.size());
+  for (const auto& [id, e] : registry_) out.push_back(e);
+  return out;
+}
+
+std::vector<ProviderEntry*> ProviderManager::eligible(
+    std::uint64_t chunk_size, const std::vector<NodeId>& exclude) {
+  std::vector<ProviderEntry*> out;
+  out.reserve(registry_.size());
+  for (auto& [id, e] : registry_) {
+    if (e.decommissioning) continue;
+    if (e.free_space < chunk_size) continue;
+    if (std::find(exclude.begin(), exclude.end(), e.node) != exclude.end()) {
+      continue;
+    }
+    out.push_back(&e);
+  }
+  return out;
+}
+
+void ProviderManager::register_handlers() {
+  node_.serve<RegisterProviderReq, RegisterProviderResp>(
+      [this](const RegisterProviderReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<RegisterProviderResp>> {
+        ProviderEntry e;
+        e.node = req.provider;
+        e.capacity = req.capacity;
+        e.free_space = req.capacity;
+        e.last_heartbeat = node_.cluster().sim().now();
+        // Re-registration (provider restart) resets the entry.
+        registry_[req.provider.value] = e;
+        BS_DEBUG("pm", "provider %llu registered (%s)",
+                 (unsigned long long)req.provider.value,
+                 units::format_bytes(req.capacity).c_str());
+        co_return RegisterProviderResp{};
+      });
+
+  node_.serve<DeregisterProviderReq, DeregisterProviderResp>(
+      [this](const DeregisterProviderReq& req, const rpc::Envelope&)
+          -> sim::Task<Result<DeregisterProviderResp>> {
+        registry_.erase(req.provider.value);
+        co_return DeregisterProviderResp{};
+      });
+
+  node_.serve<HeartbeatReq, HeartbeatResp>(
+      [this](const HeartbeatReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<HeartbeatResp>> {
+        auto it = registry_.find(req.provider.value);
+        if (it == registry_.end()) co_return HeartbeatResp{false};
+        auto& e = it->second;
+        e.free_space = req.free_space;
+        e.chunks = req.chunks;
+        e.store_rate = req.store_rate;
+        e.last_heartbeat = node_.cluster().sim().now();
+        // A fresh heartbeat supersedes optimistic pending-alloc accounting.
+        e.pending_allocs = 0;
+        co_return HeartbeatResp{true};
+      });
+
+  node_.serve<AllocateReq, AllocateResp>(
+      [this](const AllocateReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<AllocateResp>> {
+        if (req.chunk_count == 0) {
+          co_return Error{Errc::invalid_argument, "zero chunks"};
+        }
+        AllocateResp resp;
+        resp.placements.reserve(req.chunk_count);
+        const std::uint64_t need = std::max<std::uint64_t>(1, req.chunk_size);
+        for (std::uint64_t i = 0; i < req.chunk_count; ++i) {
+          auto pool = eligible(need, req.exclude);
+          auto placed =
+              strategy_->place_chunk(pool, need, req.replication, rng_);
+          if (placed.empty()) {
+            co_return Error{Errc::out_of_space,
+                            "no eligible data providers"};
+          }
+          allocated_ += placed.size();
+          resp.placements.push_back(std::move(placed));
+        }
+        co_return resp;
+      });
+
+  node_.serve<ListProvidersReq, ListProvidersResp>(
+      [this](const ListProvidersReq&,
+             const rpc::Envelope&) -> sim::Task<Result<ListProvidersResp>> {
+        ListProvidersResp resp;
+        resp.providers = snapshot();
+        co_return resp;
+      });
+
+  node_.serve<SetDecommissionReq, SetDecommissionResp>(
+      [this](const SetDecommissionReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<SetDecommissionResp>> {
+        auto it = registry_.find(req.provider.value);
+        if (it == registry_.end()) {
+          co_return Error{Errc::not_found, "unknown provider"};
+        }
+        it->second.decommissioning = req.decommission;
+        co_return SetDecommissionResp{};
+      });
+}
+
+void ProviderManager::start_reaper() {
+  if (reaper_on_) return;
+  reaper_on_ = true;
+  node_.cluster().sim().spawn(reaper_loop());
+}
+
+sim::Task<void> ProviderManager::reaper_loop() {
+  auto& sim = node_.cluster().sim();
+  const SimDuration deadline =
+      options_.heartbeat_interval * options_.missed_heartbeats_dead;
+  while (reaper_on_ && node_.up()) {
+    co_await sim.delay(options_.heartbeat_interval);
+    const SimTime now = sim.now();
+    for (auto it = registry_.begin(); it != registry_.end();) {
+      if (now - it->second.last_heartbeat > deadline) {
+        BS_INFO("pm", "provider %llu expired (no heartbeat)",
+                (unsigned long long)it->second.node.value);
+        it = registry_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,60 @@
+// Provider manager actor: registry of live data providers (heartbeat-based
+// liveness) plus the allocation strategy mapping new chunks to providers.
+// The self-configuration engine grows/shrinks the pool through this actor
+// (register / decommission / deregister).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "blob/allocation.hpp"
+#include "blob/messages.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::blob {
+
+struct ProviderManagerOptions {
+  std::string strategy{"load_aware"};
+  SimDuration heartbeat_interval{simtime::seconds(2)};
+  int missed_heartbeats_dead{3};
+  std::uint64_t rng_seed{42};
+};
+
+class ProviderManager {
+ public:
+  using Options = ProviderManagerOptions;
+
+  ProviderManager(rpc::Node& node, Options options = {});
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] std::size_t provider_count() const { return registry_.size(); }
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] const char* strategy_name() const {
+    return strategy_->name();
+  }
+
+  /// Direct registry snapshot (for tests and same-process engines).
+  [[nodiscard]] std::vector<ProviderEntry> snapshot() const;
+
+  /// Starts the reaper that expires providers missing heartbeats.
+  void start_reaper();
+
+  /// Total chunks allocated so far (placement decisions made).
+  [[nodiscard]] std::uint64_t chunks_allocated() const { return allocated_; }
+
+ private:
+  void register_handlers();
+  sim::Task<void> reaper_loop();
+  [[nodiscard]] std::vector<ProviderEntry*> eligible(
+      std::uint64_t chunk_size, const std::vector<NodeId>& exclude);
+
+  rpc::Node& node_;
+  Options options_;
+  std::unique_ptr<AllocationStrategy> strategy_;
+  Rng rng_;
+  std::map<std::uint64_t, ProviderEntry> registry_;  // by NodeId value
+  std::uint64_t allocated_{0};
+  bool reaper_on_{false};
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,385 @@
+#include "blob/version_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blob/meta_ops.hpp"
+#include "common/log.hpp"
+
+namespace bs::blob {
+
+VersionManager::VersionManager(rpc::Node& node) : node_(node) {
+  register_handlers();
+}
+
+std::vector<VersionInfo> VersionManager::versions_of(BlobId blob) const {
+  std::vector<VersionInfo> out;
+  auto it = blobs_.find(blob.value);
+  if (it == blobs_.end()) return out;
+  out.reserve(it->second.published.size());
+  for (const auto& [v, info] : it->second.published) out.push_back(info);
+  return out;
+}
+
+std::size_t VersionManager::pending_writes() const {
+  std::size_t n = 0;
+  for (const auto& [id, b] : blobs_) n += b.pending.size();
+  return n;
+}
+
+void VersionManager::register_handlers() {
+  node_.serve<CreateBlobReq, CreateBlobResp>(
+      [this](const CreateBlobReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<CreateBlobResp>> {
+        if (req.chunk_size == 0) {
+          co_return Error{Errc::invalid_argument, "chunk_size must be > 0"};
+        }
+        if (req.replication == 0) {
+          co_return Error{Errc::invalid_argument, "replication must be >= 1"};
+        }
+        BlobState b;
+        b.id = BlobId{next_blob_++};
+        b.chunk_size = req.chunk_size;
+        b.replication = req.replication;
+        b.base_replication = req.replication;
+        b.created_at = node_.cluster().sim().now();
+        b.ttl = req.ttl;
+        const BlobId id = b.id;
+        blobs_.emplace(id.value, std::move(b));
+        co_return CreateBlobResp{id};
+      });
+
+  node_.serve<BlobInfoReq, BlobInfoResp>(
+      [this](const BlobInfoReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<BlobInfoResp>> {
+        auto it = blobs_.find(req.blob.value);
+        if (it == blobs_.end()) {
+          co_return Error{Errc::not_found, "unknown blob"};
+        }
+        const BlobState& b = it->second;
+        if (b.deleted) {
+          co_return Error{Errc::not_found, "blob deleted"};
+        }
+        BlobInfoResp resp;
+        resp.descriptor.id = b.id;
+        resp.descriptor.chunk_size = b.chunk_size;
+        resp.descriptor.replication = b.replication;
+        resp.descriptor.base_replication = b.base_replication;
+        resp.descriptor.created_at = b.created_at;
+        resp.descriptor.ttl = b.ttl;
+        if (b.latest == 0) {
+          resp.descriptor.latest = VersionInfo{0, 0, 0};
+        } else {
+          resp.descriptor.latest = b.published.at(b.latest);
+        }
+        if (req.version == kLatestVersion) {
+          resp.at = resp.descriptor.latest;
+        } else if (req.version == 0) {
+          resp.at = VersionInfo{0, 0, 0};
+        } else {
+          auto pit = b.published.find(req.version);
+          if (pit == b.published.end()) {
+            co_return Error{Errc::not_found, "version not published"};
+          }
+          resp.at = pit->second;
+        }
+        co_return resp;
+      });
+
+  node_.serve<StartWriteReq, StartWriteResp>(
+      [this](const StartWriteReq& req, const rpc::Envelope& env) {
+        return handle_start(req, env.client);
+      });
+  node_.serve<CommitWriteReq, CommitWriteResp>(
+      [this](const CommitWriteReq& req, const rpc::Envelope&) {
+        return handle_commit(req);
+      });
+  node_.serve<AbortWriteReq, AbortWriteResp>(
+      [this](const AbortWriteReq& req, const rpc::Envelope&) {
+        return handle_abort(req);
+      });
+
+  node_.serve<ListBlobsReq, ListBlobsResp>(
+      [this](const ListBlobsReq&,
+             const rpc::Envelope&) -> sim::Task<Result<ListBlobsResp>> {
+        ListBlobsResp resp;
+        for (const auto& [id, b] : blobs_) {
+          if (b.deleted) continue;
+          BlobDescriptor d;
+          d.id = b.id;
+          d.chunk_size = b.chunk_size;
+          d.replication = b.replication;
+          d.base_replication = b.base_replication;
+          d.created_at = b.created_at;
+          d.ttl = b.ttl;
+          d.latest = b.latest == 0 ? VersionInfo{0, 0, 0}
+                                   : b.published.at(b.latest);
+          resp.blobs.push_back(d);
+        }
+        co_return resp;
+      });
+
+  node_.serve<BlobVersionsReq, BlobVersionsResp>(
+      [this](const BlobVersionsReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<BlobVersionsResp>> {
+        auto it = blobs_.find(req.blob.value);
+        if (it == blobs_.end()) {
+          co_return Error{Errc::not_found, "unknown blob"};
+        }
+        BlobVersionsResp resp;
+        resp.versions = versions_of(req.blob);
+        co_return resp;
+      });
+
+  node_.serve<TrimBlobReq, TrimBlobResp>(
+      [this](const TrimBlobReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<TrimBlobResp>> {
+        auto it = blobs_.find(req.blob.value);
+        if (it == blobs_.end()) {
+          co_return Error{Errc::not_found, "unknown blob"};
+        }
+        BlobState& b = it->second;
+        if (b.deleted) co_return Error{Errc::not_found, "blob deleted"};
+        // The oldest version we keep; everything before it goes.
+        auto first_kept = b.published.lower_bound(req.keep_from);
+        if (first_kept == b.published.end()) {
+          co_return Error{Errc::invalid_argument,
+                          "cannot trim away every published version"};
+        }
+        const Version kept = first_kept->first;
+        // Pending writes below the keep point would race the trim.
+        for (const auto& [pv, pw] : b.pending) {
+          if (pv < kept) {
+            co_return Error{Errc::conflict,
+                            "pending write below trim point"};
+          }
+        }
+        TrimBlobResp resp;
+        for (auto pit = b.published.begin(); pit != first_kept;) {
+          const Version v = pit->first;
+          // Chunks of v not visible in the first kept snapshot are
+          // unreferenced by every kept snapshot (owners only move forward).
+          const WriteExtent* ext = nullptr;
+          for (const auto& e : b.history) {
+            if (e.version == v) {
+              ext = &e;
+              break;
+            }
+          }
+          if (ext != nullptr) {
+            for (std::uint64_t i = 0; i < ext->chunk_count; ++i) {
+              const std::uint64_t idx = ext->first_chunk + i;
+              if (meta_ops::subtree_version(b.history, kept, idx, 1) != v) {
+                resp.unreferenced.push_back(ChunkKey{b.id, v, idx});
+              }
+            }
+            // Metadata GC: every tree node v created whose range is owned
+            // by a later version at the first kept snapshot is unreachable
+            // from all kept snapshots (owners only move forward).
+            const std::size_t prefix_len = static_cast<std::size_t>(
+                std::lower_bound(b.history.begin(), b.history.end(), v,
+                                 [](const WriteExtent& e, Version vv) {
+                                   return e.version < vv;
+                                 }) -
+                b.history.begin());
+            std::span<const WriteExtent> prefix(b.history.data(),
+                                                prefix_len);
+            for (const auto& [lo, count] :
+                 meta_ops::node_ranges(*ext, prefix, ext->root_chunks)) {
+              if (meta_ops::subtree_version(b.history, kept, lo, count) !=
+                  v) {
+                resp.removable_nodes.push_back(NodeKey{b.id, v, lo, count});
+              }
+            }
+          }
+          b.trimmed.insert(v);
+          ++resp.versions_removed;
+          pit = b.published.erase(pit);
+        }
+        co_return resp;
+      });
+
+  node_.serve<SetReplicationReq, SetReplicationResp>(
+      [this](const SetReplicationReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<SetReplicationResp>> {
+        auto it = blobs_.find(req.blob.value);
+        if (it == blobs_.end()) {
+          co_return Error{Errc::not_found, "unknown blob"};
+        }
+        if (req.replication == 0) {
+          co_return Error{Errc::invalid_argument, "replication must be >= 1"};
+        }
+        it->second.replication = req.replication;
+        co_return SetReplicationResp{};
+      });
+
+  node_.serve<DeleteBlobReq, DeleteBlobResp>(
+      [this](const DeleteBlobReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<DeleteBlobResp>> {
+        auto it = blobs_.find(req.blob.value);
+        if (it == blobs_.end()) {
+          co_return Error{Errc::not_found, "unknown blob"};
+        }
+        it->second.deleted = true;
+        co_return DeleteBlobResp{};
+      });
+}
+
+sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
+    const StartWriteReq& req, ClientId writer) {
+  auto it = blobs_.find(req.blob.value);
+  if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
+  BlobState& b = it->second;
+  if (b.deleted) co_return Error{Errc::not_found, "blob deleted"};
+  if (req.size == 0) {
+    co_return Error{Errc::invalid_argument, "empty write"};
+  }
+  std::uint64_t offset = req.offset;
+  if (offset == kAppendOffset) {
+    offset = div_ceil(b.reserved_end, b.chunk_size) * b.chunk_size;
+  } else if (offset % b.chunk_size != 0) {
+    co_return Error{Errc::invalid_argument,
+                    "write offset must be chunk-aligned"};
+  }
+
+  const Version v = b.next_version++;
+  PendingWrite w;
+  w.extent.version = v;
+  w.extent.first_chunk = offset / b.chunk_size;
+  w.extent.chunk_count = div_ceil(req.size, b.chunk_size);
+  w.end_bytes = offset + req.size;
+  w.writer = writer;
+  b.reserved_end = std::max(b.reserved_end, w.end_bytes);
+  w.root_chunks = next_pow2(div_ceil(b.reserved_end, b.chunk_size));
+  w.extent.root_chunks = w.root_chunks;
+
+  StartWriteResp resp;
+  resp.version = v;
+  resp.chunk_size = b.chunk_size;
+  resp.replication = b.replication;
+  resp.offset = offset;
+  resp.first_chunk = w.extent.first_chunk;
+  resp.chunk_count = w.extent.chunk_count;
+  resp.root_chunks = w.root_chunks;
+  resp.abort_epoch = b.abort_epoch;
+  resp.history = b.history;  // all non-aborted writes with version < v
+
+  b.history.push_back(w.extent);
+  b.pending.emplace(v, std::move(w));
+  co_return resp;
+}
+
+sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
+    const CommitWriteReq& req) {
+  auto it = blobs_.find(req.blob.value);
+  if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
+  BlobState& b = it->second;
+  auto pit = b.pending.find(req.version);
+  if (pit == b.pending.end()) {
+    co_return Error{Errc::conflict, "no such pending write"};
+  }
+  PendingWrite& w = pit->second;
+  w.committed = true;
+  w.committed_epoch = req.abort_epoch;
+  w.published = false;
+  w.rebuild = false;
+  w.decision = std::make_unique<sim::Event>(node_.cluster().sim());
+  try_publish(b);
+  co_await w.decision->wait();
+
+  CommitWriteResp resp;
+  if (w.rebuild) {
+    resp.rebuild_needed = true;
+    resp.abort_epoch = b.abort_epoch;
+    for (const auto& e : b.history) {
+      if (e.version < req.version) resp.history.push_back(e);
+    }
+    w.committed = false;  // awaiting re-commit after the rebuild
+    co_return resp;
+  }
+  resp.published = true;
+  resp.info = b.published.at(req.version);
+  b.pending.erase(req.version);
+  co_return resp;
+}
+
+sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
+    const AbortWriteReq& req) {
+  auto it = blobs_.find(req.blob.value);
+  if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
+  BlobState& b = it->second;
+  auto pit = b.pending.find(req.version);
+  if (pit == b.pending.end()) {
+    co_return Error{Errc::conflict, "no such pending write"};
+  }
+  if (pit->second.committed) {
+    co_return Error{Errc::conflict, "write already committed"};
+  }
+  b.pending.erase(pit);
+  remove_from_history(b, req.version);
+  ++b.abort_epoch;
+  // Recompute the append frontier without the aborted reservation.
+  std::uint64_t end = b.latest_size;
+  for (const auto& e : b.history) {
+    auto pend = b.pending.find(e.version);
+    const std::uint64_t e_end =
+        pend != b.pending.end()
+            ? pend->second.end_bytes
+            : (e.first_chunk + e.chunk_count) * b.chunk_size;
+    end = std::max(end, e_end);
+  }
+  b.reserved_end = end;
+  BS_INFO("vm", "write v%llu of blob %llu aborted (epoch %llu)",
+          (unsigned long long)req.version,
+          (unsigned long long)req.blob.value,
+          (unsigned long long)b.abort_epoch);
+  try_publish(b);
+  co_return AbortWriteResp{};
+}
+
+void VersionManager::remove_from_history(BlobState& b, Version v) {
+  b.history.erase(
+      std::remove_if(b.history.begin(), b.history.end(),
+                     [v](const WriteExtent& e) { return e.version == v; }),
+      b.history.end());
+}
+
+void VersionManager::try_publish(BlobState& b) {
+  for (auto& [v, w] : b.pending) {
+    if (w.published) continue;  // settled, response in flight
+    if (!w.committed) break;    // ordered publication: wait for this writer
+    if (w.committed_epoch != b.abort_epoch) {
+      // An abort invalidated this writer's forward references; ask it to
+      // rebuild. Publication of later versions stalls until it does.
+      if (w.decision && !w.decision->is_set()) {
+        w.rebuild = true;
+        w.decision->set();
+      }
+      break;
+    }
+    publish_one(b, v, w);
+    w.published = true;
+    w.decision->set();
+  }
+}
+
+void VersionManager::publish_one(BlobState& b, Version v, PendingWrite& w) {
+  VersionInfo info;
+  info.version = v;
+  info.size = std::max(b.latest_size, w.end_bytes);
+  info.root_chunks = w.root_chunks;
+  b.published.emplace(v, info);
+  b.latest = v;
+  b.latest_size = info.size;
+  if (publish_observer_) {
+    PublishEvent ev;
+    ev.blob = b.id;
+    ev.version = v;
+    ev.size = info.size;
+    ev.written_bytes = w.end_bytes - w.extent.first_chunk * b.chunk_size;
+    ev.writer = w.writer;
+    publish_observer_(ev);
+  }
+}
+
+}  // namespace bs::blob

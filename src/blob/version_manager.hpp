@@ -1,0 +1,100 @@
+// Version manager actor: serializes concurrent writes and publishes a new
+// BLOB version for each one (§III-A). Version numbers are assigned at
+// StartWrite; publication happens strictly in version order once a write's
+// data and metadata are durable. Writers receive the blob's write history
+// (including in-flight writes) so they can build their segment trees with
+// forward references, fully in parallel. An aborted write bumps the blob's
+// abort epoch; a committer holding a stale epoch is asked to rebuild its
+// metadata against the corrected history before it can publish — this keeps
+// published trees free of dangling references.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "blob/messages.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/sync.hpp"
+
+namespace bs::blob {
+
+class VersionManager {
+ public:
+  /// Publication notification for the instrumentation layer.
+  struct PublishEvent {
+    BlobId blob;
+    Version version{0};
+    std::uint64_t size{0};
+    std::uint64_t written_bytes{0};
+    ClientId writer{};
+  };
+
+  explicit VersionManager(rpc::Node& node);
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+
+  void set_publish_observer(std::function<void(const PublishEvent&)> obs) {
+    publish_observer_ = std::move(obs);
+  }
+
+  /// Published versions of a blob (tests/removal engine).
+  [[nodiscard]] std::vector<VersionInfo> versions_of(BlobId blob) const;
+
+  /// Pending (started, unsettled) write count across all blobs.
+  [[nodiscard]] std::size_t pending_writes() const;
+
+ private:
+  struct PendingWrite {
+    WriteExtent extent;
+    std::uint64_t end_bytes{0};
+    std::uint64_t root_chunks{0};
+    ClientId writer{};
+    bool committed{false};
+    bool aborted{false};
+    std::uint64_t committed_epoch{0};  ///< abort epoch sent with commit
+    /// Set when the commit decision (published / rebuild) is ready.
+    std::unique_ptr<sim::Event> decision;
+    bool published{false};
+    bool rebuild{false};
+  };
+
+  struct BlobState {
+    BlobId id;
+    std::uint64_t chunk_size{0};
+    std::uint32_t replication{1};
+    std::uint32_t base_replication{1};
+    SimTime created_at{0};
+    SimDuration ttl{0};
+    bool deleted{false};
+    std::set<Version> trimmed;
+    Version next_version{1};
+    Version latest{0};
+    std::uint64_t latest_size{0};
+    std::uint64_t reserved_end{0};  ///< max end over non-aborted writes
+    std::uint64_t abort_epoch{0};
+    std::vector<WriteExtent> history;  ///< non-aborted writes, by version
+    std::map<Version, VersionInfo> published;
+    std::map<Version, PendingWrite> pending;
+  };
+
+  void register_handlers();
+  sim::Task<Result<StartWriteResp>> handle_start(const StartWriteReq& req,
+                                                 ClientId writer);
+  sim::Task<Result<CommitWriteResp>> handle_commit(const CommitWriteReq& req);
+  sim::Task<Result<AbortWriteResp>> handle_abort(const AbortWriteReq& req);
+
+  /// Walks the pending queue in version order, settling decisions.
+  void try_publish(BlobState& b);
+  void publish_one(BlobState& b, Version v, PendingWrite& w);
+  void remove_from_history(BlobState& b, Version v);
+
+  rpc::Node& node_;
+  std::map<std::uint64_t, BlobState> blobs_;  // by BlobId value
+  std::uint64_t next_blob_{1};
+  std::function<void(const PublishEvent&)> publish_observer_;
+};
+
+}  // namespace bs::blob

@@ -1,0 +1,228 @@
+#include "cloud/gateway.hpp"
+
+namespace bs::cloud {
+
+S3Gateway::S3Gateway(rpc::Node& node, blob::BlobClient::Endpoints endpoints,
+                     GatewayOptions options)
+    : node_(node), endpoints_(std::move(endpoints)), options_(options) {
+  register_handlers();
+}
+
+blob::BlobClient& S3Gateway::client_for(ClientId user) {
+  auto it = clients_.find(user.value);
+  if (it == clients_.end()) {
+    auto client = std::make_unique<blob::BlobClient>(
+        node_, user, endpoints_, blob::ClientConfig{},
+        /*rng_seed=*/0x53C4E7 + user.value);
+    it = clients_.emplace(user.value, std::move(client)).first;
+  }
+  return *it->second;
+}
+
+Result<S3Gateway::Bucket*> S3Gateway::bucket_checked(const std::string& name,
+                                                     ClientId who,
+                                                     Permission want) {
+  auto it = buckets_.find(name);
+  if (it == buckets_.end()) {
+    return Error{Errc::not_found, "no such bucket: " + name};
+  }
+  if (!it->second.acl.check(who, want)) {
+    return Error{Errc::permission_denied, "access denied to " + name};
+  }
+  return &it->second;
+}
+
+void S3Gateway::register_handlers() {
+  node_.serve<S3CreateBucketReq, S3CreateBucketResp>(
+      [this](const S3CreateBucketReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3CreateBucketResp>> {
+        ++requests_;
+        if (req.bucket.empty()) {
+          co_return Error{Errc::invalid_argument, "empty bucket name"};
+        }
+        if (buckets_.count(req.bucket)) {
+          co_return Error{Errc::already_exists, "bucket exists"};
+        }
+        Bucket b;
+        b.info.name = req.bucket;
+        b.info.created_at = node_.cluster().sim().now();
+        b.acl.owner = env.client;
+        b.acl.public_read = req.public_read;
+        buckets_.emplace(req.bucket, std::move(b));
+        co_return S3CreateBucketResp{};
+      });
+
+  node_.serve<S3DeleteBucketReq, S3DeleteBucketResp>(
+      [this](const S3DeleteBucketReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3DeleteBucketResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::full_control);
+        if (!bucket.ok()) co_return bucket.error();
+        if (!bucket.value()->objects.empty()) {
+          co_return Error{Errc::conflict, "bucket not empty"};
+        }
+        buckets_.erase(req.bucket);
+        co_return S3DeleteBucketResp{};
+      });
+
+  node_.serve<S3ListBucketsReq, S3ListBucketsResp>(
+      [this](const S3ListBucketsReq&, const rpc::Envelope& env)
+          -> sim::Task<Result<S3ListBucketsResp>> {
+        ++requests_;
+        S3ListBucketsResp resp;
+        for (const auto& [name, b] : buckets_) {
+          if (b.acl.check(env.client, Permission::read)) {
+            resp.buckets.push_back(b.info);
+          }
+        }
+        co_return resp;
+      });
+
+  node_.serve<S3SetAclReq, S3SetAclResp>(
+      [this](const S3SetAclReq& req,
+             const rpc::Envelope& env) -> sim::Task<Result<S3SetAclResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::full_control);
+        if (!bucket.ok()) co_return bucket.error();
+        if (req.grantee.valid()) {
+          bucket.value()->acl.grants[req.grantee.value] = req.permission;
+        }
+        if (req.set_public_read) {
+          bucket.value()->acl.public_read = req.public_read;
+        }
+        co_return S3SetAclResp{};
+      });
+
+  node_.serve<S3PutObjectReq, S3PutObjectResp>(
+      [this](const S3PutObjectReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3PutObjectResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::write);
+        if (!bucket.ok()) co_return bucket.error();
+        if (req.payload.size == 0) {
+          co_return Error{Errc::invalid_argument, "empty object"};
+        }
+        blob::BlobClient& client = client_for(env.client);
+
+        auto oit = bucket.value()->objects.find(req.key);
+        BlobId blob_id;
+        if (oit == bucket.value()->objects.end()) {
+          auto created = co_await client.create(options_.object_chunk_size,
+                                                options_.replication);
+          if (!created.ok()) co_return created.error();
+          blob_id = created.value();
+        } else {
+          blob_id = oit->second.blob;
+        }
+        auto written = co_await client.write(blob_id, 0, req.payload);
+        if (!written.ok()) co_return written.error();
+
+        ObjectInfo info;
+        info.key = req.key;
+        info.size = req.payload.size;
+        info.etag = req.payload.checksum;
+        info.last_modified = node_.cluster().sim().now();
+        info.owner = env.client;
+        info.blob = blob_id;
+        info.version = written.value().version;
+        Bucket* b = bucket.value();
+        if (oit != b->objects.end()) {
+          b->info.total_bytes -= oit->second.size;
+          oit->second = info;
+        } else {
+          b->objects.emplace(req.key, info);
+          ++b->info.object_count;
+        }
+        b->info.total_bytes += info.size;
+
+        S3PutObjectResp resp;
+        resp.etag = info.etag;
+        resp.version = info.version;
+        co_return resp;
+      });
+
+  node_.serve<S3GetObjectReq, S3GetObjectResp>(
+      [this](const S3GetObjectReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3GetObjectResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::read);
+        if (!bucket.ok()) co_return bucket.error();
+        auto oit = bucket.value()->objects.find(req.key);
+        if (oit == bucket.value()->objects.end()) {
+          co_return Error{Errc::not_found, "no such key: " + req.key};
+        }
+        const ObjectInfo& info = oit->second;
+        const std::uint64_t offset = std::min(req.offset, info.size);
+        const std::uint64_t length =
+            std::min(req.length, info.size - offset);
+
+        blob::BlobClient& client = client_for(env.client);
+        auto read =
+            co_await client.read(info.blob, offset, length, info.version);
+        if (!read.ok()) co_return read.error();
+
+        S3GetObjectResp resp;
+        resp.etag = info.etag;
+        resp.payload.size = read.value().bytes;
+        if (auto data = read.value().assemble(offset, length)) {
+          resp.payload = blob::Payload::from_bytes(std::move(*data));
+        } else {
+          resp.payload.checksum = info.etag;
+        }
+        co_return resp;
+      });
+
+  node_.serve<S3HeadObjectReq, S3HeadObjectResp>(
+      [this](const S3HeadObjectReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3HeadObjectResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::read);
+        if (!bucket.ok()) co_return bucket.error();
+        auto oit = bucket.value()->objects.find(req.key);
+        if (oit == bucket.value()->objects.end()) {
+          co_return Error{Errc::not_found, "no such key: " + req.key};
+        }
+        co_return S3HeadObjectResp{oit->second};
+      });
+
+  node_.serve<S3DeleteObjectReq, S3DeleteObjectResp>(
+      [this](const S3DeleteObjectReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3DeleteObjectResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::write);
+        if (!bucket.ok()) co_return bucket.error();
+        Bucket* b = bucket.value();
+        auto oit = b->objects.find(req.key);
+        if (oit == b->objects.end()) {
+          co_return Error{Errc::not_found, "no such key: " + req.key};
+        }
+        blob::BlobClient& client = client_for(env.client);
+        (void)co_await client.remove(oit->second.blob);
+        b->info.total_bytes -= oit->second.size;
+        --b->info.object_count;
+        b->objects.erase(oit);
+        co_return S3DeleteObjectResp{};
+      });
+
+  node_.serve<S3ListObjectsReq, S3ListObjectsResp>(
+      [this](const S3ListObjectsReq& req, const rpc::Envelope& env)
+          -> sim::Task<Result<S3ListObjectsResp>> {
+        ++requests_;
+        auto bucket =
+            bucket_checked(req.bucket, env.client, Permission::read);
+        if (!bucket.ok()) co_return bucket.error();
+        S3ListObjectsResp resp;
+        for (const auto& [key, info] : bucket.value()->objects) {
+          if (key.rfind(req.prefix, 0) == 0) resp.objects.push_back(info);
+        }
+        co_return resp;
+      });
+}
+
+}  // namespace bs::cloud

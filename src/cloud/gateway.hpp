@@ -1,0 +1,190 @@
+// S3Gateway: an S3-interface-compatible storage service whose back end is
+// BlobSeer — the Cumulus integration the paper reports preliminary results
+// for in §V. Each object maps to one BLOB (object overwrites become new
+// BLOB versions, so objects inherit BlobSeer's snapshot history); operations
+// authenticate through per-bucket/per-object ACLs, and every user's traffic
+// reaches BlobSeer under that user's identity so the self-protection
+// framework sees end users, not the gateway.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "blob/client.hpp"
+#include "cloud/s3_types.hpp"
+
+namespace bs::cloud {
+
+// ------------------------------------------------------------- S3 messages
+
+struct S3CreateBucketReq {
+  static constexpr const char* kName = "s3.create_bucket";
+  std::string bucket;
+  bool public_read{false};
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 24 + bucket.size();
+  }
+};
+struct S3CreateBucketResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+struct S3DeleteBucketReq {
+  static constexpr const char* kName = "s3.delete_bucket";
+  std::string bucket;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 24 + bucket.size();
+  }
+};
+struct S3DeleteBucketResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+struct S3ListBucketsReq {
+  static constexpr const char* kName = "s3.list_buckets";
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+struct S3ListBucketsResp {
+  std::vector<BucketInfo> buckets;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    std::uint64_t n = 16;
+    for (const auto& b : buckets) n += b.wire_size();
+    return n;
+  }
+};
+
+struct S3PutObjectReq {
+  static constexpr const char* kName = "s3.put_object";
+  static constexpr bool kPayloadToDisk = false;  // gateway relays to blobs
+  std::string bucket;
+  std::string key;
+  blob::Payload payload;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 48 + bucket.size() + key.size() + payload.size;
+  }
+};
+struct S3PutObjectResp {
+  std::uint64_t etag{0};
+  blob::Version version{0};
+  [[nodiscard]] std::uint64_t wire_size() const { return 32; }
+};
+
+struct S3GetObjectReq {
+  static constexpr const char* kName = "s3.get_object";
+  std::string bucket;
+  std::string key;
+  std::uint64_t offset{0};
+  std::uint64_t length{std::numeric_limits<std::uint64_t>::max()};
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 48 + bucket.size() + key.size();
+  }
+};
+struct S3GetObjectResp {
+  blob::Payload payload;
+  std::uint64_t etag{0};
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 40 + payload.size;
+  }
+};
+
+struct S3HeadObjectReq {
+  static constexpr const char* kName = "s3.head_object";
+  std::string bucket;
+  std::string key;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 32 + bucket.size() + key.size();
+  }
+};
+struct S3HeadObjectResp {
+  ObjectInfo info;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + info.wire_size();
+  }
+};
+
+struct S3DeleteObjectReq {
+  static constexpr const char* kName = "s3.delete_object";
+  std::string bucket;
+  std::string key;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 32 + bucket.size() + key.size();
+  }
+};
+struct S3DeleteObjectResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+struct S3ListObjectsReq {
+  static constexpr const char* kName = "s3.list_objects";
+  std::string bucket;
+  std::string prefix;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 32 + bucket.size() + prefix.size();
+  }
+};
+struct S3ListObjectsResp {
+  std::vector<ObjectInfo> objects;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    std::uint64_t n = 16;
+    for (const auto& o : objects) n += o.wire_size();
+    return n;
+  }
+};
+
+struct S3SetAclReq {
+  static constexpr const char* kName = "s3.set_acl";
+  std::string bucket;
+  ClientId grantee{};
+  Permission permission{Permission::read};
+  bool public_read{false};
+  bool set_public_read{false};
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 40 + bucket.size();
+  }
+};
+struct S3SetAclResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+// ----------------------------------------------------------------- gateway
+
+struct GatewayOptions {
+  std::uint64_t object_chunk_size{4 * units::MB};
+  std::uint32_t replication{1};
+};
+
+class S3Gateway {
+ public:
+  S3Gateway(rpc::Node& node, blob::BlobClient::Endpoints endpoints,
+            GatewayOptions options = GatewayOptions());
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  struct Bucket {
+    BucketInfo info;
+    Acl acl;
+    std::map<std::string, ObjectInfo> objects;
+  };
+
+  void register_handlers();
+
+  /// Per-user BlobSeer client on the gateway node, so BlobSeer attributes
+  /// the traffic to the end user (required for self-protection).
+  blob::BlobClient& client_for(ClientId user);
+
+  Result<Bucket*> bucket_checked(const std::string& name, ClientId who,
+                                 Permission want);
+
+  rpc::Node& node_;
+  blob::BlobClient::Endpoints endpoints_;
+  GatewayOptions options_;
+  std::map<std::string, Bucket> buckets_;
+  std::map<std::uint64_t, std::unique_ptr<blob::BlobClient>> clients_;
+  std::uint64_t requests_{0};
+};
+
+}  // namespace bs::cloud

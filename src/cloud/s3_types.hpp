@@ -1,0 +1,63 @@
+// S3-compatible data model: buckets, objects, ACLs. The gateway mirrors the
+// role of Cumulus (Nimbus' storage manager, "designed to be
+// interface-compatible with Amazon S3") with BlobSeer as the back end (§V).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blob/blob_types.hpp"
+
+namespace bs::cloud {
+
+enum class Permission : std::uint8_t {
+  none = 0,
+  read = 1,
+  write = 2,
+  read_write = 3,
+  full_control = 7,  ///< read + write + ACL administration
+};
+
+constexpr bool allows(Permission have, Permission want) {
+  return (static_cast<std::uint8_t>(have) &
+          static_cast<std::uint8_t>(want)) ==
+         static_cast<std::uint8_t>(want);
+}
+
+struct Acl {
+  ClientId owner{};
+  bool public_read{false};
+  std::map<std::uint64_t, Permission> grants;  ///< by ClientId value
+
+  [[nodiscard]] bool check(ClientId who, Permission want) const {
+    if (who == owner) return true;
+    if (public_read && want == Permission::read) return true;
+    auto it = grants.find(who.value);
+    return it != grants.end() && allows(it->second, want);
+  }
+};
+
+struct ObjectInfo {
+  std::string key;
+  std::uint64_t size{0};
+  std::uint64_t etag{0};  ///< content checksum
+  SimTime last_modified{0};
+  ClientId owner{};
+  BlobId blob{};
+  blob::Version version{0};
+
+  [[nodiscard]] std::uint64_t wire_size() const { return 64 + key.size(); }
+};
+
+struct BucketInfo {
+  std::string name;
+  SimTime created_at{0};
+  std::uint64_t object_count{0};
+  std::uint64_t total_bytes{0};
+
+  [[nodiscard]] std::uint64_t wire_size() const { return 40 + name.size(); }
+};
+
+}  // namespace bs::cloud

@@ -1,0 +1,180 @@
+#include "common/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace bs {
+
+Result<Config> Config::parse(const std::string& text) {
+  Config cfg;
+  int lineno = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++lineno;
+    auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{Errc::parse_error,
+                   "config line " + std::to_string(lineno) + ": missing '='"};
+    }
+    const auto key = trim(line.substr(0, eq));
+    const auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Error{Errc::parse_error,
+                   "config line " + std::to_string(lineno) + ": empty key"};
+    }
+    cfg.set(std::string(key), std::string(value));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+void Config::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set_double(const std::string& key, double value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set_bool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : dflt;
+}
+
+double Config::get_double(const std::string& key, double dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : dflt;
+}
+
+bool Config::get_bool(const std::string& key, bool dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  const auto v = to_lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return dflt;
+}
+
+std::uint64_t Config::get_bytes(const std::string& key,
+                                std::uint64_t dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  auto parsed = parse_bytes(it->second);
+  return parsed.ok() ? parsed.value() : dflt;
+}
+
+SimDuration Config::get_duration(const std::string& key,
+                                 SimDuration dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  auto parsed = parse_duration(it->second);
+  return parsed.ok() ? parsed.value() : dflt;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k;
+    out += " = ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+struct NumberSuffix {
+  double number;
+  std::string suffix;
+};
+
+Result<NumberSuffix> split_number_suffix(const std::string& text) {
+  const auto trimmed = std::string(trim(text));
+  char* end = nullptr;
+  const double number = std::strtod(trimmed.c_str(), &end);
+  if (end == trimmed.c_str()) {
+    return Error{Errc::parse_error, "not a number: '" + trimmed + "'"};
+  }
+  std::string suffix = to_lower(trim(std::string_view(end)));
+  return NumberSuffix{number, std::move(suffix)};
+}
+}  // namespace
+
+Result<std::uint64_t> Config::parse_bytes(const std::string& text) {
+  auto ns = split_number_suffix(text);
+  if (!ns.ok()) return ns.error();
+  const auto& [number, suffix] = ns.value();
+  double mult = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    mult = 1.0;
+  } else if (suffix == "kb") {
+    mult = static_cast<double>(units::KB);
+  } else if (suffix == "mb") {
+    mult = static_cast<double>(units::MB);
+  } else if (suffix == "gb") {
+    mult = static_cast<double>(units::GB);
+  } else if (suffix == "kib") {
+    mult = static_cast<double>(units::KiB);
+  } else if (suffix == "mib") {
+    mult = static_cast<double>(units::MiB);
+  } else if (suffix == "gib") {
+    mult = static_cast<double>(units::GiB);
+  } else {
+    return Error{Errc::parse_error, "unknown byte suffix: '" + suffix + "'"};
+  }
+  if (number < 0) {
+    return Error{Errc::parse_error, "negative byte size"};
+  }
+  return static_cast<std::uint64_t>(number * mult);
+}
+
+Result<SimDuration> Config::parse_duration(const std::string& text) {
+  auto ns = split_number_suffix(text);
+  if (!ns.ok()) return ns.error();
+  const auto& [number, suffix] = ns.value();
+  if (suffix.empty() || suffix == "ns") {
+    return static_cast<SimDuration>(number);
+  }
+  if (suffix == "us") return simtime::micros(number);
+  if (suffix == "ms") return simtime::millis(number);
+  if (suffix == "s" || suffix == "sec") return simtime::seconds(number);
+  if (suffix == "min" || suffix == "m") return simtime::minutes(number);
+  if (suffix == "h") return simtime::minutes(number * 60.0);
+  return Error{Errc::parse_error, "unknown duration suffix: '" + suffix + "'"};
+}
+
+}  // namespace bs

@@ -1,0 +1,68 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <vector>
+
+namespace bs {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, const char* component,
+                 const std::string& message) {
+  std::string line;
+  line.reserve(message.size() + 64);
+  if (time_source_) {
+    line += "[";
+    line += simtime::to_string(time_source_());
+    line += "] ";
+  }
+  line += level_name(level);
+  line += " [";
+  line += component;
+  line += "] ";
+  line += message;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+namespace logdetail {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace logdetail
+}  // namespace bs

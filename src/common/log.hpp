@@ -1,0 +1,64 @@
+// Minimal leveled logger. The simulation installs a time source so log lines
+// carry simulated timestamps; everything is funneled through one sink so
+// tests can capture output.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bs {
+
+enum class LogLevel : int { trace = 0, debug, info, warn, error, off };
+
+class Logger {
+ public:
+  /// Global logger instance.
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Installs a function returning the current (simulated) time, used to
+  /// timestamp log lines. Pass nullptr to revert to no timestamps.
+  void set_time_source(std::function<SimTime()> source) {
+    time_source_ = std::move(source);
+  }
+
+  /// Redirects output; nullptr restores stderr.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const char* component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_{LogLevel::warn};
+  std::function<SimTime()> time_source_;
+  std::function<void(const std::string&)> sink_;
+};
+
+namespace logdetail {
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}
+
+#define BS_LOG(level, component, ...)                                        \
+  do {                                                                       \
+    if (::bs::Logger::instance().enabled(level)) {                           \
+      ::bs::Logger::instance().log(level, component,                         \
+                                   ::bs::logdetail::format(__VA_ARGS__));    \
+    }                                                                        \
+  } while (0)
+
+#define BS_TRACE(component, ...) BS_LOG(::bs::LogLevel::trace, component, __VA_ARGS__)
+#define BS_DEBUG(component, ...) BS_LOG(::bs::LogLevel::debug, component, __VA_ARGS__)
+#define BS_INFO(component, ...) BS_LOG(::bs::LogLevel::info, component, __VA_ARGS__)
+#define BS_WARN(component, ...) BS_LOG(::bs::LogLevel::warn, component, __VA_ARGS__)
+#define BS_ERROR(component, ...) BS_LOG(::bs::LogLevel::error, component, __VA_ARGS__)
+
+}  // namespace bs

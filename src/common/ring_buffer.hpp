@@ -1,0 +1,66 @@
+// Fixed-capacity FIFO ring buffer. The monitoring storage servers use it as
+// the burst-absorbing cache in front of their (simulated) disks.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace bs {
+
+template <class T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity) {
+    assert(capacity > 0);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends; returns false (and drops `item`) when full.
+  bool push(T item) {
+    if (full()) return false;
+    buf_[(head_ + size_) % buf_.size()] = std::move(item);
+    ++size_;
+    return true;
+  }
+
+  /// Appends, evicting the oldest element when full. Returns the evicted
+  /// element, if any.
+  std::optional<T> push_evict(T item) {
+    std::optional<T> evicted;
+    if (full()) evicted = pop();
+    push(std::move(item));
+    return evicted;
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return out;
+  }
+
+  [[nodiscard]] const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_{0};
+  std::size_t size_{0};
+};
+
+}  // namespace bs

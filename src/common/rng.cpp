@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bs {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's debiased multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  assert(n > 0);
+  // Rejection-inversion sampling (Hormann & Derflinger) is overkill at our
+  // scales; use the simple inverse-CDF over a cached-free harmonic bound via
+  // rejection against the continuous envelope.
+  // For simplicity and determinism, use the classic two-step approximation:
+  if (n == 1) return 0;
+  const double t = (std::pow(static_cast<double>(n), 1.0 - s) - s) / (1.0 - s);
+  while (true) {
+    const double u = next_double() * t;
+    const double x = (u <= 1.0)
+                         ? u
+                         : std::pow(u * (1.0 - s) + s, 1.0 / (1.0 - s));
+    const auto k = static_cast<std::uint64_t>(x);
+    if (k >= n) continue;
+    const double ratio = std::pow(static_cast<double>(k + 1), -s);
+    const double envelope =
+        (k == 0) ? 1.0 : std::pow(static_cast<double>(k), -s);
+    if (next_double() * envelope <= ratio) return k;
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace bs

@@ -1,0 +1,62 @@
+// Deterministic, splittable random number generation. Every stochastic
+// component takes an explicit Rng (or a seed) so whole-system experiments
+// replay bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bs {
+
+/// xoshiro256** — fast, high-quality, and trivially seedable via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter s.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Derives an independent child generator (for per-actor streams).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// splitmix64 step, exposed for hashing-style uses.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace bs

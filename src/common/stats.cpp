@@ -1,0 +1,136 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace bs {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    mean_ = min_ = max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) *
+             static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  stats_.add(x);
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, bins_.size() - 1);
+    ++bins_[idx];
+  }
+}
+
+void Histogram::reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+  stats_.reset();
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = underflow_;
+  if (target < seen) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    if (target < seen + bins_[i]) {
+      // Linear interpolation inside the bin.
+      const double frac = static_cast<double>(target - seen + 1) /
+                          static_cast<double>(bins_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    seen += bins_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                quantile(0.50), quantile(0.90), quantile(0.99), stats_.max());
+  return buf;
+}
+
+void SlidingWindowCounter::add(SimTime now, double amount) {
+  evict(now);
+  samples_.emplace_back(now, amount);
+  sum_ += amount;
+}
+
+void SlidingWindowCounter::evict(SimTime now) const {
+  const SimTime cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first <= cutoff) {
+    sum_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindowCounter::total(SimTime now) const {
+  evict(now);
+  return sum_;
+}
+
+double SlidingWindowCounter::rate_per_sec(SimTime now) const {
+  const double w = simtime::to_seconds(window_);
+  return w > 0.0 ? total(now) / w : 0.0;
+}
+
+}  // namespace bs

@@ -1,0 +1,18 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bs {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string_view trim(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+std::string to_lower(std::string_view text);
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+}  // namespace bs

@@ -1,0 +1,65 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace bs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return jobs_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_job_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++in_flight_;
+    }
+    job();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (jobs_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace bs

@@ -1,0 +1,47 @@
+// Host-side thread pool. The simulation itself is single-threaded and
+// deterministic; the pool parallelizes *independent* simulation runs (e.g.
+// parameter sweeps in the benchmark harness) across host cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; jobs must not throw.
+  void submit(std::function<void()> job);
+
+  /// Blocks until all submitted jobs have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> jobs_;
+  std::size_t in_flight_{0};
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bs

@@ -1,0 +1,55 @@
+#include "common/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bs {
+
+void TimeSeries::append(SimTime t, double value) {
+  assert(samples_.empty() || samples_.back().time <= t);
+  samples_.push_back(Sample{t, value});
+}
+
+std::vector<Sample> TimeSeries::range(SimTime from, SimTime to) const {
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), from,
+      [](const Sample& s, SimTime t) { return s.time < t; });
+  auto hi = std::lower_bound(
+      lo, samples_.end(), to,
+      [](const Sample& s, SimTime t) { return s.time < t; });
+  return {lo, hi};
+}
+
+double TimeSeries::value_at(SimTime t, double fallback) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](SimTime t0, const Sample& s) { return t0 < s.time; });
+  if (it == samples_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::mean(SimTime from, SimTime to, double fallback) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : range(from, to)) {
+    sum += s.value;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : fallback;
+}
+
+std::vector<double> TimeSeries::resample(SimTime from, SimTime to,
+                                         SimDuration step,
+                                         double initial) const {
+  assert(step > 0);
+  std::vector<double> out;
+  double prev = initial;
+  for (SimTime t = from; t < to; t += step) {
+    const double m = mean(t, t + step, prev);
+    out.push_back(m);
+    prev = m;
+  }
+  return out;
+}
+
+}  // namespace bs

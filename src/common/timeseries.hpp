@@ -1,0 +1,51 @@
+// Append-only time series of (time, value) samples with range queries and
+// fixed-step resampling; the storage format of the monitoring storage servers
+// and the input of the visualization tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bs {
+
+struct Sample {
+  SimTime time{0};
+  double value{0.0};
+};
+
+class TimeSeries {
+ public:
+  void append(SimTime t, double value);
+  void clear() { samples_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] const Sample& back() const { return samples_.back(); }
+
+  /// Samples with time in [from, to).
+  [[nodiscard]] std::vector<Sample> range(SimTime from, SimTime to) const;
+
+  /// Last sample at or before t; empty series or t before first sample
+  /// yields `fallback`.
+  [[nodiscard]] double value_at(SimTime t, double fallback = 0.0) const;
+
+  /// Mean of values in [from, to); `fallback` when no sample falls inside.
+  [[nodiscard]] double mean(SimTime from, SimTime to,
+                            double fallback = 0.0) const;
+
+  /// Resamples into fixed buckets of width `step` spanning [from, to);
+  /// each bucket holds the mean of its samples (empty buckets repeat the
+  /// previous value, starting from `initial`).
+  [[nodiscard]] std::vector<double> resample(SimTime from, SimTime to,
+                                             SimDuration step,
+                                             double initial = 0.0) const;
+
+ private:
+  std::vector<Sample> samples_;  // sorted by time (append enforces order)
+};
+
+}  // namespace bs

@@ -1,0 +1,45 @@
+#include "common/token_bucket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bs {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst) {
+  assert(rate_per_sec > 0.0 && burst > 0.0);
+}
+
+void TokenBucket::refill(SimTime now) {
+  if (now <= last_) return;
+  const double dt = simtime::to_seconds(now - last_);
+  tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(SimTime now, double tokens) {
+  refill(now);
+  if (tokens_ + 1e-9 >= tokens) {
+    tokens_ -= tokens;
+    return true;
+  }
+  return false;
+}
+
+SimTime TokenBucket::next_available(SimTime now, double tokens) const {
+  TokenBucket copy = *this;
+  copy.refill(now);
+  if (copy.tokens_ + 1e-9 >= tokens) return now;
+  const double deficit = tokens - copy.tokens_;
+  const double wait_sec = deficit / rate_;
+  return now + simtime::seconds(wait_sec);
+}
+
+double TokenBucket::available(SimTime now) const {
+  TokenBucket copy = *this;
+  copy.refill(now);
+  return copy.tokens_;
+}
+
+}  // namespace bs

@@ -1,0 +1,64 @@
+#include "common/types.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace bs {
+namespace simtime {
+
+std::string to_string(SimTime t) {
+  std::array<char, 32> buf{};
+  if (t == kInfinite) return "inf";
+  if (t < kNanosPerMicro) {
+    std::snprintf(buf.data(), buf.size(), "%lldns", static_cast<long long>(t));
+  } else if (t < kNanosPerMilli) {
+    std::snprintf(buf.data(), buf.size(), "%.3fus",
+                  static_cast<double>(t) / static_cast<double>(kNanosPerMicro));
+  } else if (t < kNanosPerSec) {
+    std::snprintf(buf.data(), buf.size(), "%.3fms",
+                  static_cast<double>(t) / static_cast<double>(kNanosPerMilli));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.3fs", to_seconds(t));
+  }
+  return buf.data();
+}
+
+}  // namespace simtime
+
+namespace units {
+
+std::string format_bytes(std::uint64_t bytes) {
+  std::array<char, 32> buf{};
+  const double b = static_cast<double>(bytes);
+  if (bytes >= GB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f GB", b / static_cast<double>(GB));
+  } else if (bytes >= MB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f MB", b / static_cast<double>(MB));
+  } else if (bytes >= KB) {
+    std::snprintf(buf.data(), buf.size(), "%.2f KB", b / static_cast<double>(KB));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf.data();
+}
+
+std::string format_rate(double bytes_per_sec) {
+  std::array<char, 32> buf{};
+  if (bytes_per_sec >= static_cast<double>(GB)) {
+    std::snprintf(buf.data(), buf.size(), "%.2f GB/s",
+                  bytes_per_sec / static_cast<double>(GB));
+  } else if (bytes_per_sec >= static_cast<double>(MB)) {
+    std::snprintf(buf.data(), buf.size(), "%.1f MB/s",
+                  bytes_per_sec / static_cast<double>(MB));
+  } else if (bytes_per_sec >= static_cast<double>(KB)) {
+    std::snprintf(buf.data(), buf.size(), "%.1f KB/s",
+                  bytes_per_sec / static_cast<double>(KB));
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.1f B/s", bytes_per_sec);
+  }
+  return buf.data();
+}
+
+}  // namespace units
+}  // namespace bs

@@ -1,0 +1,103 @@
+// Core vocabulary types shared by every module: simulated time, strongly
+// typed identifiers and byte-size helpers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace bs {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Simulated durations share the representation of SimTime.
+using SimDuration = std::int64_t;
+
+namespace simtime {
+
+inline constexpr SimTime kNanosPerMicro = 1'000;
+inline constexpr SimTime kNanosPerMilli = 1'000'000;
+inline constexpr SimTime kNanosPerSec = 1'000'000'000;
+inline constexpr SimTime kInfinite = std::numeric_limits<SimTime>::max();
+
+constexpr SimDuration nanos(std::int64_t n) { return n; }
+constexpr SimDuration micros(double u) {
+  return static_cast<SimDuration>(u * static_cast<double>(kNanosPerMicro));
+}
+constexpr SimDuration millis(double m) {
+  return static_cast<SimDuration>(m * static_cast<double>(kNanosPerMilli));
+}
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kNanosPerSec));
+}
+constexpr SimDuration minutes(double m) { return seconds(m * 60.0); }
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSec);
+}
+constexpr double to_millis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerMilli);
+}
+
+/// Renders a time as a compact human-readable string, e.g. "12.345s".
+std::string to_string(SimTime t);
+
+}  // namespace simtime
+
+/// Strongly typed 64-bit identifier. The Tag parameter only serves to make
+/// distinct id families non-interchangeable at compile time.
+template <class Tag>
+struct Id {
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::uint64_t value{kInvalid};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+
+  friend constexpr auto operator<=>(const Id&, const Id&) = default;
+};
+
+using NodeId = Id<struct NodeIdTag>;      ///< a simulated machine
+using BlobId = Id<struct BlobIdTag>;      ///< a BlobSeer BLOB
+using ClientId = Id<struct ClientIdTag>;  ///< an (authenticated) storage user
+using ChunkId = Id<struct ChunkIdTag>;    ///< a stored data chunk
+using FlowId = Id<struct FlowIdTag>;      ///< a network/disk transfer
+
+template <class Tag>
+std::string to_string(Id<Tag> id) {
+  return id.valid() ? std::to_string(id.value) : std::string("<invalid>");
+}
+
+namespace units {
+
+inline constexpr std::uint64_t KB = 1'000ull;
+inline constexpr std::uint64_t MB = 1'000'000ull;
+inline constexpr std::uint64_t GB = 1'000'000'000ull;
+inline constexpr std::uint64_t KiB = 1'024ull;
+inline constexpr std::uint64_t MiB = 1'048'576ull;
+inline constexpr std::uint64_t GiB = 1'073'741'824ull;
+
+/// Renders a byte count as e.g. "1.50 GB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Renders a rate in bytes/second as e.g. "112.3 MB/s".
+std::string format_rate(double bytes_per_sec);
+
+}  // namespace units
+}  // namespace bs
+
+namespace std {
+template <class Tag>
+struct hash<bs::Id<Tag>> {
+  size_t operator()(const bs::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,45 @@
+// Adaptation actions: the Plan output of the MAPE-K loop, executed by the
+// controller's Executor against the BlobSeer deployment.
+#pragma once
+
+#include <string>
+
+#include "blob/blob_types.hpp"
+
+namespace bs::core {
+
+struct AdaptAction {
+  enum class Type {
+    add_provider,           ///< boot one more data provider
+    drain_provider,         ///< migrate chunks away, then retire the node
+    repair_chunk,           ///< restore replication of one chunk
+    set_replication,        ///< change a blob's replication for new writes
+    trim_blob,              ///< drop versions older than `version`
+    delete_blob,            ///< remove a blob and reclaim its chunks
+    set_scan_interval,      ///< retune the security detection engine
+  };
+
+  Type type{Type::add_provider};
+  NodeId provider{};
+  blob::ChunkKey chunk{};
+  BlobId blob{};
+  blob::Version version{0};
+  std::uint32_t replication{1};
+  SimDuration duration{0};
+  std::string reason;
+
+  [[nodiscard]] const char* type_name() const {
+    switch (type) {
+      case Type::add_provider: return "add_provider";
+      case Type::drain_provider: return "drain_provider";
+      case Type::repair_chunk: return "repair_chunk";
+      case Type::set_replication: return "set_replication";
+      case Type::trim_blob: return "trim_blob";
+      case Type::delete_blob: return "delete_blob";
+      case Type::set_scan_interval: return "set_scan_interval";
+    }
+    return "?";
+  }
+};
+
+}  // namespace bs::core

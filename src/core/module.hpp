@@ -1,0 +1,41 @@
+// SelfModule: the plug-in interface of the autonomic controller. One module
+// per self-* property (self-configuration, self-optimization,
+// self-protection); each analyzes the shared knowledge and proposes
+// adaptation actions.
+#pragma once
+
+#include <vector>
+
+#include "blob/client.hpp"
+#include "blob/deployment.hpp"
+#include "core/actions.hpp"
+#include "core/knowledge.hpp"
+
+namespace bs::sec {
+class SecurityFramework;
+}
+
+namespace bs::core {
+
+/// Everything a module may touch while analyzing (read-mostly; RPC reads
+/// are issued from the autonomic manager's own node via `client`).
+struct AgentContext {
+  blob::Deployment* deployment{nullptr};
+  rpc::Node* node{nullptr};
+  blob::BlobClient* client{nullptr};
+  intro::IntrospectionService* introspection{nullptr};
+  sec::SecurityFramework* security{nullptr};  ///< may be null
+};
+
+class SelfModule {
+ public:
+  virtual ~SelfModule() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Analyze + Plan: inspect the knowledge (and optionally the live system
+  /// through ctx) and propose actions for this control period.
+  virtual sim::Task<std::vector<AdaptAction>> analyze(
+      const KnowledgeBase& knowledge, AgentContext& ctx) = 0;
+};
+
+}  // namespace bs::core

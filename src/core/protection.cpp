@@ -1,0 +1,31 @@
+#include "core/protection.hpp"
+
+#include "sec/framework.hpp"
+
+namespace bs::core {
+
+sim::Task<std::vector<AdaptAction>> ProtectionModule::analyze(
+    const KnowledgeBase& knowledge, AgentContext& ctx) {
+  std::vector<AdaptAction> out;
+  if (ctx.security == nullptr) co_return out;
+  const double rejected = knowledge.current().rejected_rate;
+
+  if (!hardened_ && rejected > options_.attack_rejected_rate) {
+    AdaptAction a;
+    a.type = AdaptAction::Type::set_scan_interval;
+    a.duration = options_.fast_scan;
+    a.reason = "rejection pressure: harden scanning";
+    out.push_back(std::move(a));
+    hardened_ = true;
+  } else if (hardened_ && rejected < options_.attack_rejected_rate * 0.2) {
+    AdaptAction a;
+    a.type = AdaptAction::Type::set_scan_interval;
+    a.duration = options_.normal_scan;
+    a.reason = "quiet: relax scanning";
+    out.push_back(std::move(a));
+    hardened_ = false;
+  }
+  co_return out;
+}
+
+}  // namespace bs::core

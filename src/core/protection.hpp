@@ -1,0 +1,32 @@
+// Self-protection MAPE module: binds the security framework into the
+// autonomic loop. The detection engine runs autonomously; this module makes
+// it *adaptive* — scans speed up while rejection pressure indicates an
+// ongoing attack and relax when the system is quiet.
+#pragma once
+
+#include "core/module.hpp"
+
+namespace bs::core {
+
+struct ProtectionOptions {
+  double attack_rejected_rate{5.0};  ///< rejections/s indicating an attack
+  SimDuration fast_scan{simtime::seconds(2)};
+  SimDuration normal_scan{simtime::seconds(5)};
+};
+
+class ProtectionModule final : public SelfModule {
+ public:
+  explicit ProtectionModule(ProtectionOptions options = ProtectionOptions())
+      : options_(options) {}
+
+  const char* name() const override { return "self_protection"; }
+
+  sim::Task<std::vector<AdaptAction>> analyze(const KnowledgeBase& knowledge,
+                                              AgentContext& ctx) override;
+
+ private:
+  ProtectionOptions options_;
+  bool hardened_{false};
+};
+
+}  // namespace bs::core

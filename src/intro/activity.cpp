@@ -1,0 +1,70 @@
+#include "intro/activity.hpp"
+
+#include <algorithm>
+
+namespace bs::intro {
+
+void UserActivityHistory::ingest(const mon::Record& record) {
+  if (record.key.domain != mon::Domain::client) return;
+  PerClient& pc = clients_[record.key.id];
+  auto& ts = pc.metrics[record.key.metric];
+  const SimTime t =
+      ts.empty() ? record.time : std::max(record.time, ts.back().time);
+  ts.append(t, record.value);
+  if (record.value > 0) pc.last_activity = std::max(pc.last_activity, t);
+  ++ingested_;
+}
+
+double UserActivityHistory::total(ClientId client, mon::Metric metric,
+                                  SimDuration window, SimTime now) const {
+  auto cit = clients_.find(client.value);
+  if (cit == clients_.end()) return 0;
+  auto mit = cit->second.metrics.find(metric);
+  if (mit == cit->second.metrics.end()) return 0;
+  // Half-open trailing window (now - window, now].
+  double sum = 0;
+  for (const auto& s : mit->second.range(now - window + 1, now + 1)) {
+    sum += s.value;
+  }
+  return sum;
+}
+
+double UserActivityHistory::rate(ClientId client, mon::Metric metric,
+                                 SimDuration window, SimTime now) const {
+  const double w = simtime::to_seconds(window);
+  return w > 0 ? total(client, metric, window, now) / w : 0;
+}
+
+std::vector<ClientId> UserActivityHistory::active_clients(
+    SimDuration window, SimTime now) const {
+  std::vector<ClientId> out;
+  for (const auto& [id, pc] : clients_) {
+    if (pc.last_activity + window >= now && pc.last_activity > 0) {
+      out.push_back(ClientId{id});
+    }
+  }
+  return out;
+}
+
+const TimeSeries* UserActivityHistory::series(ClientId client,
+                                              mon::Metric metric) const {
+  auto cit = clients_.find(client.value);
+  if (cit == clients_.end()) return nullptr;
+  auto mit = cit->second.metrics.find(metric);
+  return mit == cit->second.metrics.end() ? nullptr : &mit->second;
+}
+
+void UserActivityHistory::prune(SimTime now) {
+  const SimTime cutoff = now - retention_;
+  if (cutoff <= 0) return;
+  for (auto& [id, pc] : clients_) {
+    for (auto& [metric, ts] : pc.metrics) {
+      auto keep = ts.range(cutoff, simtime::kInfinite);
+      TimeSeries pruned;
+      for (const auto& s : keep) pruned.append(s.time, s.value);
+      ts = std::move(pruned);
+    }
+  }
+}
+
+}  // namespace bs::intro

@@ -1,0 +1,173 @@
+#include "intro/introspection.hpp"
+
+#include <algorithm>
+
+namespace bs::intro {
+
+IntrospectionService::IntrospectionService(rpc::Node& node,
+                                           IntrospectionOptions options)
+    : node_(node), options_(options), activity_(options.retention) {
+  node_.serve<mon::MonStoreReq, mon::MonStoreResp>(
+      [this](const mon::MonStoreReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<mon::MonStoreResp>> {
+        for (const auto& r : req.records) ingest(r);
+        mon::MonStoreResp resp;
+        resp.accepted = req.records.size();
+        co_return resp;
+      });
+}
+
+void IntrospectionService::start() {
+  if (running_) return;
+  running_ = true;
+  node_.cluster().sim().spawn(prune_loop());
+}
+
+sim::Task<void> IntrospectionService::prune_loop() {
+  auto& sim = node_.cluster().sim();
+  while (running_ && node_.up()) {
+    co_await sim.delay(options_.prune_interval);
+    if (!running_) break;
+    activity_.prune(sim.now());
+    const SimTime cutoff = sim.now() - options_.retention;
+    if (cutoff > 0) {
+      for (auto& [key, ts] : series_) {
+        auto keep = ts.range(cutoff, simtime::kInfinite);
+        TimeSeries pruned;
+        for (const auto& s : keep) pruned.append(s.time, s.value);
+        ts = std::move(pruned);
+      }
+    }
+  }
+}
+
+void IntrospectionService::ingest(const mon::Record& record) {
+  ++ingested_;
+  if (record.key.domain == mon::Domain::client) {
+    activity_.ingest(record);
+    return;
+  }
+  auto& ts = series_[record.key];
+  const SimTime t =
+      ts.empty() ? record.time : std::max(record.time, ts.back().time);
+  ts.append(t, record.value);
+}
+
+const TimeSeries* IntrospectionService::series(
+    const mon::RecordKey& key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<mon::RecordKey> IntrospectionService::keys() const {
+  std::vector<mon::RecordKey> out;
+  out.reserve(series_.size());
+  for (const auto& [key, ts] : series_) out.push_back(key);
+  return out;
+}
+
+SystemSnapshot IntrospectionService::snapshot() const {
+  const SimTime now = node_.cluster().sim().now();
+  const SimTime from = now - options_.analysis_window;
+  const double window_sec = simtime::to_seconds(options_.analysis_window);
+
+  SystemSnapshot snap;
+  snap.time = now;
+
+  std::map<std::uint64_t, SystemSnapshot::ProviderInfo> providers;
+  std::map<std::uint64_t, SystemSnapshot::BlobInfo> blobs;
+  RunningStats cpu_stats;
+
+  for (const auto& [key, ts] : series_) {
+    if (ts.empty()) continue;
+    switch (key.domain) {
+      case mon::Domain::provider: {
+        auto& p = providers[key.id];
+        p.node = NodeId{key.id};
+        const Sample& last = ts.back();
+        switch (key.metric) {
+          case mon::Metric::used_bytes:
+            p.used = last.value;
+            p.updated = std::max(p.updated, last.time);
+            break;
+          case mon::Metric::capacity_bytes:
+            p.capacity = last.value;
+            break;
+          case mon::Metric::chunk_count:
+            p.chunks = last.value;
+            break;
+          case mon::Metric::store_rate:
+            p.store_rate = ts.mean(from, now + 1, 0.0);
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      case mon::Domain::blob: {
+        auto& b = blobs[key.id];
+        b.blob = BlobId{key.id};
+        double sum = 0;
+        for (const auto& s : ts.range(from, now + 1)) sum += s.value;
+        switch (key.metric) {
+          case mon::Metric::blob_read_bytes:
+            b.read_rate = window_sec > 0 ? sum / window_sec : 0;
+            break;
+          case mon::Metric::blob_write_bytes:
+            b.write_rate = window_sec > 0 ? sum / window_sec : 0;
+            break;
+          case mon::Metric::blob_versions:
+            b.versions = sum;
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+      case mon::Domain::node: {
+        if (key.metric == mon::Metric::cpu_load) {
+          const double v = ts.value_at(now, 0.0);
+          cpu_stats.add(v);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Node CPU attribution onto providers.
+  for (auto& [id, p] : providers) {
+    if (const TimeSeries* cpu =
+            series(mon::RecordKey{mon::Domain::node, id,
+                                  mon::Metric::cpu_load})) {
+      p.cpu = cpu->value_at(now, 0.0);
+    }
+    if (const TimeSeries* mem =
+            series(mon::RecordKey{mon::Domain::node, id,
+                                  mon::Metric::mem_used})) {
+      p.mem = mem->value_at(now, 0.0);
+    }
+    snap.providers.push_back(p);
+    snap.total_used += p.used;
+    snap.total_capacity += p.capacity;
+    snap.aggregate_write_rate += p.store_rate;
+  }
+  for (auto& [id, b] : blobs) {
+    snap.aggregate_read_rate += b.read_rate;
+    snap.blobs.push_back(b);
+  }
+  snap.avg_cpu = cpu_stats.mean();
+  snap.max_cpu = cpu_stats.max();
+
+  const auto active =
+      activity_.active_clients(options_.analysis_window, now);
+  snap.active_clients = active.size();
+  for (ClientId c : active) {
+    snap.rejected_rate += activity_.rate(c, mon::Metric::rejected_ops,
+                                         options_.analysis_window, now);
+  }
+  return snap;
+}
+
+}  // namespace bs::intro

@@ -1,0 +1,99 @@
+// Introspection layer (§III-B layer 1): an actor that receives the
+// aggregated record stream pushed by the monitoring services and distills it
+// into "relevant information related to the state and the behavior of the
+// system, which can be fed as input to various higher-level self-*
+// components": per-provider storage state, BLOB access patterns, per-user
+// activity history, and whole-system snapshots for the autonomic engine.
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "intro/activity.hpp"
+#include "mon/messages.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::intro {
+
+/// Point-in-time digest of the whole system, the "knowledge" input of the
+/// MAPE-K loop.
+struct SystemSnapshot {
+  SimTime time{0};
+
+  struct ProviderInfo {
+    NodeId node;
+    double used{0};
+    double capacity{0};
+    double chunks{0};
+    double store_rate{0};  ///< bytes/s over the analysis window
+    double cpu{0};
+    double mem{0};
+    SimTime updated{0};
+  };
+  std::vector<ProviderInfo> providers;
+
+  struct BlobInfo {
+    BlobId blob;
+    double read_rate{0};   ///< bytes/s
+    double write_rate{0};  ///< bytes/s
+    double versions{0};    ///< versions published in the window
+  };
+  std::vector<BlobInfo> blobs;
+
+  double total_used{0};
+  double total_capacity{0};
+  double aggregate_write_rate{0};  ///< bytes/s across providers
+  double aggregate_read_rate{0};
+  double avg_cpu{0};
+  double max_cpu{0};
+  std::size_t active_clients{0};
+  double rejected_rate{0};  ///< rejections/s across clients
+
+  [[nodiscard]] double utilization() const {
+    return total_capacity > 0 ? total_used / total_capacity : 0;
+  }
+};
+
+struct IntrospectionOptions {
+  SimDuration retention{simtime::minutes(10)};
+  SimDuration prune_interval{simtime::seconds(30)};
+  SimDuration analysis_window{simtime::seconds(10)};
+};
+
+class IntrospectionService {
+ public:
+  IntrospectionService(rpc::Node& node,
+                       IntrospectionOptions options = IntrospectionOptions());
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] NodeId id() const { return node_.id(); }
+  [[nodiscard]] UserActivityHistory& activity() { return activity_; }
+  [[nodiscard]] const UserActivityHistory& activity() const {
+    return activity_;
+  }
+
+  /// Builds a snapshot over the configured analysis window.
+  [[nodiscard]] SystemSnapshot snapshot() const;
+
+  /// Raw series access for visualization (provider/blob/node/system data
+  /// retained here mirrors what the storage servers persist).
+  [[nodiscard]] const TimeSeries* series(const mon::RecordKey& key) const;
+  [[nodiscard]] std::vector<mon::RecordKey> keys() const;
+
+  [[nodiscard]] std::uint64_t records_ingested() const { return ingested_; }
+
+ private:
+  sim::Task<void> prune_loop();
+  void ingest(const mon::Record& record);
+
+  rpc::Node& node_;
+  IntrospectionOptions options_;
+  UserActivityHistory activity_;
+  std::map<mon::RecordKey, TimeSeries> series_;
+  bool running_{false};
+  std::uint64_t ingested_{0};
+};
+
+}  // namespace bs::intro

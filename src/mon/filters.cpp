@@ -1,0 +1,187 @@
+#include "mon/filters.hpp"
+
+namespace bs::mon {
+
+namespace {
+Record rec(Domain d, std::uint64_t id, Metric m, SimTime t, double v) {
+  return Record{RecordKey{d, id, m}, t, v};
+}
+}  // namespace
+
+// ----------------------------------------------------- ClientActivityFilter
+
+void ClientActivityFilter::ingest(const MetricEvent& ev) {
+  if (!ev.client.valid()) return;
+  Acc& a = clients_[ev.client.value];
+  switch (ev.kind) {
+    case MetricKind::chunk_write:
+      a.write_ops += 1;
+      a.write_bytes += ev.value;
+      break;
+    case MetricKind::chunk_read:
+      a.read_ops += 1;
+      a.read_bytes += ev.value;
+      break;
+    case MetricKind::meta_op:
+      a.meta_ops += 1;
+      break;
+    case MetricKind::control_op:
+      a.control_ops += 1;
+      break;
+    case MetricKind::rejected_request:
+      a.rejected += 1;
+      break;
+    case MetricKind::failed_request:
+      a.failed += 1;
+      break;
+    case MetricKind::client_op:
+      a.latency_sum += simtime::to_seconds(ev.duration);
+      a.latency_n += 1;
+      break;
+    default:
+      break;
+  }
+}
+
+void ClientActivityFilter::flush(SimTime now, std::vector<Record>& out) {
+  for (const auto& [id, a] : clients_) {
+    out.push_back(rec(Domain::client, id, Metric::write_ops, now, a.write_ops));
+    out.push_back(rec(Domain::client, id, Metric::read_ops, now, a.read_ops));
+    out.push_back(
+        rec(Domain::client, id, Metric::write_bytes, now, a.write_bytes));
+    out.push_back(
+        rec(Domain::client, id, Metric::read_bytes, now, a.read_bytes));
+    out.push_back(
+        rec(Domain::client, id, Metric::rejected_ops, now, a.rejected));
+    out.push_back(rec(Domain::client, id, Metric::failed_ops, now, a.failed));
+    out.push_back(rec(Domain::client, id, Metric::meta_ops, now, a.meta_ops));
+    out.push_back(
+        rec(Domain::client, id, Metric::control_ops, now, a.control_ops));
+    if (a.latency_n > 0) {
+      out.push_back(rec(Domain::client, id, Metric::op_latency, now,
+                        a.latency_sum / a.latency_n));
+    }
+  }
+  clients_.clear();
+}
+
+// ---------------------------------------------------- ProviderStorageFilter
+
+void ProviderStorageFilter::ingest(const MetricEvent& ev) {
+  switch (ev.kind) {
+    case MetricKind::provider_storage: {
+      Acc& a = providers_[ev.source.value];
+      a.used = ev.value;
+      if (ev.aux > 0) {
+        a.capacity = static_cast<double>(ev.aux) * 1e6;  // aux: cap in MB
+      }
+      a.seen_gauge = true;
+      break;
+    }
+    case MetricKind::provider_chunks:
+      providers_[ev.source.value].chunks = ev.value;
+      break;
+    case MetricKind::chunk_write:
+      providers_[ev.source.value].stored_bytes += ev.value;
+      break;
+    default:
+      break;
+  }
+}
+
+void ProviderStorageFilter::flush(SimTime now, std::vector<Record>& out) {
+  const double interval =
+      last_flush_ > 0 ? simtime::to_seconds(now - last_flush_) : 1.0;
+  double total_used = 0, total_cap = 0;
+  for (auto& [id, a] : providers_) {
+    if (a.seen_gauge) {
+      out.push_back(rec(Domain::provider, id, Metric::used_bytes, now, a.used));
+      out.push_back(
+          rec(Domain::provider, id, Metric::capacity_bytes, now, a.capacity));
+      out.push_back(
+          rec(Domain::provider, id, Metric::chunk_count, now, a.chunks));
+      total_used += a.used;
+      total_cap += a.capacity;
+    }
+    if (a.stored_bytes > 0 || a.seen_gauge) {
+      out.push_back(rec(Domain::provider, id, Metric::store_rate, now,
+                        interval > 0 ? a.stored_bytes / interval : 0));
+    }
+    a.stored_bytes = 0;  // rate resets; gauges persist
+  }
+  if (total_cap > 0) {
+    out.push_back(
+        rec(Domain::system, 0, Metric::total_used_bytes, now, total_used));
+    out.push_back(rec(Domain::system, 0, Metric::total_capacity_bytes, now,
+                      total_cap));
+  }
+  last_flush_ = now;
+}
+
+// ----------------------------------------------------------- NodeLoadFilter
+
+void NodeLoadFilter::ingest(const MetricEvent& ev) {
+  if (ev.kind == MetricKind::cpu_load) {
+    auto& a = nodes_[ev.source.value];
+    a.cpu = ev.value;
+    a.seen = true;
+  } else if (ev.kind == MetricKind::mem_used) {
+    auto& a = nodes_[ev.source.value];
+    a.mem = ev.value;
+    a.seen = true;
+  }
+}
+
+void NodeLoadFilter::flush(SimTime now, std::vector<Record>& out) {
+  for (const auto& [id, a] : nodes_) {
+    if (!a.seen) continue;
+    out.push_back(rec(Domain::node, id, Metric::cpu_load, now, a.cpu));
+    out.push_back(rec(Domain::node, id, Metric::mem_used, now, a.mem));
+  }
+  // Gauges persist (latest value repeats until a new sample arrives).
+}
+
+// --------------------------------------------------------- BlobAccessFilter
+
+void BlobAccessFilter::ingest(const MetricEvent& ev) {
+  switch (ev.kind) {
+    case MetricKind::chunk_read:
+      if (ev.blob.valid()) blobs_[ev.blob.value].read_bytes += ev.value;
+      break;
+    case MetricKind::chunk_write:
+      if (ev.blob.valid()) blobs_[ev.blob.value].write_bytes += ev.value;
+      break;
+    case MetricKind::version_publish:
+      publish_count_ += 1;
+      if (ev.blob.valid()) blobs_[ev.blob.value].publishes += 1;
+      break;
+    default:
+      break;
+  }
+}
+
+void BlobAccessFilter::flush(SimTime now, std::vector<Record>& out) {
+  for (const auto& [id, a] : blobs_) {
+    out.push_back(
+        rec(Domain::blob, id, Metric::blob_read_bytes, now, a.read_bytes));
+    out.push_back(
+        rec(Domain::blob, id, Metric::blob_write_bytes, now, a.write_bytes));
+    out.push_back(
+        rec(Domain::blob, id, Metric::blob_versions, now, a.publishes));
+  }
+  out.push_back(rec(Domain::system, 0, Metric::publish_count, now,
+                    publish_count_));
+  blobs_.clear();
+  // publish_count_ is cumulative.
+}
+
+std::vector<std::unique_ptr<DataFilter>> default_filters() {
+  std::vector<std::unique_ptr<DataFilter>> out;
+  out.push_back(std::make_unique<ClientActivityFilter>());
+  out.push_back(std::make_unique<ProviderStorageFilter>());
+  out.push_back(std::make_unique<NodeLoadFilter>());
+  out.push_back(std::make_unique<BlobAccessFilter>());
+  return out;
+}
+
+}  // namespace bs::mon

@@ -1,0 +1,95 @@
+// Data filters: the aggregation stage running inside monitoring services
+// ("we implemented a set of data filters at the level of the monitoring
+// services to aggregate the BlobSeer-specific data", §III-B). Each filter
+// folds raw MetricEvents into per-interval Records.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mon/event.hpp"
+#include "mon/record.hpp"
+
+namespace bs::mon {
+
+class DataFilter {
+ public:
+  virtual ~DataFilter() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void ingest(const MetricEvent& ev) = 0;
+  /// Emits this interval's records and resets interval state.
+  virtual void flush(SimTime now, std::vector<Record>& out) = 0;
+};
+
+/// Per-client activity: op counts, byte counts, rejections, latencies.
+/// Feeds the User Activity History that the security framework scans.
+class ClientActivityFilter final : public DataFilter {
+ public:
+  const char* name() const override { return "client_activity"; }
+  void ingest(const MetricEvent& ev) override;
+  void flush(SimTime now, std::vector<Record>& out) override;
+
+ private:
+  struct Acc {
+    double write_ops{0}, read_ops{0};
+    double write_bytes{0}, read_bytes{0};
+    double rejected{0}, failed{0};
+    double meta_ops{0}, control_ops{0};
+    double latency_sum{0}, latency_n{0};
+  };
+  std::unordered_map<std::uint64_t, Acc> clients_;
+};
+
+/// Per-provider storage gauges (used bytes, capacity, chunk count) plus
+/// per-interval store rate.
+class ProviderStorageFilter final : public DataFilter {
+ public:
+  const char* name() const override { return "provider_storage"; }
+  void ingest(const MetricEvent& ev) override;
+  void flush(SimTime now, std::vector<Record>& out) override;
+
+ private:
+  struct Acc {
+    double used{0}, capacity{0}, chunks{0};
+    double stored_bytes{0};
+    bool seen_gauge{false};
+  };
+  std::unordered_map<std::uint64_t, Acc> providers_;
+  SimTime last_flush_{0};
+};
+
+/// Per-node physical parameters (synthetic CPU load / memory).
+class NodeLoadFilter final : public DataFilter {
+ public:
+  const char* name() const override { return "node_load"; }
+  void ingest(const MetricEvent& ev) override;
+  void flush(SimTime now, std::vector<Record>& out) override;
+
+ private:
+  struct Acc {
+    double cpu{0}, mem{0};
+    bool seen{false};
+  };
+  std::unordered_map<std::uint64_t, Acc> nodes_;
+};
+
+/// Per-blob access patterns + system-wide publish counter.
+class BlobAccessFilter final : public DataFilter {
+ public:
+  const char* name() const override { return "blob_access"; }
+  void ingest(const MetricEvent& ev) override;
+  void flush(SimTime now, std::vector<Record>& out) override;
+
+ private:
+  struct Acc {
+    double read_bytes{0}, write_bytes{0}, publishes{0};
+  };
+  std::unordered_map<std::uint64_t, Acc> blobs_;
+  double publish_count_{0};
+};
+
+/// The default filter set deployed in every monitoring service.
+std::vector<std::unique_ptr<DataFilter>> default_filters();
+
+}  // namespace bs::mon

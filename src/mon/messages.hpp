@@ -1,0 +1,68 @@
+// RPC messages of the monitoring layer.
+#pragma once
+
+#include <vector>
+
+#include "common/timeseries.hpp"
+#include "mon/event.hpp"
+#include "mon/record.hpp"
+
+namespace bs::mon {
+
+/// Instrumentation -> monitoring service: a batch of raw events.
+struct MonReportReq {
+  static constexpr const char* kName = "mon.report";
+  std::vector<MetricEvent> events;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + 56 * events.size();
+  }
+};
+struct MonReportResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+/// Monitoring service -> storage server / introspection sink: aggregated
+/// records.
+struct MonStoreReq {
+  static constexpr const char* kName = "mon.store";
+  std::vector<Record> records;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + 40 * records.size();
+  }
+};
+struct MonStoreResp {
+  std::uint64_t accepted{0};
+  std::uint64_t dropped{0};
+  [[nodiscard]] std::uint64_t wire_size() const { return 32; }
+};
+
+/// Range query over one stored series.
+struct MonQueryReq {
+  static constexpr const char* kName = "mon.query";
+  RecordKey key;
+  SimTime from{0};
+  SimTime to{simtime::kInfinite};
+  [[nodiscard]] std::uint64_t wire_size() const { return 48; }
+};
+struct MonQueryResp {
+  std::vector<Sample> samples;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + 16 * samples.size();
+  }
+};
+
+/// Lists stored series (optionally restricted to one domain).
+struct MonListSeriesReq {
+  static constexpr const char* kName = "mon.list_series";
+  bool filter_domain{false};
+  Domain domain{Domain::system};
+  [[nodiscard]] std::uint64_t wire_size() const { return 18; }
+};
+struct MonListSeriesResp {
+  std::vector<RecordKey> keys;
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 16 + 16 * keys.size();
+  }
+};
+
+}  // namespace bs::mon

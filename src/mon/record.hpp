@@ -1,0 +1,91 @@
+// Aggregated monitoring records — the output of the monitoring layer's data
+// filters and the storage format of the monitoring storage servers. Keys are
+// structured (domain, id, metric) so the introspection layer can consume
+// them without string parsing; series names exist for storage/visualization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace bs::mon {
+
+enum class Domain : std::uint8_t {
+  client = 0,
+  provider,
+  blob,
+  node,
+  system,
+};
+
+enum class Metric : std::uint8_t {
+  // client domain (per aggregation interval)
+  write_ops = 0,
+  read_ops,
+  write_bytes,
+  read_bytes,
+  rejected_ops,
+  failed_ops,
+  meta_ops,
+  control_ops,
+  op_latency,     ///< mean client-op latency in the interval (seconds)
+  // provider domain
+  used_bytes,
+  capacity_bytes,
+  chunk_count,
+  store_rate,     ///< bytes/s stored in the interval
+  // node domain
+  cpu_load,
+  mem_used,
+  // blob domain
+  blob_read_bytes,
+  blob_write_bytes,
+  blob_versions,
+  // system domain
+  total_used_bytes,
+  total_capacity_bytes,
+  publish_count,
+  active_clients,
+};
+
+const char* domain_name(Domain d);
+const char* metric_name(Metric m);
+
+struct RecordKey {
+  Domain domain{Domain::system};
+  std::uint64_t id{0};  ///< client/provider-node/blob id; 0 for system
+  Metric metric{Metric::publish_count};
+
+  friend constexpr auto operator<=>(const RecordKey&, const RecordKey&) =
+      default;
+
+  [[nodiscard]] std::uint64_t hash() const {
+    return hash_combine(
+        hash_combine(static_cast<std::uint64_t>(domain), id),
+        static_cast<std::uint64_t>(metric));
+  }
+
+  /// e.g. "provider.42.used_bytes".
+  [[nodiscard]] std::string series_name() const;
+};
+
+struct Record {
+  RecordKey key;
+  SimTime time{0};
+  double value{0};
+
+  [[nodiscard]] std::uint64_t wire_size() const { return 40; }
+};
+
+}  // namespace bs::mon
+
+namespace std {
+template <>
+struct hash<bs::mon::RecordKey> {
+  size_t operator()(const bs::mon::RecordKey& k) const noexcept {
+    return static_cast<size_t>(k.hash());
+  }
+};
+}  // namespace std

@@ -1,0 +1,147 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bs::net {
+
+namespace {
+// A flow is complete when less than this many bytes remain; absorbs the
+// sub-byte residue left by rounding completion times to whole nanoseconds.
+constexpr double kCompleteEps = 0.75;
+}  // namespace
+
+Resource* FlowScheduler::create_resource(std::string name,
+                                         double capacity_bps) {
+  assert(capacity_bps > 0);
+  resources_.push_back(
+      std::make_unique<Resource>(std::move(name), capacity_bps));
+  return resources_.back().get();
+}
+
+sim::Task<void> FlowScheduler::transfer(double bytes,
+                                        std::vector<Resource*> resources) {
+  if (bytes <= 0 || resources.empty()) co_return;
+  advance_to_now();
+  const std::uint64_t id = next_flow_id_++;
+  auto flow = std::make_unique<Flow>(sim_, id, bytes, std::move(resources));
+  Flow* f = flow.get();
+  for (auto* r : f->resources) ++r->flow_count_;
+  active_.emplace(id, std::move(flow));
+  recompute_rates();
+  schedule_next_completion();
+  co_await f->done.wait();
+}
+
+void FlowScheduler::advance_to_now() {
+  const SimTime now = sim_.now();
+  if (now <= last_advance_) {
+    last_advance_ = now;
+    return;
+  }
+  const double dt = simtime::to_seconds(now - last_advance_);
+  for (auto& [id, f] : active_) {
+    const double moved = f->rate * dt;
+    f->remaining = std::max(0.0, f->remaining - moved);
+    for (auto* r : f->resources) r->bytes_served_ += moved;
+  }
+  last_advance_ = now;
+}
+
+void FlowScheduler::recompute_rates() {
+  // Progressive filling (max-min fairness): repeatedly find the bottleneck
+  // resource — the one whose equal share per unfrozen flow is smallest —
+  // and freeze its flows at that share.
+  if (active_.empty()) return;
+  for (auto& [id, f] : active_) {
+    f->frozen = false;
+    f->rate = 0;
+  }
+  std::vector<Resource*> live;
+  for (auto& r : resources_) {
+    r->cap_left_ = r->capacity_;
+    r->unfrozen_ = 0;
+  }
+  for (auto& [id, f] : active_) {
+    for (auto* r : f->resources) {
+      if (r->unfrozen_ == 0) live.push_back(r);
+      ++r->unfrozen_;
+    }
+  }
+  // Deduplicate (a resource may have been pushed once; flows sharing it only
+  // increment the counter), `live` has unique entries by construction.
+  std::size_t remaining_flows = active_.size();
+  while (remaining_flows > 0) {
+    double best_share = std::numeric_limits<double>::infinity();
+    for (auto* r : live) {
+      if (r->unfrozen_ == 0) continue;
+      const double share = r->cap_left_ / static_cast<double>(r->unfrozen_);
+      best_share = std::min(best_share, share);
+    }
+    if (!std::isfinite(best_share)) break;
+    // Freeze every unfrozen flow crossing a bottleneck at best_share.
+    bool froze_any = false;
+    for (auto& [id, f] : active_) {
+      if (f->frozen) continue;
+      bool bottlenecked = false;
+      for (auto* r : f->resources) {
+        const double share =
+            r->cap_left_ / static_cast<double>(r->unfrozen_);
+        if (share <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      f->frozen = true;
+      f->rate = best_share;
+      froze_any = true;
+      --remaining_flows;
+      for (auto* r : f->resources) {
+        r->cap_left_ = std::max(0.0, r->cap_left_ - best_share);
+        --r->unfrozen_;
+      }
+    }
+    if (!froze_any) break;  // defensive: should not happen
+  }
+}
+
+void FlowScheduler::schedule_next_completion() {
+  ++generation_;
+  if (active_.empty()) return;
+  double min_eta = std::numeric_limits<double>::infinity();
+  for (auto& [id, f] : active_) {
+    if (f->rate <= 0) continue;
+    min_eta = std::min(min_eta, f->remaining / f->rate);
+  }
+  if (!std::isfinite(min_eta)) return;
+  auto dt = static_cast<SimDuration>(std::ceil(
+      min_eta * static_cast<double>(simtime::kNanosPerSec)));
+  dt = std::max<SimDuration>(dt, 1);
+  const std::uint64_t gen = generation_;
+  sim_.schedule_in(dt, [this, gen] { on_completion_event(gen); });
+}
+
+void FlowScheduler::on_completion_event(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a newer schedule
+  advance_to_now();
+  bool any_done = false;
+  for (auto it = active_.begin(); it != active_.end();) {
+    Flow* f = it->second.get();
+    if (f->remaining <= kCompleteEps) {
+      for (auto* r : f->resources) --r->flow_count_;
+      f->done.set();
+      ++completed_;
+      any_done = true;
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (any_done) recompute_rates();
+  schedule_next_completion();
+}
+
+}  // namespace bs::net

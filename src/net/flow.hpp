@@ -1,0 +1,102 @@
+// Flow-level bandwidth model with max-min fair sharing. A transfer is a
+// "flow" of N bytes that traverses a set of capacity-limited resources
+// (sender NIC, receiver NIC, receiver disk, ...). Whenever a flow starts or
+// finishes, rates are recomputed with progressive filling; completion events
+// are driven by the simulation clock. This reproduces the contention
+// behaviour of a real cluster (the physical effect behind every throughput
+// number in the paper) at a cost of microseconds per flow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace bs::net {
+
+class FlowScheduler;
+
+/// A capacity-limited medium (NIC direction, disk, backbone link).
+class Resource {
+ public:
+  Resource(std::string name, double capacity_bps)
+      : name_(std::move(name)), capacity_(capacity_bps) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double capacity() const { return capacity_; }
+
+  /// Total bytes that have traversed this resource.
+  [[nodiscard]] double bytes_served() const { return bytes_served_; }
+
+  /// Current number of flows crossing this resource.
+  [[nodiscard]] std::size_t active_flows() const { return flow_count_; }
+
+ private:
+  friend class FlowScheduler;
+  std::string name_;
+  double capacity_;        // bytes per second
+  double bytes_served_{0};
+  std::size_t flow_count_{0};
+  // Scratch fields used during rate computation.
+  double cap_left_{0};
+  std::size_t unfrozen_{0};
+};
+
+class FlowScheduler {
+ public:
+  explicit FlowScheduler(sim::Simulation& sim) : sim_(sim) {}
+  FlowScheduler(const FlowScheduler&) = delete;
+  FlowScheduler& operator=(const FlowScheduler&) = delete;
+
+  /// Creates a resource owned by the scheduler.
+  Resource* create_resource(std::string name, double capacity_bps);
+
+  /// Awaitable transfer of `bytes` across `resources`; completes when the
+  /// last byte has been delivered under fair sharing.
+  sim::Task<void> transfer(double bytes, std::vector<Resource*> resources);
+
+  [[nodiscard]] std::uint64_t completed_flows() const { return completed_; }
+  [[nodiscard]] std::size_t active_flow_count() const {
+    return active_.size();
+  }
+
+ private:
+  struct Flow {
+    Flow(sim::Simulation& sim, std::uint64_t id_, double bytes,
+         std::vector<Resource*> rs)
+        : id(id_), remaining(bytes), resources(std::move(rs)), done(sim) {}
+    std::uint64_t id;
+    double remaining;
+    double rate{0};
+    bool frozen{false};  // scratch for rate computation
+    std::vector<Resource*> resources;
+    sim::Event done;
+  };
+
+  void advance_to_now();
+  void recompute_rates();
+  void schedule_next_completion();
+  void on_completion_event(std::uint64_t generation);
+
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Resource>> resources_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> active_;
+  SimTime last_advance_{0};
+  std::uint64_t next_flow_id_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t generation_{0};
+};
+
+/// Convenience capacities.
+inline constexpr double gbit_per_sec(double gbit) {
+  return gbit * 125'000'000.0;  // bytes/sec
+}
+inline constexpr double mb_per_sec(double mb) { return mb * 1'000'000.0; }
+
+}  // namespace bs::net

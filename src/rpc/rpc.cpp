@@ -1,0 +1,162 @@
+#include "rpc/rpc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bs::rpc {
+
+Node::Node(Cluster& cluster, NodeId id, net::SiteId site,
+           const NodeSpec& spec)
+    : cluster_(cluster), id_(id), site_(site), spec_(spec) {
+  auto& flows = cluster.flows();
+  const std::string base = "node" + std::to_string(id.value);
+  nic_tx_ = flows.create_resource(base + ".tx", spec.nic_bps);
+  nic_rx_ = flows.create_resource(base + ".rx", spec.nic_bps);
+  disk_ = flows.create_resource(base + ".disk", spec.disk_bps);
+  service_sem_ = std::make_unique<sim::Semaphore>(
+      cluster.sim(), std::max<std::size_t>(1, spec.service_concurrency));
+}
+
+Cluster::Cluster(sim::Simulation& sim, net::Topology topology)
+    : sim_(sim), topology_(std::move(topology)), flows_(sim) {}
+
+Node* Cluster::add_node(net::SiteId site, const NodeSpec& spec) {
+  assert(site < topology_.site_count());
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(std::make_unique<Node>(*this, id, site, spec));
+  return nodes_.back().get();
+}
+
+void Cluster::retire_node(NodeId id) {
+  if (Node* n = node(id)) n->set_up(false);
+}
+
+Node* Cluster::node(NodeId id) {
+  if (!id.valid() || id.value >= nodes_.size()) return nullptr;
+  return nodes_[id.value].get();
+}
+
+sim::Task<void> Cluster::transmit(Node& a, Node& b, std::uint64_t bytes,
+                                  net::Resource* extra) {
+  if (bytes == 0) co_return;
+  if (bytes < kFlowThreshold) {
+    // Control-plane message: pure serialization delay, no contention. Keeps
+    // the flow scheduler's active set small while the data plane dominates.
+    const double rate = std::min(a.spec().nic_bps, b.spec().nic_bps);
+    co_await sim_.delay(
+        simtime::seconds(static_cast<double>(bytes) / rate));
+  } else {
+    std::vector<net::Resource*> rs{a.nic_tx(), b.nic_rx()};
+    if (extra != nullptr) rs.push_back(extra);
+    co_await flows_.transfer(static_cast<double>(bytes), std::move(rs));
+  }
+}
+
+sim::Task<Result<detail::AnyPtr>> Cluster::call_erased(
+    Node& src, NodeId dst, std::type_index type, const char* name,
+    detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
+    CallOptions opts) {
+  ++calls_started_;
+  auto state = std::make_shared<CallState>(sim_);
+  sim_.spawn(call_body(state, &src, node(dst), type, name, std::move(req),
+                       req_bytes, payload_to_disk, opts));
+  if (opts.timeout > 0 && opts.timeout < simtime::kInfinite) {
+    sim_.schedule_in(opts.timeout, [this, state] {
+      if (!state->settled) {
+        state->settled = true;
+        state->result = Error{Errc::timeout, "rpc timeout"};
+        ++timeouts_;
+        state->done.set();
+      }
+    });
+  }
+  co_await state->done.wait();
+  co_return state->result;
+}
+
+sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
+                                   Node* src, Node* dst, std::type_index type,
+                                   const char* name, detail::AnyPtr req,
+                                   std::uint64_t req_bytes,
+                                   bool payload_to_disk, CallOptions opts) {
+  auto settle = [&](Result<detail::AnyPtr> r) {
+    if (state->settled) return;  // lost to the timeout watcher
+    state->settled = true;
+    state->result = std::move(r);
+    state->done.set();
+  };
+
+  if (src == nullptr || !src->up()) {
+    settle(Error{Errc::unavailable, "source node down"});
+    co_return;
+  }
+  if (dst == nullptr || !dst->up() || !dst->serves(type)) {
+    settle(Error{Errc::unavailable,
+                 std::string("no service for ") + name});
+    co_return;
+  }
+
+  const SimDuration latency =
+      topology_.latency(src->site(), dst->site());
+  Envelope env;
+  env.client = opts.client;
+  env.src_node = src->id();
+  env.sent_at = sim_.now();
+
+  co_await sim_.delay(latency);
+  co_await transmit(*src, *dst, req_bytes,
+                    payload_to_disk ? dst->disk() : nullptr);
+
+  RequestInfo info;
+  info.name = name;
+  info.client = opts.client;
+  info.src = src->id();
+  info.request_bytes = req_bytes;
+
+  // Admission: cheap rejection before any service capacity is consumed.
+  if (dst->admission_) {
+    if (auto admit = dst->admission_(env, name); !admit.ok()) {
+      info.outcome = admit.error().code;
+      if (dst->observer_) dst->observer_(info);
+      settle(admit.error());
+      co_return;
+    }
+  }
+
+  // Service queue: bounded concurrency + fixed per-request overhead. A
+  // flood of small requests saturates this, which is the DoS vector the
+  // self-protection experiments exercise.
+  if (dst->service_sem_->waiting() >= dst->spec().service_queue_limit) {
+    info.outcome = Errc::unavailable;
+    if (dst->observer_) dst->observer_(info);
+    settle(Error{Errc::unavailable, "service queue overloaded"});
+    co_return;
+  }
+  const SimTime enqueue_at = sim_.now();
+  co_await dst->service_sem_->acquire();
+  info.queue_wait = sim_.now() - enqueue_at;
+  const SimTime service_start = sim_.now();
+
+  co_await sim_.delay(dst->spec().service_overhead);
+  detail::AnyResponse resp =
+      co_await dst->handlers_[type](std::move(req), env);
+  dst->service_sem_->release();
+
+  ++dst->served_;
+  info.service_time = sim_.now() - service_start;
+  info.outcome = resp.status.ok() ? Errc::ok : resp.status.error().code;
+  info.response_bytes = resp.wire_size;
+  if (dst->observer_) dst->observer_(info);
+
+  if (!resp.status.ok()) {
+    settle(resp.status.error());
+    co_return;
+  }
+
+  co_await sim_.delay(latency);
+  co_await transmit(*dst, *src, resp.wire_size,
+                    resp.from_disk ? dst->disk() : nullptr);
+  settle(std::move(resp.payload));
+}
+
+}  // namespace bs::rpc

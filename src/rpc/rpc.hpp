@@ -1,0 +1,252 @@
+// Simulated cluster + typed RPC. A Cluster owns Nodes placed on a Topology;
+// calls between nodes pay propagation latency, transfer payloads through the
+// flow scheduler (large payloads contend for NIC/disk bandwidth), pass an
+// admission hook (the attachment point of the self-protection framework) and
+// an optional service queue (bounded concurrency + per-request overhead,
+// which is what a flood of small requests saturates), then run a registered
+// coroutine handler.
+//
+// Request/response types are plain structs declaring:
+//   static constexpr const char* kName;            // for observability
+//   std::uint64_t wire_size() const;               // payload bytes
+// and optionally:
+//   static constexpr bool kPayloadToDisk = true;   // request payload is
+//                                                  // streamed to dst disk
+//   static constexpr bool kResponseFromDisk = true;// response payload is
+//                                                  // read from dst disk
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/flow.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace bs::rpc {
+
+class Cluster;
+
+/// Per-call metadata travelling with every request.
+struct Envelope {
+  ClientId client{};      ///< authenticated caller identity (may be invalid)
+  NodeId src_node{};
+  SimTime sent_at{0};
+};
+
+/// Options for a single call.
+struct CallOptions {
+  SimDuration timeout{simtime::seconds(30)};
+  ClientId client{};
+};
+
+/// Observation record handed to the instrumentation layer for every request
+/// a node serves (or rejects).
+struct RequestInfo {
+  const char* name{""};
+  ClientId client{};
+  NodeId src{};
+  std::uint64_t request_bytes{0};
+  std::uint64_t response_bytes{0};
+  SimDuration queue_wait{0};
+  SimDuration service_time{0};
+  Errc outcome{Errc::ok};
+};
+
+/// Hardware description of a simulated machine.
+struct NodeSpec {
+  double nic_bps{net::gbit_per_sec(1.0)};   ///< full-duplex per direction
+  double disk_bps{net::mb_per_sec(400.0)};
+  std::uint64_t disk_capacity{64ull * units::GB};
+  std::size_t service_concurrency{4};       ///< parallel request slots
+  SimDuration service_overhead{simtime::micros(300)};  ///< per request
+  /// Requests queued beyond this are rejected with `unavailable`
+  /// (overload shedding); effectively unbounded by default.
+  std::size_t service_queue_limit{100000};
+};
+
+namespace detail {
+using AnyPtr = std::shared_ptr<void>;
+struct AnyResponse {
+  Result<void> status;   // error, if the handler failed
+  AnyPtr payload;        // valid iff status.ok()
+  std::uint64_t wire_size{0};
+  bool from_disk{false};
+};
+using ErasedHandler =
+    std::function<sim::Task<AnyResponse>(AnyPtr, Envelope)>;
+
+template <class T>
+concept HasPayloadToDisk = requires { T::kPayloadToDisk; };
+template <class T>
+concept HasResponseFromDisk = requires { T::kResponseFromDisk; };
+
+template <class T>
+constexpr bool payload_to_disk() {
+  if constexpr (HasPayloadToDisk<T>) return T::kPayloadToDisk;
+  return false;
+}
+template <class T>
+constexpr bool response_from_disk() {
+  if constexpr (HasResponseFromDisk<T>) return T::kResponseFromDisk;
+  return false;
+}
+}  // namespace detail
+
+class Node {
+ public:
+  using AdmissionHook =
+      std::function<Result<void>(const Envelope&, const char* req_name)>;
+  using RequestObserver = std::function<void(const RequestInfo&)>;
+
+  Node(Cluster& cluster, NodeId id, net::SiteId site, const NodeSpec& spec);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] net::SiteId site() const { return site_; }
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  [[nodiscard]] bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
+  net::Resource* nic_tx() { return nic_tx_; }
+  net::Resource* nic_rx() { return nic_rx_; }
+  net::Resource* disk() { return disk_; }
+
+  /// Registers a coroutine handler for requests of type Req.
+  template <class Req, class Resp, class F>
+  void serve(F handler) {
+    handlers_[std::type_index(typeid(Req))] =
+        [handler = std::move(handler)](detail::AnyPtr any,
+                                       Envelope env) -> sim::Task<detail::AnyResponse> {
+      auto req = std::static_pointer_cast<Req>(std::move(any));
+      Result<Resp> result = co_await handler(*req, env);
+      detail::AnyResponse out;
+      if (result.ok()) {
+        auto payload = std::make_shared<Resp>(std::move(result).value());
+        out.wire_size = payload->wire_size();
+        out.from_disk = detail::response_from_disk<Req>();
+        out.payload = std::move(payload);
+        out.status = ok_result();
+      } else {
+        out.status = result.error();
+      }
+      co_return out;
+    };
+  }
+
+  [[nodiscard]] bool serves(std::type_index t) const {
+    return handlers_.count(t) > 0;
+  }
+
+  /// Admission control: run before queueing; an error rejects the request
+  /// without consuming service capacity (this is how blocked clients are
+  /// turned away cheaply).
+  void set_admission(AdmissionHook hook) { admission_ = std::move(hook); }
+
+  /// Instrumentation tap: invoked once per served/rejected request.
+  void set_request_observer(RequestObserver obs) { observer_ = std::move(obs); }
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  friend class Cluster;
+
+  Cluster& cluster_;
+  NodeId id_;
+  net::SiteId site_;
+  NodeSpec spec_;
+  bool up_{true};
+  net::Resource* nic_tx_;
+  net::Resource* nic_rx_;
+  net::Resource* disk_;
+  std::unique_ptr<sim::Semaphore> service_sem_;
+  std::unordered_map<std::type_index, detail::ErasedHandler> handlers_;
+  AdmissionHook admission_;
+  RequestObserver observer_;
+  std::uint64_t served_{0};
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, net::Topology topology);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] net::FlowScheduler& flows() { return flows_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+
+  /// Creates a node on `site`.
+  Node* add_node(net::SiteId site, const NodeSpec& spec = {});
+
+  /// Removes a node from service (it stays addressable but unavailable).
+  void retire_node(NodeId id);
+
+  [[nodiscard]] Node* node(NodeId id);
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Typed RPC. Fails with `unavailable` when dst is down/unknown,
+  /// `timeout` when opts.timeout elapses first, or whatever the admission
+  /// hook / handler returns.
+  template <class Req, class Resp>
+  sim::Task<Result<Resp>> call(Node& src, NodeId dst, Req req,
+                               CallOptions opts = {}) {
+    auto any = std::make_shared<Req>(std::move(req));
+    const std::uint64_t req_bytes = any->wire_size();
+    auto erased = co_await call_erased(
+        src, dst, std::type_index(typeid(Req)), Req::kName, std::move(any),
+        req_bytes, detail::payload_to_disk<Req>(), opts);
+    if (!erased.ok()) co_return erased.error();
+    co_return std::move(*std::static_pointer_cast<Resp>(erased.value()));
+  }
+
+  /// Messages smaller than this bypass the flow scheduler (pure
+  /// latency + serialization delay); larger payloads contend for bandwidth.
+  static constexpr std::uint64_t kFlowThreshold = 64 * units::KiB;
+
+  [[nodiscard]] std::uint64_t calls_started() const { return calls_started_; }
+  [[nodiscard]] std::uint64_t calls_timed_out() const { return timeouts_; }
+
+ private:
+  struct CallState {
+    explicit CallState(sim::Simulation& sim) : done(sim) {}
+    sim::Event done;
+    bool settled{false};
+    Result<detail::AnyPtr> result{Errc::internal};
+  };
+
+  sim::Task<Result<detail::AnyPtr>> call_erased(
+      Node& src, NodeId dst, std::type_index type, const char* name,
+      detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
+      CallOptions opts);
+
+  sim::Task<void> call_body(std::shared_ptr<CallState> state, Node* src,
+                            Node* dst, std::type_index type, const char* name,
+                            detail::AnyPtr req, std::uint64_t req_bytes,
+                            bool payload_to_disk, CallOptions opts);
+
+  /// Models moving `bytes` from a to b (no-op for zero bytes). `extra` is an
+  /// additional resource (e.g. destination disk) included in the flow.
+  sim::Task<void> transmit(Node& a, Node& b, std::uint64_t bytes,
+                           net::Resource* extra);
+
+  sim::Simulation& sim_;
+  net::Topology topology_;
+  net::FlowScheduler flows_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t calls_started_{0};
+  std::uint64_t timeouts_{0};
+};
+
+}  // namespace bs::rpc

@@ -1,0 +1,39 @@
+#include "sec/trust.hpp"
+
+#include <algorithm>
+
+namespace bs::sec {
+
+double TrustManager::trust(ClientId client) const {
+  auto it = trust_.find(client.value);
+  return it == trust_.end() ? options_.initial : it->second;
+}
+
+void TrustManager::record_violation(ClientId client, Severity severity) {
+  double cut = options_.cut_medium;
+  switch (severity) {
+    case Severity::low: cut = options_.cut_low; break;
+    case Severity::medium: cut = options_.cut_medium; break;
+    case Severity::high: cut = options_.cut_high; break;
+  }
+  const double t = trust(client) * cut;
+  trust_[client.value] = std::max(options_.min_trust, t);
+}
+
+void TrustManager::adjust(ClientId client, double delta) {
+  const double t = trust(client) + delta;
+  trust_[client.value] =
+      std::clamp(t, options_.min_trust, options_.max_trust);
+}
+
+void TrustManager::record_clean(ClientId client) {
+  adjust(client, options_.recovery);
+}
+
+double TrustManager::threshold_scale(ClientId client) const {
+  const double t = trust(client);
+  return options_.min_threshold_scale +
+         (1.0 - options_.min_threshold_scale) * t;
+}
+
+}  // namespace bs::sec

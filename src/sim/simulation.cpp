@@ -1,0 +1,46 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace bs::sim {
+
+void Simulation::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  heap_.push_back(Event{t, seq_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+bool Simulation::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
+    step();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Simulation::install_log_clock() {
+  Logger::instance().set_time_source([this] { return now(); });
+}
+
+}  // namespace bs::sim

@@ -1,0 +1,89 @@
+// Deterministic discrete-event simulation kernel. A single event queue
+// totally ordered by (time, insertion sequence) drives callbacks; coroutine
+// actors suspend on awaitables that schedule their resumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/task.hpp"
+
+namespace bs::sim {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, Callback cb);
+  void schedule_in(SimDuration dt, Callback cb) {
+    schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Runs events until the queue is empty or stop() is called.
+  void run();
+
+  /// Runs all events with time <= t, then advances the clock to t.
+  void run_until(SimTime t);
+
+  /// Runs one event; returns false if the queue was empty.
+  bool step();
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Starts a coroutine actor (runs inline until its first suspension).
+  void spawn(Task<void> t) { sim::spawn(std::move(t)); }
+
+  /// Awaitable: suspend the current coroutine for `dt` of simulated time.
+  auto delay(SimDuration dt) {
+    struct Awaiter {
+      Simulation* s;
+      SimDuration dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        s->schedule_in(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Awaitable: suspend until the given absolute simulated time (resumes
+  /// immediately if already past).
+  auto delay_until(SimTime t) { return delay(t > now_ ? t - now_ : 0); }
+
+  /// Installs this simulation's clock as the logger time source.
+  void install_log_clock();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  SimTime now_{0};
+  std::uint64_t seq_{0};
+  std::uint64_t processed_{0};
+  bool stopped_{false};
+};
+
+}  // namespace bs::sim

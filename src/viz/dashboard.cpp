@@ -1,0 +1,157 @@
+#include "viz/dashboard.hpp"
+
+#include <algorithm>
+
+namespace bs::viz {
+
+namespace {
+std::vector<double> resampled(const TimeSeries* ts, SimTime from, SimTime to,
+                              std::size_t points = 72) {
+  if (ts == nullptr || ts->empty()) return std::vector<double>(points, 0.0);
+  const SimDuration step =
+      std::max<SimDuration>((to - from) / static_cast<SimTime>(points), 1);
+  return ts->resample(from, to, step);
+}
+}  // namespace
+
+std::string Dashboard::storage_evolution(SimTime from, SimTime to) const {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  if (const TimeSeries* total = intro_.series(
+          {mon::Domain::system, 0, mon::Metric::total_used_bytes})) {
+    names.push_back("system");
+    series.push_back(resampled(total, from, to));
+  }
+  std::size_t shown = 0;
+  for (const auto& key : intro_.keys()) {
+    if (key.domain != mon::Domain::provider ||
+        key.metric != mon::Metric::used_bytes) {
+      continue;
+    }
+    if (shown++ >= 6) break;  // keep the chart legible
+    names.push_back("p" + std::to_string(key.id));
+    series.push_back(resampled(intro_.series(key), from, to));
+  }
+  ChartOptions opts;
+  opts.y_label = "bytes used";
+  return line_chart("storage space (providers + system)", names, series,
+                    opts);
+}
+
+std::string Dashboard::physical_parameters(SimTime from, SimTime to) const {
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  std::size_t shown = 0;
+  for (const auto& key : intro_.keys()) {
+    if (key.domain != mon::Domain::node ||
+        key.metric != mon::Metric::cpu_load) {
+      continue;
+    }
+    if (shown++ >= 6) break;
+    names.push_back("cpu.n" + std::to_string(key.id));
+    series.push_back(resampled(intro_.series(key), from, to));
+  }
+  ChartOptions opts;
+  opts.y_label = "cpu load [0,1]";
+  return line_chart("physical parameters (CPU load)", names, series, opts);
+}
+
+std::string Dashboard::blob_access_patterns(SimTime from, SimTime to) const {
+  std::vector<std::string> labels;
+  std::vector<double> reads, writes;
+  for (const auto& key : intro_.keys()) {
+    if (key.domain != mon::Domain::blob) continue;
+    if (key.metric == mon::Metric::blob_read_bytes) {
+      double sum = 0;
+      if (const TimeSeries* ts = intro_.series(key)) {
+        for (const auto& s : ts->range(from, to)) sum += s.value;
+      }
+      labels.push_back("blob" + std::to_string(key.id));
+      reads.push_back(sum);
+      const TimeSeries* w = intro_.series(
+          {mon::Domain::blob, key.id, mon::Metric::blob_write_bytes});
+      double wsum = 0;
+      if (w != nullptr) {
+        for (const auto& s : w->range(from, to)) wsum += s.value;
+      }
+      writes.push_back(wsum);
+    }
+  }
+  std::string out = bar_chart("BLOB read bytes", labels, reads);
+  out += bar_chart("BLOB write bytes", labels, writes);
+  return out;
+}
+
+std::string Dashboard::chunk_distribution() const {
+  std::vector<std::string> labels;
+  std::vector<double> chunks;
+  for (const auto& key : intro_.keys()) {
+    if (key.domain == mon::Domain::provider &&
+        key.metric == mon::Metric::chunk_count) {
+      if (const TimeSeries* ts = intro_.series(key); ts && !ts->empty()) {
+        labels.push_back("p" + std::to_string(key.id));
+        chunks.push_back(ts->back().value);
+      }
+    }
+  }
+  return bar_chart("chunk distribution across providers", labels, chunks);
+}
+
+std::string Dashboard::client_activity(SimTime from, SimTime to) const {
+  const auto& activity = intro_.activity();
+  std::vector<std::vector<std::string>> rows;
+  for (ClientId c : activity.active_clients(to - from, to)) {
+    const double w =
+        activity.total(c, mon::Metric::write_bytes, to - from, to);
+    const double r =
+        activity.total(c, mon::Metric::read_bytes, to - from, to);
+    const double rej =
+        activity.total(c, mon::Metric::rejected_ops, to - from, to);
+    std::string spark;
+    if (const TimeSeries* ts = activity.series(c, mon::Metric::write_ops)) {
+      spark = sparkline(resampled(ts, from, to, 24));
+    }
+    rows.push_back({std::to_string(c.value), format_si(w), format_si(r),
+                    format_si(rej), spark});
+  }
+  return "== client activity ==\n" +
+         table({"client", "write B", "read B", "rejected", "write ops"},
+               rows);
+}
+
+std::string Dashboard::system_summary() const {
+  const auto snap = intro_.snapshot();
+  std::vector<std::vector<std::string>> rows = {
+      {"time", simtime::to_string(snap.time)},
+      {"providers", std::to_string(snap.providers.size())},
+      {"storage used", units::format_bytes(
+                           static_cast<std::uint64_t>(snap.total_used))},
+      {"storage capacity",
+       units::format_bytes(static_cast<std::uint64_t>(snap.total_capacity))},
+      {"utilization", format_si(snap.utilization() * 100) + "%"},
+      {"agg write rate", units::format_rate(snap.aggregate_write_rate)},
+      {"agg read rate", units::format_rate(snap.aggregate_read_rate)},
+      {"avg cpu", format_si(snap.avg_cpu)},
+      {"active clients", std::to_string(snap.active_clients)},
+      {"rejected/s", format_si(snap.rejected_rate)},
+  };
+  return "== system summary ==\n" + table({"metric", "value"}, rows);
+}
+
+std::string Dashboard::render(SimTime from, SimTime to) const {
+  std::string out;
+  out += system_summary();
+  out += '\n';
+  out += storage_evolution(from, to);
+  out += '\n';
+  out += physical_parameters(from, to);
+  out += '\n';
+  out += blob_access_patterns(from, to);
+  out += '\n';
+  out += chunk_distribution();
+  out += '\n';
+  out += client_activity(from, to);
+  return out;
+}
+
+}  // namespace bs::viz

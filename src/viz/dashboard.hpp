@@ -1,0 +1,48 @@
+// The visualization tool of §IV-A: renders "synthetic images of the most
+// relevant events in BlobSeer" — the evolution of physical parameters (CPU
+// load, memory), per-provider and system-level storage space, BLOB access
+// patterns, and the distribution of BLOBs across providers — from the data
+// the introspection layer yields.
+#pragma once
+
+#include <string>
+
+#include "intro/introspection.hpp"
+#include "mon/layer.hpp"
+#include "viz/chart.hpp"
+
+namespace bs::viz {
+
+class Dashboard {
+ public:
+  explicit Dashboard(const intro::IntrospectionService& introspection)
+      : intro_(introspection) {}
+
+  /// Storage space per provider and at the system level over [from, to).
+  [[nodiscard]] std::string storage_evolution(SimTime from, SimTime to) const;
+
+  /// Physical parameters (CPU / memory) of the monitored nodes.
+  [[nodiscard]] std::string physical_parameters(SimTime from,
+                                                SimTime to) const;
+
+  /// BLOB access patterns (read/write bytes per blob).
+  [[nodiscard]] std::string blob_access_patterns(SimTime from,
+                                                 SimTime to) const;
+
+  /// Distribution of chunks across providers (bar chart).
+  [[nodiscard]] std::string chunk_distribution() const;
+
+  /// Per-client activity summary (feeds the security demo).
+  [[nodiscard]] std::string client_activity(SimTime from, SimTime to) const;
+
+  /// Current snapshot as a table.
+  [[nodiscard]] std::string system_summary() const;
+
+  /// The whole dashboard.
+  [[nodiscard]] std::string render(SimTime from, SimTime to) const;
+
+ private:
+  const intro::IntrospectionService& intro_;
+};
+
+}  // namespace bs::viz

@@ -1,0 +1,50 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+
+namespace bs::workload {
+
+void ThroughputTracker::record(SimTime end, double bytes,
+                               SimDuration duration) {
+  total_ += bytes;
+  const SimTime start = end - std::max<SimDuration>(duration, 1);
+  const auto first_bin = start / bin_;
+  const auto last_bin = end / bin_;
+  if (first_bin == last_bin) {
+    bins_[first_bin] += bytes;
+    return;
+  }
+  const double per_ns =
+      bytes / static_cast<double>(std::max<SimDuration>(end - start, 1));
+  for (auto b = first_bin; b <= last_bin; ++b) {
+    const SimTime bin_lo = b * bin_;
+    const SimTime bin_hi = bin_lo + bin_;
+    const SimTime lo = std::max(start, bin_lo);
+    const SimTime hi = std::min(end, bin_hi);
+    if (hi > lo) bins_[b] += per_ns * static_cast<double>(hi - lo);
+  }
+}
+
+std::vector<double> ThroughputTracker::mbps_series(SimTime from,
+                                                   SimTime to) const {
+  std::vector<double> out;
+  const double bin_sec = simtime::to_seconds(bin_);
+  for (SimTime t = from; t < to; t += bin_) {
+    const auto it = bins_.find(t / bin_);
+    const double bytes = it == bins_.end() ? 0.0 : it->second;
+    out.push_back(bytes / bin_sec / 1e6);
+  }
+  return out;
+}
+
+double ThroughputTracker::mean_mbps(SimTime from, SimTime to) const {
+  double bytes = 0;
+  for (const auto& [bin, b] : bins_) {
+    const SimTime lo = bin * bin_;
+    if (lo >= from && lo < to) bytes += b;
+  }
+  const double sec = simtime::to_seconds(to - from);
+  return sec > 0 ? bytes / sec / 1e6 : 0;
+}
+
+}  // namespace bs::workload

@@ -1,0 +1,59 @@
+// Experiment instrumentation: aggregate and per-client throughput tracking
+// over simulated time, used by the benchmark harness to regenerate the
+// paper's timelines and throughput tables.
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace bs::workload {
+
+/// Bins bytes moved into fixed intervals; an operation's bytes are spread
+/// uniformly across the bins its duration covers, giving smooth,
+/// integrable throughput timelines.
+class ThroughputTracker {
+ public:
+  explicit ThroughputTracker(SimDuration bin = simtime::seconds(1))
+      : bin_(bin) {}
+
+  /// Records an operation that moved `bytes` and finished at `end`, having
+  /// taken `duration`.
+  void record(SimTime end, double bytes, SimDuration duration);
+
+  /// MB/s per bin over [from, to).
+  [[nodiscard]] std::vector<double> mbps_series(SimTime from,
+                                                SimTime to) const;
+
+  /// Mean MB/s over [from, to).
+  [[nodiscard]] double mean_mbps(SimTime from, SimTime to) const;
+
+  [[nodiscard]] double total_bytes() const { return total_; }
+  [[nodiscard]] SimDuration bin() const { return bin_; }
+
+ private:
+  SimDuration bin_;
+  std::map<std::int64_t, double> bins_;  // bin index -> bytes
+  double total_{0};
+};
+
+/// Outcome summary of one workload client.
+struct ClientRunStats {
+  ClientId client{};
+  std::uint64_t bytes_done{0};
+  std::uint64_t ops_ok{0};
+  std::uint64_t ops_failed{0};
+  SimTime started{0};
+  SimTime finished{0};
+  RunningStats op_throughput_bps;  ///< per-op throughput samples
+  RunningStats op_duration_sec;
+
+  /// Whole-run effective throughput in MB/s.
+  [[nodiscard]] double run_mbps() const {
+    const double sec = simtime::to_seconds(finished - started);
+    return sec > 0 ? static_cast<double>(bytes_done) / sec / 1e6 : 0;
+  }
+};
+
+}  // namespace bs::workload

@@ -1,0 +1,357 @@
+// End-to-end tests of a full BlobSeer deployment on the simulated cluster:
+// writes, reads, versioning, appends, replication, failover, concurrency.
+#include <gtest/gtest.h>
+
+#include "blob/deployment.hpp"
+#include "test_util.hpp"
+
+namespace bs::blob {
+namespace {
+
+DeploymentConfig small_config() {
+  DeploymentConfig cfg;
+  cfg.sites = 3;
+  cfg.data_providers = 6;
+  cfg.metadata_providers = 2;
+  cfg.provider_capacity = 4ull * units::GB;
+  return cfg;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return v;
+}
+
+TEST(BlobE2E, CreateWriteReadRoundTrip) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+    auto blob = co_await c.create(/*chunk_size=*/1 * units::MB);
+    if (!blob.ok()) co_return blob.error();
+
+    auto data = pattern_bytes(3 * units::MB + 123, 7);
+    auto expected = data;
+    auto w = co_await c.write(*blob, 0, Payload::from_bytes(std::move(data)));
+    if (!w.ok()) co_return w.error();
+    if (w.value().version != 1) co_return Error{Errc::internal, "version"};
+
+    auto r = co_await c.read(*blob, 0, 3 * units::MB + 123);
+    if (!r.ok()) co_return r.error();
+    if (r.value().bytes != 3 * units::MB + 123) {
+      co_return Error{Errc::internal, "byte count"};
+    }
+    auto assembled = r.value().assemble(0, 3 * units::MB + 123);
+    if (!assembled.has_value()) co_return Error{Errc::internal, "assemble"};
+    if (*assembled != expected) co_return Error{Errc::internal, "content"};
+    co_return 0;
+  }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, SyntheticPayloadChecksumsVerify) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(4 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        Payload p = Payload::synthetic(10 * units::MB, /*content_id=*/99);
+        auto w = co_await c.write(*blob, 0, p);
+        if (!w.ok()) co_return w.error();
+        auto r = co_await c.read(*blob, 0, 10 * units::MB);
+        if (!r.ok()) co_return r.error();
+        // Chunk checksums must match what the writer derived.
+        for (const auto& ch : r.value().chunks) {
+          if (ch.hole) co_return Error{Errc::internal, "hole"};
+          const std::uint64_t expect =
+              hash_combine(p.checksum, ch.chunk_index);
+          if (ch.checksum != expect) {
+            co_return Error{Errc::internal, "checksum"};
+          }
+        }
+        co_return 0;
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, AppendsProduceVersionsAndGrowSize) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        for (int i = 1; i <= 5; ++i) {
+          auto w = co_await c.append(
+              *blob, Payload::synthetic(2 * units::MB, i));
+          if (!w.ok()) co_return w.error();
+          if (w.value().version != static_cast<Version>(i)) {
+            co_return Error{Errc::internal, "version sequence"};
+          }
+        }
+        auto d = co_await c.stat(*blob);
+        if (!d.ok()) co_return d.error();
+        if (d.value().latest.size != 10 * units::MB) {
+          co_return Error{Errc::internal, "size"};
+        }
+        auto vs = co_await c.versions(*blob);
+        if (!vs.ok()) co_return vs.error();
+        if (vs.value().size() != 5) co_return Error{Errc::internal, "#vers"};
+        co_return 0;
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, OldVersionsRemainReadable) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        // v1: content A everywhere; v2: content B over the first chunk.
+        auto a = pattern_bytes(2 * units::MB, 1);
+        auto w1 = co_await c.write(*blob, 0, Payload::from_bytes(a));
+        if (!w1.ok()) co_return w1.error();
+        auto b = pattern_bytes(1 * units::MB, 2);
+        auto w2 = co_await c.write(*blob, 0, Payload::from_bytes(b));
+        if (!w2.ok()) co_return w2.error();
+
+        // Version 1 still shows A in chunk 0.
+        auto r1 = co_await c.read(*blob, 0, 1 * units::MB, 1);
+        if (!r1.ok()) co_return r1.error();
+        auto d1 = r1.value().assemble(0, 1 * units::MB);
+        if (!d1 || !std::equal(d1->begin(), d1->end(), a.begin())) {
+          co_return Error{Errc::internal, "v1 content changed"};
+        }
+        // Latest shows B in chunk 0, A in chunk 1.
+        auto r2 = co_await c.read(*blob, 0, 2 * units::MB);
+        if (!r2.ok()) co_return r2.error();
+        auto d2 = r2.value().assemble(0, 2 * units::MB);
+        if (!d2) co_return Error{Errc::internal, "assemble v2"};
+        if (!std::equal(b.begin(), b.end(), d2->begin())) {
+          co_return Error{Errc::internal, "v2 head"};
+        }
+        if (!std::equal(a.begin() + units::MB, a.end(),
+                        d2->begin() + units::MB)) {
+          co_return Error{Errc::internal, "v2 tail"};
+        }
+        co_return 0;
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, SparseWriteLeavesHoles) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        // Write 1 MB at offset 4 MB; chunks 0-3 are holes.
+        auto w = co_await c.write(*blob, 4 * units::MB,
+                                  Payload::synthetic(1 * units::MB, 5));
+        if (!w.ok()) co_return w.error();
+        auto r = co_await c.read(*blob, 0, 5 * units::MB);
+        if (!r.ok()) co_return r.error();
+        std::size_t holes = 0, data = 0;
+        for (const auto& ch : r.value().chunks) {
+          (ch.hole ? holes : data)++;
+        }
+        if (holes != 4 || data != 1) {
+          co_return Error{Errc::internal, "hole layout"};
+        }
+        if (r.value().bytes != 1 * units::MB) {
+          co_return Error{Errc::internal, "bytes"};
+        }
+        co_return 0;
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, UnalignedWriteRejected) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        auto w = co_await c.write(*blob, 12345,
+                                  Payload::synthetic(1 * units::MB, 1));
+        co_return w.ok() ? Result<int>{0} : Result<int>{w.error()};
+      }(*client));
+  EXPECT_EQ(result.code(), Errc::invalid_argument);
+}
+
+TEST(BlobE2E, ReadOfUnknownBlobAndVersionFails) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  BlobClient* client = dep.add_client();
+  auto r1 = test::run_task(
+      sim, client->read(BlobId{404}, 0, 100));
+  EXPECT_EQ(r1.code(), Errc::not_found);
+
+  auto r2 = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<ReadResult>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        (void)co_await c.write(*blob, 0, Payload::synthetic(units::MB, 1));
+        co_return co_await c.read(*blob, 0, 100, /*version=*/9);
+      }(*client));
+  EXPECT_EQ(r2.code(), Errc::not_found);
+}
+
+TEST(BlobE2E, ReplicationSurvivesProviderLoss) {
+  sim::Simulation sim;
+  auto cfg = small_config();
+  Deployment dep(sim, cfg);
+  BlobClient* client = dep.add_client();
+
+  auto setup = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<BlobId>> {
+        auto blob = co_await c.create(1 * units::MB, /*replication=*/3);
+        if (!blob.ok()) co_return blob.error();
+        auto w = co_await c.write(*blob, 0,
+                                  Payload::synthetic(4 * units::MB, 11));
+        if (!w.ok()) co_return w.error();
+        co_return *blob;
+      }(*client));
+  ASSERT_TRUE(setup.ok()) << setup.error().to_string();
+
+  // Kill two of the six providers; with replication 3 every chunk still
+  // has at least one live replica.
+  dep.cluster().retire_node(dep.providers()[0]->id());
+  dep.cluster().retire_node(dep.providers()[1]->id());
+
+  auto read = test::run_task(
+      sim, client->read(setup.value(), 0, 4 * units::MB));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(read.value().bytes, 4 * units::MB);
+}
+
+TEST(BlobE2E, WriteFailsWhenPoolExhausted) {
+  sim::Simulation sim;
+  auto cfg = small_config();
+  cfg.provider_capacity = 2 * units::MB;  // tiny providers
+  Deployment dep(sim, cfg);
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<int>> {
+        auto blob = co_await c.create(1 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        // 6 providers x 2 MB = 12 MB total; a 30 MB write cannot fit.
+        auto w = co_await c.write(*blob, 0,
+                                  Payload::synthetic(30 * units::MB, 1));
+        if (w.ok()) co_return Error{Errc::internal, "should have failed"};
+        // The failed write must not have published a version.
+        auto d = co_await c.stat(*blob);
+        if (!d.ok()) co_return d.error();
+        if (d.value().latest.version != 0) {
+          co_return Error{Errc::internal, "phantom version"};
+        }
+        co_return 0;
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+}
+
+TEST(BlobE2E, ConcurrentAppendersSerializeCleanly) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  const int n_clients = 6;
+  std::vector<BlobClient*> clients;
+  for (int i = 0; i < n_clients; ++i) clients.push_back(dep.add_client());
+
+  auto blob = test::run_task(sim, clients[0]->create(1 * units::MB));
+  ASSERT_TRUE(blob.ok());
+
+  sim::WaitGroup wg(sim);
+  std::vector<Result<WriteReceipt>> receipts(
+      n_clients, Result<WriteReceipt>{Errc::internal});
+  for (int i = 0; i < n_clients; ++i) {
+    wg.launch([](BlobClient& c, BlobId b, int idx,
+                 Result<WriteReceipt>& out) -> sim::Task<void> {
+      out = co_await c.append(b, Payload::synthetic(2 * units::MB, idx));
+    }(*clients[static_cast<std::size_t>(i)], blob.value(), i, receipts[i]));
+  }
+  test::run_task_void(sim, [](sim::WaitGroup& w) -> sim::Task<void> {
+    co_await w.wait();
+  }(wg));
+
+  std::set<Version> versions;
+  std::set<std::uint64_t> offsets;
+  for (const auto& r : receipts) {
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    versions.insert(r.value().version);
+    offsets.insert(r.value().offset);
+  }
+  // All versions distinct 1..6; all offsets distinct and chunk-aligned.
+  EXPECT_EQ(versions.size(), static_cast<std::size_t>(n_clients));
+  EXPECT_EQ(*versions.begin(), 1u);
+  EXPECT_EQ(*versions.rbegin(), static_cast<Version>(n_clients));
+  EXPECT_EQ(offsets.size(), static_cast<std::size_t>(n_clients));
+
+  auto d = test::run_task(sim, clients[0]->stat(blob.value()));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().latest.size,
+            static_cast<std::uint64_t>(n_clients) * 2 * units::MB);
+
+  // Every version snapshot is fully readable.
+  for (Version v = 1; v <= static_cast<Version>(n_clients); ++v) {
+    auto r = test::run_task(
+        sim, clients[1]->read(blob.value(), 0, 64 * units::MB, v));
+    ASSERT_TRUE(r.ok()) << "version " << v << ": "
+                        << r.error().to_string();
+  }
+}
+
+TEST(BlobE2E, WriteThroughputBoundedByNic) {
+  // A single writer on a 1 Gb/s NIC cannot exceed 125 MB/s and should get
+  // close to it with parallel chunk puts to distinct providers.
+  sim::Simulation sim;
+  auto cfg = small_config();
+  cfg.data_providers = 8;
+  Deployment dep(sim, cfg);
+  BlobClient* client = dep.add_client();
+
+  auto result = test::run_task(
+      sim, [](BlobClient& c) -> sim::Task<Result<WriteReceipt>> {
+        auto blob = co_await c.create(8 * units::MB);
+        if (!blob.ok()) co_return blob.error();
+        co_return co_await c.write(
+            *blob, 0, Payload::synthetic(256 * units::MB, 1));
+      }(*client));
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const double mbps = result.value().throughput_bps() / 1e6;
+  EXPECT_LT(mbps, 126.0);
+  EXPECT_GT(mbps, 80.0);
+}
+
+TEST(BlobE2E, ProviderRegistryReflectsHeartbeats) {
+  sim::Simulation sim;
+  Deployment dep(sim, small_config());
+  sim.run_until(simtime::seconds(10));
+  EXPECT_EQ(dep.provider_manager().provider_count(), 6u);
+
+  // Take one provider down; the reaper expires it after ~3 intervals.
+  dep.cluster().retire_node(dep.providers()[3]->id());
+  sim.run_until(simtime::seconds(30));
+  EXPECT_EQ(dep.provider_manager().provider_count(), 5u);
+}
+
+}  // namespace
+}  // namespace bs::blob

@@ -1,0 +1,261 @@
+// Unit + property tests of the versioned segment tree: build_nodes/collect
+// against a brute-force reference model of BlobSeer's shadowing semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blob/meta_ops.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace bs::blob {
+namespace {
+
+using meta_ops::LeafRef;
+
+ChunkDescriptor make_leaf(BlobId blob, Version v, std::uint64_t index,
+                          std::uint64_t size) {
+  ChunkDescriptor d;
+  d.key = ChunkKey{blob, v, index};
+  d.size = size;
+  d.checksum = hash_combine(v, index);
+  d.replicas = {NodeId{index % 4}};
+  return d;
+}
+
+std::vector<ChunkDescriptor> make_leaves(BlobId blob, const WriteExtent& w,
+                                         std::uint64_t chunk_size) {
+  std::vector<ChunkDescriptor> out;
+  for (std::uint64_t i = 0; i < w.chunk_count; ++i) {
+    out.push_back(make_leaf(blob, w.version, w.first_chunk + i, chunk_size));
+  }
+  return out;
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1ull << 40), 1ull << 40);
+}
+
+TEST(SubtreeVersion, PicksLatestOverlapping) {
+  std::vector<WriteExtent> history{
+      {1, 0, 4, 4},   // v1 covers chunks [0,4)
+      {2, 2, 2, 4},   // v2 covers [2,4)
+      {3, 6, 2, 8},   // v3 covers [6,8)
+  };
+  EXPECT_EQ(meta_ops::subtree_version(history, 3, 0, 2), 1u);
+  EXPECT_EQ(meta_ops::subtree_version(history, 3, 2, 2), 2u);
+  EXPECT_EQ(meta_ops::subtree_version(history, 1, 2, 2), 1u);
+  EXPECT_EQ(meta_ops::subtree_version(history, 3, 4, 2), kInvalidVersion);
+  EXPECT_EQ(meta_ops::subtree_version(history, 3, 6, 2), 3u);
+  EXPECT_EQ(meta_ops::subtree_version(history, 2, 6, 2), kInvalidVersion);
+  EXPECT_EQ(meta_ops::subtree_version(history, 3, 0, 8), 3u);
+}
+
+TEST(BuildNodes, SingleChunkBlobProducesRootLeaf) {
+  const BlobId blob{1};
+  WriteExtent w{1, 0, 1, 1};
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, {}, 1);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].first, (NodeKey{blob, 1, 0, 1}));
+  EXPECT_TRUE(nodes[0].second.leaf);
+  EXPECT_EQ(nodes[0].second.chunk.key.index, 0u);
+}
+
+TEST(BuildNodes, FullTreeNodeCount) {
+  // Writing all 8 chunks of an 8-chunk tree: 8 leaves + 7 inner = 15 nodes.
+  const BlobId blob{1};
+  WriteExtent w{1, 0, 8, 8};
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, {}, 8);
+  EXPECT_EQ(nodes.size(), 15u);
+}
+
+TEST(BuildNodes, PartialWriteBorrowsSiblings) {
+  const BlobId blob{1};
+  // v1 wrote all 4 chunks; v2 rewrites chunk 1 only.
+  std::vector<WriteExtent> history{{1, 0, 4, 4}};
+  WriteExtent w{2, 1, 1, 4};
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, history, 4);
+  // Path: leaf(1) + inner(0,2) + root(0,4) = 3 nodes.
+  ASSERT_EQ(nodes.size(), 3u);
+  std::map<NodeKey, TreeNode> by_key(nodes.begin(), nodes.end());
+  const auto& root = by_key.at(NodeKey{blob, 2, 0, 4});
+  EXPECT_EQ(root.left_version, 2u);
+  EXPECT_EQ(root.right_version, 1u);  // borrowed
+  const auto& inner = by_key.at(NodeKey{blob, 2, 0, 2});
+  EXPECT_EQ(inner.left_version, 1u);  // borrowed leaf 0
+  EXPECT_EQ(inner.right_version, 2u);
+}
+
+TEST(BuildNodes, AppendBeyondOldRootCreatesNewLevels) {
+  const BlobId blob{1};
+  std::vector<WriteExtent> history{{1, 0, 2, 2}};  // old root covered 2 chunks
+  WriteExtent w{2, 2, 2, 4};                    // append chunks [2,4)
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, history, 4);
+  std::map<NodeKey, TreeNode> by_key(nodes.begin(), nodes.end());
+  const auto& root = by_key.at(NodeKey{blob, 2, 0, 4});
+  EXPECT_EQ(root.left_version, 1u);   // old root subtree borrowed
+  EXPECT_EQ(root.right_version, 2u);  // new half
+}
+
+TEST(BuildNodes, BridgesOverShorterBorrowedTrees) {
+  // v1 wrote only chunk 0 (its whole tree is one leaf, root_chunks=1);
+  // v2 writes chunks [2,4), so v2's root covers 4 chunks. The untouched
+  // half [0,2) is taller than v1's entire tree: v2 must emit a bridge
+  // node (0,2) pointing down at v1's root and a hole at chunk 1.
+  const BlobId blob{1};
+  std::vector<WriteExtent> history{{1, 0, 1, 1}};
+  WriteExtent w{2, 2, 2, 4};
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, history, 4);
+  std::map<NodeKey, TreeNode> by_key(nodes.begin(), nodes.end());
+  const auto& root = by_key.at(NodeKey{blob, 2, 0, 4});
+  EXPECT_EQ(root.left_version, 2u);  // the bridge, owned by v2
+  EXPECT_EQ(root.right_version, 2u);
+  const auto& bridge = by_key.at(NodeKey{blob, 2, 0, 2});
+  EXPECT_FALSE(bridge.leaf);
+  EXPECT_EQ(bridge.left_version, 1u);  // v1's root leaf
+  EXPECT_EQ(bridge.right_version, kInvalidVersion);
+}
+
+TEST(BuildNodes, HoleChildrenAreInvalid) {
+  const BlobId blob{1};
+  WriteExtent w{1, 3, 1, 4};  // only chunk 3 of a 4-chunk tree
+  auto leaves = make_leaves(blob, w, 100);
+  auto nodes = meta_ops::build_nodes(blob, w, leaves, {}, 4);
+  std::map<NodeKey, TreeNode> by_key(nodes.begin(), nodes.end());
+  const auto& root = by_key.at(NodeKey{blob, 1, 0, 4});
+  EXPECT_EQ(root.left_version, kInvalidVersion);
+  const auto& right = by_key.at(NodeKey{blob, 1, 2, 2});
+  EXPECT_EQ(right.left_version, kInvalidVersion);
+  EXPECT_EQ(right.right_version, 1u);
+}
+
+// ---------------------------------------------------------------- property
+
+struct Model {
+  // All committed writes in version order.
+  std::vector<WriteExtent> history;
+
+  /// Expected owner version of chunk `idx` at snapshot `v`.
+  Version owner(Version v, std::uint64_t idx) const {
+    Version best = kInvalidVersion;
+    for (const auto& w : history) {
+      if (w.version <= v && w.overlaps(idx, 1)) {
+        if (best == kInvalidVersion || w.version > best) best = w.version;
+      }
+    }
+    return best;
+  }
+};
+
+class MetaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetaPropertyTest, RandomWriteSequencesMatchReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  sim::Simulation sim;
+  InMemoryMetadataStore store;
+  const BlobId blob{7};
+  const std::uint64_t chunk_size = 64;
+
+  Model model;
+  std::vector<std::uint64_t> root_chunks_at;  // per version (1-based)
+  std::uint64_t reserved_chunks = 0;
+
+  const int n_writes = 24;
+  for (int i = 0; i < n_writes; ++i) {
+    const Version v = static_cast<Version>(i + 1);
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 60));
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 12));
+    WriteExtent w{v, first, count, 0};
+    reserved_chunks = std::max(reserved_chunks, first + count);
+    const std::uint64_t root = next_pow2(reserved_chunks);
+    w.root_chunks = root;
+    root_chunks_at.push_back(root);
+
+    auto leaves = make_leaves(blob, w, chunk_size);
+    auto nodes =
+        meta_ops::build_nodes(blob, w, leaves, model.history, root);
+    for (auto& [key, node] : nodes) {
+      test::run_task(sim, store.put(key, node));
+    }
+    model.history.push_back(w);
+  }
+
+  // Check random range reads at random versions against the model.
+  for (int q = 0; q < 200; ++q) {
+    const Version v =
+        static_cast<Version>(rng.uniform_int(1, n_writes));
+    const std::uint64_t root = root_chunks_at[v - 1];
+    const std::uint64_t lo =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 70));
+    const std::uint64_t count =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 16));
+    const std::uint64_t clipped_lo = std::min(lo, root);
+    const std::uint64_t clipped_count = std::min(count, root - clipped_lo);
+    if (clipped_count == 0) continue;
+
+    auto leaves = test::run_task(
+        sim, meta_ops::collect(sim, store, blob, v, root, clipped_lo,
+                               clipped_count));
+    ASSERT_TRUE(leaves.ok()) << leaves.error().to_string();
+    ASSERT_EQ(leaves.value().size(), clipped_count);
+    for (std::uint64_t k = 0; k < clipped_count; ++k) {
+      const LeafRef& leaf = leaves.value()[k];
+      const std::uint64_t idx = clipped_lo + k;
+      EXPECT_EQ(leaf.chunk_index, idx);
+      const Version expect = model.owner(v, idx);
+      if (expect == kInvalidVersion) {
+        EXPECT_TRUE(leaf.hole) << "chunk " << idx << " @v" << v;
+      } else {
+        ASSERT_FALSE(leaf.hole) << "chunk " << idx << " @v" << v;
+        EXPECT_EQ(leaf.chunk.key.version, expect);
+        EXPECT_EQ(leaf.chunk.key.index, idx);
+        EXPECT_EQ(leaf.chunk.checksum, hash_combine(expect, idx));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(InMemoryStore, GetMissingFails) {
+  sim::Simulation sim;
+  InMemoryMetadataStore store;
+  auto r = test::run_task(sim, store.get(NodeKey{BlobId{1}, 1, 0, 1}));
+  EXPECT_EQ(r.code(), Errc::not_found);
+}
+
+TEST(InMemoryStore, PutIsIdempotentOverwrite) {
+  sim::Simulation sim;
+  InMemoryMetadataStore store;
+  NodeKey key{BlobId{1}, 1, 0, 2};
+  TreeNode a;
+  a.left_version = 1;
+  TreeNode b;
+  b.left_version = 2;
+  (void)test::run_task(sim, store.put(key, a));
+  (void)test::run_task(sim, store.put(key, b));
+  auto r = test::run_task(sim, store.get(key));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().left_version, 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bs::blob

@@ -1,0 +1,288 @@
+// Data-provider storage semantics and provider-manager allocation
+// behaviour (strategies, exclusion, liveness, decommission).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blob/data_provider.hpp"
+#include "blob/provider_manager.hpp"
+#include "test_util.hpp"
+
+namespace bs::blob {
+namespace {
+
+// ----------------------------------------------------------- DataProvider
+
+class ProviderTest : public ::testing::Test {
+ protected:
+  ProviderTest() : cluster_(sim_, net::Topology::single_site()) {
+    node_ = cluster_.add_node(0);
+    DataProviderOptions opts;
+    opts.capacity = 1000;
+    provider_ = std::make_unique<DataProvider>(*node_, opts);
+    client_ = cluster_.add_node(0);
+  }
+
+  template <class Req, class Resp>
+  Result<Resp> call(Req req) {
+    return test::run_task(
+        sim_, cluster_.call<Req, Resp>(*client_, node_->id(),
+                                       std::move(req)));
+  }
+
+  Result<PutChunkResp> put(std::uint64_t index, std::uint64_t size,
+                           std::uint64_t content = 1) {
+    PutChunkReq req;
+    req.key = ChunkKey{BlobId{1}, 1, index};
+    req.payload = Payload::synthetic(size, content);
+    return call<PutChunkReq, PutChunkResp>(std::move(req));
+  }
+
+  sim::Simulation sim_;
+  rpc::Cluster cluster_;
+  rpc::Node* node_;
+  std::unique_ptr<DataProvider> provider_;
+  rpc::Node* client_;
+};
+
+TEST_F(ProviderTest, StoresAndAccountsCapacity) {
+  ASSERT_TRUE(put(0, 400).ok());
+  ASSERT_TRUE(put(1, 400).ok());
+  EXPECT_EQ(provider_->used(), 800u);
+  EXPECT_EQ(provider_->free_space(), 200u);
+  EXPECT_EQ(provider_->chunk_count(), 2u);
+  // Third chunk does not fit.
+  EXPECT_EQ(put(2, 400).code(), Errc::out_of_space);
+  EXPECT_EQ(provider_->used(), 800u);
+}
+
+TEST_F(ProviderTest, RePutIsIdempotent) {
+  ASSERT_TRUE(put(0, 400).ok());
+  ASSERT_TRUE(put(0, 400).ok());  // retry after e.g. lost response
+  EXPECT_EQ(provider_->used(), 400u);
+  EXPECT_EQ(provider_->chunk_count(), 1u);
+}
+
+TEST_F(ProviderTest, PartialReads) {
+  std::vector<std::uint8_t> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  PutChunkReq req;
+  req.key = ChunkKey{BlobId{1}, 1, 0};
+  req.payload = Payload::from_bytes(data);
+  ASSERT_TRUE((call<PutChunkReq, PutChunkResp>(std::move(req))).ok());
+
+  GetChunkReq get;
+  get.key = ChunkKey{BlobId{1}, 1, 0};
+  get.offset = 10;
+  get.length = 20;
+  auto r = call<GetChunkReq, GetChunkResp>(get);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().payload.size, 20u);
+  ASSERT_NE(r.value().payload.bytes, nullptr);
+  EXPECT_EQ((*r.value().payload.bytes)[0], 10);
+  EXPECT_EQ((*r.value().payload.bytes)[19], 29);
+
+  // Read past end clipped; read starting past end fails.
+  get.offset = 90;
+  get.length = 50;
+  auto tail = call<GetChunkReq, GetChunkResp>(get);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().payload.size, 10u);
+  get.offset = 150;
+  EXPECT_EQ((call<GetChunkReq, GetChunkResp>(get)).code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(ProviderTest, GetMissingChunkFails) {
+  GetChunkReq get;
+  get.key = ChunkKey{BlobId{9}, 1, 0};
+  EXPECT_EQ((call<GetChunkReq, GetChunkResp>(get)).code(), Errc::not_found);
+}
+
+TEST_F(ProviderTest, RemoveFreesSpace) {
+  ASSERT_TRUE(put(0, 600).ok());
+  RemoveChunkReq rm;
+  rm.key = ChunkKey{BlobId{1}, 1, 0};
+  auto r = call<RemoveChunkReq, RemoveChunkResp>(rm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().removed);
+  EXPECT_EQ(provider_->used(), 0u);
+  // Removing again reports not-removed but succeeds.
+  auto again = call<RemoveChunkReq, RemoveChunkResp>(rm);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value().removed);
+}
+
+TEST_F(ProviderTest, RemoveBlobChunksSweepsOneBlobOnly) {
+  ASSERT_TRUE(put(0, 100).ok());
+  ASSERT_TRUE(put(1, 100).ok());
+  PutChunkReq other;
+  other.key = ChunkKey{BlobId{2}, 1, 0};
+  other.payload = Payload::synthetic(100, 1);
+  ASSERT_TRUE((call<PutChunkReq, PutChunkResp>(std::move(other))).ok());
+
+  RemoveBlobChunksReq rm;
+  rm.blob = BlobId{1};
+  auto r = call<RemoveBlobChunksReq, RemoveBlobChunksResp>(rm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().chunks_removed, 2u);
+  EXPECT_EQ(r.value().bytes_freed, 200u);
+  EXPECT_EQ(provider_->chunk_count(), 1u);
+}
+
+TEST_F(ProviderTest, ReplicateCopiesToPeer) {
+  rpc::Node* peer_node = cluster_.add_node(0);
+  DataProvider peer(*peer_node);
+  ASSERT_TRUE(put(0, 100).ok());
+  ReplicateChunkReq rep;
+  rep.key = ChunkKey{BlobId{1}, 1, 0};
+  rep.target = peer_node->id();
+  ASSERT_TRUE((call<ReplicateChunkReq, ReplicateChunkResp>(rep)).ok());
+  EXPECT_TRUE(peer.has_chunk(ChunkKey{BlobId{1}, 1, 0}));
+  // Replicating a chunk we do not hold fails.
+  rep.key = ChunkKey{BlobId{1}, 1, 99};
+  EXPECT_EQ((call<ReplicateChunkReq, ReplicateChunkResp>(rep)).code(),
+            Errc::not_found);
+}
+
+TEST_F(ProviderTest, WipeDropsEverything) {
+  ASSERT_TRUE(put(0, 100).ok());
+  ASSERT_TRUE(put(1, 100).ok());
+  provider_->wipe();
+  EXPECT_EQ(provider_->used(), 0u);
+  EXPECT_EQ(provider_->chunk_count(), 0u);
+}
+
+// -------------------------------------------------------- ProviderManager
+
+class PmTest : public ::testing::Test {
+ protected:
+  PmTest() : cluster_(sim_, net::Topology::single_site()) {}
+
+  void boot(const std::string& strategy, std::size_t providers,
+            std::uint64_t capacity = units::GB) {
+    ProviderManagerOptions opts;
+    opts.strategy = strategy;
+    pm_node_ = cluster_.add_node(0);
+    pm_ = std::make_unique<ProviderManager>(*pm_node_, opts);
+    client_ = cluster_.add_node(0);
+    for (std::size_t i = 0; i < providers; ++i) {
+      RegisterProviderReq reg;
+      reg.provider = NodeId{100 + i};
+      reg.capacity = capacity;
+      auto r = test::run_task(
+          sim_, cluster_.call<RegisterProviderReq, RegisterProviderResp>(
+                    *client_, pm_node_->id(), reg));
+      ASSERT_TRUE(r.ok());
+    }
+  }
+
+  Result<AllocateResp> allocate(std::uint64_t chunks, std::uint32_t repl,
+                                std::vector<NodeId> exclude = {},
+                                std::uint64_t chunk_size = units::MB) {
+    AllocateReq req;
+    req.blob = BlobId{1};
+    req.version = 1;
+    req.chunk_count = chunks;
+    req.chunk_size = chunk_size;
+    req.replication = repl;
+    req.exclude = std::move(exclude);
+    return test::run_task(sim_,
+                          cluster_.call<AllocateReq, AllocateResp>(
+                              *client_, pm_node_->id(), std::move(req)));
+  }
+
+  sim::Simulation sim_;
+  rpc::Cluster cluster_;
+  rpc::Node* pm_node_{nullptr};
+  std::unique_ptr<ProviderManager> pm_;
+  rpc::Node* client_{nullptr};
+};
+
+TEST_F(PmTest, ReplicasAreDistinct) {
+  boot("random", 8);
+  auto r = allocate(10, 3);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().placements.size(), 10u);
+  for (const auto& replicas : r.value().placements) {
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<NodeId> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST_F(PmTest, RoundRobinSpreadsEvenly) {
+  boot("round_robin", 5);
+  auto r = allocate(20, 1);
+  ASSERT_TRUE(r.ok());
+  std::map<std::uint64_t, int> counts;
+  for (const auto& p : r.value().placements) ++counts[p[0].value];
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [id, n] : counts) EXPECT_EQ(n, 4);
+}
+
+TEST_F(PmTest, ExclusionRespected) {
+  boot("round_robin", 4);
+  auto r = allocate(8, 1, {NodeId{100}, NodeId{101}});
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r.value().placements) {
+    EXPECT_NE(p[0], NodeId{100});
+    EXPECT_NE(p[0], NodeId{101});
+  }
+}
+
+TEST_F(PmTest, FreeSpaceFilter) {
+  boot("round_robin", 3, /*capacity=*/units::MB);
+  // Chunks bigger than any provider's capacity cannot be placed.
+  auto r = allocate(1, 1, {}, 2 * units::MB);
+  EXPECT_EQ(r.code(), Errc::out_of_space);
+}
+
+TEST_F(PmTest, DecommissionedProvidersGetNoAllocations) {
+  boot("round_robin", 3);
+  SetDecommissionReq dec;
+  dec.provider = NodeId{101};
+  ASSERT_TRUE(
+      (test::run_task(sim_,
+                      cluster_.call<SetDecommissionReq, SetDecommissionResp>(
+                          *client_, pm_node_->id(), dec)))
+          .ok());
+  auto r = allocate(12, 1);
+  ASSERT_TRUE(r.ok());
+  for (const auto& p : r.value().placements) {
+    EXPECT_NE(p[0], NodeId{101});
+  }
+  EXPECT_EQ(pm_->alive_count(), 2u);
+}
+
+TEST_F(PmTest, HeartbeatFromUnknownProviderAsksReregistration) {
+  boot("round_robin", 1);
+  HeartbeatReq hb;
+  hb.provider = NodeId{999};
+  auto r = test::run_task(sim_, cluster_.call<HeartbeatReq, HeartbeatResp>(
+                                    *client_, pm_node_->id(), hb));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().known);
+}
+
+TEST_F(PmTest, ReplicationLargerThanPoolDegradesGracefully) {
+  boot("load_aware", 2);
+  auto r = allocate(1, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().placements[0].size(), 2u);  // best effort
+}
+
+TEST(AllocationScore, LoadAwareOrdersByPressure) {
+  ProviderEntry idle;
+  idle.capacity = 100;
+  idle.free_space = 90;
+  ProviderEntry busy = idle;
+  busy.pending_allocs = 5;
+  busy.store_rate = 2e8;
+  EXPECT_LT(LoadAwareStrategy::score(idle), LoadAwareStrategy::score(busy));
+}
+
+}  // namespace
+}  // namespace bs::blob

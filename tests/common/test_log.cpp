@@ -1,0 +1,60 @@
+// Logger behaviour: level gating, sink capture, simulated timestamps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace bs {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    Logger::instance().set_sink(
+        [this](const std::string& line) { lines_.push_back(line); });
+  }
+  ~LogTest() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_time_source(nullptr);
+    Logger::instance().set_level(LogLevel::warn);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, LevelGating) {
+  Logger::instance().set_level(LogLevel::warn);
+  BS_INFO("test", "hidden %d", 1);
+  BS_WARN("test", "shown %d", 2);
+  BS_ERROR("test", "also shown");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_NE(lines_[0].find("shown 2"), std::string::npos);
+  EXPECT_NE(lines_[0].find("WARN"), std::string::npos);
+  EXPECT_NE(lines_[1].find("ERROR"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::off);
+  BS_ERROR("test", "nope");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, ComponentAndFormatting) {
+  Logger::instance().set_level(LogLevel::debug);
+  BS_DEBUG("mycomp", "x=%s y=%.1f", "abc", 2.5);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("[mycomp]"), std::string::npos);
+  EXPECT_NE(lines_[0].find("x=abc y=2.5"), std::string::npos);
+}
+
+TEST_F(LogTest, TimeSourceStampsLines) {
+  Logger::instance().set_level(LogLevel::info);
+  Logger::instance().set_time_source(
+      [] { return simtime::seconds(1.5); });
+  BS_INFO("test", "stamped");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_NE(lines_[0].find("[1.500s]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,144 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace bs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::map<std::int64_t, int> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    ++seen[v];
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / n;
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ZipfSkewsTowardsLowRanks) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.zipf(10, 1.1)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], 4 * counts[9]);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, SplitIsReproducibleAndIndependent) {
+  // Identical derivations yield identical child streams.
+  Rng a(31), b(31);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+  // The child stream does not replay the parent continuation.
+  Rng p(31);
+  Rng child = p.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == p.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,120 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bs {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 7.0);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bins()[i], 1u);
+}
+
+TEST(Histogram, QuantilesApproximate) {
+  Histogram h(0.0, 100.0, 1000);
+  for (int i = 0; i < 10000; ++i) h.add((i % 100) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(Histogram, OverflowUnderflowTracked) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.quantile(0.0), 0.0);   // underflow reported at lo
+  EXPECT_GE(h.quantile(1.0), 1.0);   // overflow reported at hi
+}
+
+TEST(Histogram, SummaryNonEmpty) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.0);
+  EXPECT_NE(h.summary().find("count=1"), std::string::npos);
+}
+
+TEST(SlidingWindowCounter, CountsWithinWindow) {
+  SlidingWindowCounter c(simtime::seconds(10));
+  c.add(simtime::seconds(1));
+  c.add(simtime::seconds(5));
+  c.add(simtime::seconds(9));
+  EXPECT_DOUBLE_EQ(c.total(simtime::seconds(9)), 3.0);
+}
+
+TEST(SlidingWindowCounter, EvictsOldSamples) {
+  SlidingWindowCounter c(simtime::seconds(10));
+  c.add(simtime::seconds(1), 5.0);
+  c.add(simtime::seconds(8), 2.0);
+  EXPECT_DOUBLE_EQ(c.total(simtime::seconds(12)), 2.0);
+  EXPECT_DOUBLE_EQ(c.total(simtime::seconds(30)), 0.0);
+}
+
+TEST(SlidingWindowCounter, RatePerSecond) {
+  SlidingWindowCounter c(simtime::seconds(10));
+  for (int i = 0; i < 50; ++i) c.add(simtime::seconds(i * 0.2));
+  // 50 events in 10 s window.
+  EXPECT_NEAR(c.rate_per_sec(simtime::seconds(9.8)), 5.0, 0.1);
+}
+
+TEST(SlidingWindowCounter, WeightedAmounts) {
+  SlidingWindowCounter c(simtime::seconds(5));
+  c.add(simtime::seconds(1), 100.0);
+  c.add(simtime::seconds(2), 200.0);
+  EXPECT_DOUBLE_EQ(c.total(simtime::seconds(3)), 300.0);
+}
+
+}  // namespace
+}  // namespace bs

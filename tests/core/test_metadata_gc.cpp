@@ -1,0 +1,129 @@
+// Metadata GC: trimming removes the segment-tree nodes no kept snapshot
+// can reach, while every kept snapshot stays fully readable.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "intro/introspection.hpp"
+#include "test_util.hpp"
+
+namespace bs::core {
+namespace {
+
+std::size_t total_meta_nodes(blob::Deployment& dep) {
+  std::size_t n = 0;
+  for (auto& mp : dep.metadata_providers()) n += mp->node_count();
+  return n;
+}
+
+TEST(MetadataGc, TrimRemovesUnreachableNodesKeepsSnapshotsReadable) {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.sites = 2;
+  cfg.data_providers = 4;
+  cfg.metadata_providers = 2;
+  blob::Deployment dep(sim, cfg);
+
+  rpc::Node* intro_node = dep.cluster().add_node(0);
+  intro::IntrospectionService intro(*intro_node);
+  AutonomicController controller(dep, intro);
+
+  blob::BlobClient* client = dep.add_client();
+  auto blob = test::run_task(sim, client->create(1 * units::MB));
+  ASSERT_TRUE(blob.ok());
+
+  // Ten full overwrites of the same 4 MB region.
+  for (int i = 0; i < 10; ++i) {
+    auto w = test::run_task(
+        sim, client->write(*blob, 0,
+                           blob::Payload::synthetic(4 * units::MB, i)));
+    ASSERT_TRUE(w.ok());
+  }
+  const std::size_t nodes_before = total_meta_nodes(dep);
+  // 10 versions x (4 leaves + 3 inner) = 70 nodes.
+  EXPECT_EQ(nodes_before, 70u);
+
+  AdaptAction trim;
+  trim.type = AdaptAction::Type::trim_blob;
+  trim.blob = *blob;
+  trim.version = 9;  // keep v9, v10
+  auto r = test::run_task(sim, controller.executor().execute(trim));
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+
+  // Versions 1..8 fully overwritten by v9 -> all their nodes unreachable.
+  // Remaining: v9 + v10 = 14 nodes.
+  EXPECT_EQ(total_meta_nodes(dep), 14u);
+
+  // Chunks of trimmed versions were reclaimed too: 2 versions x 4 MB.
+  std::uint64_t used = 0;
+  for (auto& p : dep.providers()) used += p->used();
+  EXPECT_EQ(used, 8 * units::MB);
+
+  // Both kept snapshots read back perfectly.
+  for (blob::Version v : {9u, 10u}) {
+    auto read = test::run_task(
+        sim, client->read(*blob, 0, 4 * units::MB, v));
+    ASSERT_TRUE(read.ok()) << "v" << v << ": "
+                           << read.error().to_string();
+    EXPECT_EQ(read.value().bytes, 4 * units::MB);
+  }
+  // Trimmed snapshot is gone.
+  auto gone = test::run_task(sim, client->read(*blob, 0, 100, 3));
+  EXPECT_EQ(gone.code(), Errc::not_found);
+}
+
+TEST(MetadataGc, PartialOverwritesKeepSharedSubtrees) {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.sites = 1;
+  cfg.data_providers = 3;
+  cfg.metadata_providers = 1;
+  blob::Deployment dep(sim, cfg);
+  rpc::Node* intro_node = dep.cluster().add_node(0);
+  intro::IntrospectionService intro(*intro_node);
+  AutonomicController controller(dep, intro);
+
+  blob::BlobClient* client = dep.add_client();
+  auto blob = test::run_task(sim, client->create(1 * units::MB));
+  ASSERT_TRUE(blob.ok());
+
+  // v1 writes 4 chunks; v2 overwrites only chunk 0. Trimming to v2 must
+  // keep v1's chunks 1-3 (still visible at v2) and their leaves.
+  ASSERT_TRUE(test::run_task(sim, client->write(
+                                      *blob, 0,
+                                      blob::Payload::synthetic(
+                                          4 * units::MB, 1)))
+                  .ok());
+  ASSERT_TRUE(test::run_task(sim, client->write(
+                                      *blob, 0,
+                                      blob::Payload::synthetic(
+                                          1 * units::MB, 2)))
+                  .ok());
+
+  AdaptAction trim;
+  trim.type = AdaptAction::Type::trim_blob;
+  trim.blob = *blob;
+  trim.version = 2;
+  ASSERT_TRUE(
+      test::run_task(sim, controller.executor().execute(trim)).ok());
+
+  // v2's snapshot reads all 4 MB: chunk 0 from v2, chunks 1-3 from v1.
+  auto read = test::run_task(sim, client->read(*blob, 0, 4 * units::MB));
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(read.value().bytes, 4 * units::MB);
+  std::size_t from_v1 = 0;
+  for (const auto& ch : read.value().chunks) {
+    ASSERT_FALSE(ch.hole);
+    if (ch.chunk_index > 0) {
+      ++from_v1;
+    }
+  }
+  EXPECT_EQ(from_v1, 3u);
+
+  // Storage: v1's chunk 0 freed (shadowed), the rest kept.
+  std::uint64_t used = 0;
+  for (auto& p : dep.providers()) used += p->used();
+  EXPECT_EQ(used, 4 * units::MB);
+}
+
+}  // namespace
+}  // namespace bs::core

@@ -1,0 +1,105 @@
+// Determinism: the whole point of replacing Grid'5000 with a DES is
+// bit-identical replay. Run the same seeded full-stack scenario twice and
+// require identical event counts, throughput series, and security actions.
+#include <gtest/gtest.h>
+
+#include "mon/layer.hpp"
+#include "sec/framework.hpp"
+#include "test_util.hpp"
+#include "workload/clients.hpp"
+
+namespace bs {
+namespace {
+
+struct RunDigest {
+  std::uint64_t events{0};
+  std::vector<double> throughput;
+  std::uint64_t attacker_rejected{0};
+  SimTime first_block{0};
+  std::uint64_t monitoring_records{0};
+  double trust_of_attacker{0};
+
+  bool operator==(const RunDigest& other) const {
+    return events == other.events && throughput == other.throughput &&
+           attacker_rejected == other.attacker_rejected &&
+           first_block == other.first_block &&
+           monitoring_records == other.monitoring_records &&
+           trust_of_attacker == other.trust_of_attacker;
+  }
+};
+
+RunDigest run_scenario() {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.sites = 3;
+  cfg.data_providers = 8;
+  cfg.metadata_providers = 2;
+  cfg.node_spec.service_concurrency = 1;
+  cfg.node_spec.service_overhead = simtime::millis(5);
+  cfg.node_spec.service_queue_limit = 64;
+  blob::Deployment dep(sim, cfg);
+
+  rpc::Node* intro_node = dep.cluster().add_node(0);
+  intro::IntrospectionService intro(*intro_node);
+  intro.start();
+  mon::MonitoringConfig mcfg;
+  mcfg.sinks = {intro_node->id()};
+  mon::MonitoringLayer monitoring(dep, mcfg);
+  monitoring.start();
+  sec::SecurityFramework security(sim, intro.activity());
+  security.attach_deployment(dep);
+  security.start();
+
+  blob::BlobClient* honest = dep.add_client();
+  monitoring.attach_client(*honest);
+  auto blob = test::run_task(sim, honest->create(8 * units::MB));
+  workload::ClientRunStats stats;
+  workload::ThroughputTracker tracker;
+  workload::WriterOptions w;
+  w.loop_forever = true;
+  w.op_bytes = 16 * units::MB;
+  w.deadline = simtime::seconds(90);
+  sim.spawn(workload::Writer::run(*honest, *blob, w, &stats, &tracker));
+
+  rpc::Node* attacker_node = dep.cluster().add_node(1);
+  std::vector<NodeId> targets;
+  for (auto& p : dep.providers()) targets.push_back(p->id());
+  workload::AttackerOptions a;
+  a.request_rate = 900;
+  a.start = simtime::seconds(20);
+  a.deadline = simtime::seconds(90);
+  workload::AttackerStats astats;
+  sim.spawn(workload::DosAttacker::run(*attacker_node, ClientId{666},
+                                       targets, a, &astats));
+
+  sim.run_until(simtime::seconds(90));
+
+  RunDigest d;
+  d.events = sim.events_processed();
+  d.throughput = tracker.mbps_series(0, simtime::seconds(90));
+  d.attacker_rejected = astats.rejected;
+  d.first_block = astats.first_rejected;
+  d.monitoring_records = monitoring.total_records();
+  d.trust_of_attacker = security.trust().trust(ClientId{666});
+  return d;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalDigests) {
+  RunDigest a = run_scenario();
+  RunDigest b = run_scenario();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.attacker_rejected, b.attacker_rejected);
+  EXPECT_EQ(a.first_block, b.first_block);
+  EXPECT_EQ(a.monitoring_records, b.monitoring_records);
+  EXPECT_DOUBLE_EQ(a.trust_of_attacker, b.trust_of_attacker);
+  ASSERT_EQ(a.throughput.size(), b.throughput.size());
+  for (std::size_t i = 0; i < a.throughput.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.throughput[i], b.throughput[i]) << "bin " << i;
+  }
+  // And the scenario did something nontrivial.
+  EXPECT_GT(a.events, 100000u);
+  EXPECT_GT(a.attacker_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,224 @@
+// Whole-system integration: BlobSeer + monitoring + introspection + security
+// + workloads. The DoS scenario here is a miniature of experiment §IV-C.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/protection.hpp"
+#include "mon/layer.hpp"
+#include "sec/framework.hpp"
+#include "test_util.hpp"
+#include "viz/dashboard.hpp"
+#include "workload/clients.hpp"
+
+namespace bs {
+namespace {
+
+struct FullStack {
+  explicit FullStack(sim::Simulation& sim, std::size_t providers = 6) {
+    blob::DeploymentConfig cfg;
+    cfg.sites = 3;
+    cfg.data_providers = providers;
+    cfg.metadata_providers = 2;
+    // DoS-sensitive providers: one request at a time, 5 ms of service
+    // work (200 req/s capacity), bounded queue so overload sheds instead
+    // of building an unbounded backlog.
+    cfg.node_spec.service_concurrency = 1;
+    cfg.node_spec.service_overhead = simtime::millis(5);
+    cfg.node_spec.service_queue_limit = 64;
+    dep = std::make_unique<blob::Deployment>(sim, cfg);
+
+    rpc::Node* intro_node = dep->cluster().add_node(0);
+    intro = std::make_unique<intro::IntrospectionService>(*intro_node);
+    intro->start();
+
+    mon::MonitoringConfig mcfg;
+    mcfg.services = 2;
+    mcfg.storage_servers = 1;
+    mcfg.sinks = {intro_node->id()};
+    mon = std::make_unique<mon::MonitoringLayer>(*dep, mcfg);
+    mon->start();
+
+    sec::SecurityConfig scfg;
+    scfg.detection.scan_interval = simtime::seconds(5);
+    // The 30 s window needs several seconds of sustained flooding before
+    // the rate crosses the bound, giving the experiment an observable
+    // unprotected phase before the block lands.
+    scfg.policy_source =
+        "policy dos { severity high; when rate(write_ops, 30s) > 300; "
+        "then block(60s), trust(-0.3); }";
+    security = std::make_unique<sec::SecurityFramework>(
+        sim, intro->activity(), scfg);
+    security->attach_deployment(*dep);
+    security->start();
+  }
+
+  std::unique_ptr<blob::Deployment> dep;
+  std::unique_ptr<intro::IntrospectionService> intro;
+  std::unique_ptr<mon::MonitoringLayer> mon;
+  std::unique_ptr<sec::SecurityFramework> security;
+};
+
+TEST(FullStack, DosAttackerIsDetectedBlockedAndHonestClientRecovers) {
+  sim::Simulation sim;
+  FullStack stack(sim);
+
+  // Honest writer.
+  blob::BlobClient* honest = stack.dep->add_client();
+  stack.mon->attach_client(*honest);
+  auto blob = test::run_task(sim, honest->create(8 * units::MB));
+  ASSERT_TRUE(blob.ok());
+
+  workload::ClientRunStats honest_stats;
+  workload::ThroughputTracker tracker;
+  workload::WriterOptions wopts;
+  wopts.loop_forever = true;
+  wopts.op_bytes = 16 * units::MB;
+  wopts.deadline = simtime::seconds(120);
+  sim.spawn(workload::Writer::run(*honest, *blob, wopts, &honest_stats,
+                                  &tracker));
+
+  // Attacker floods all providers with tiny writes from t=30 s.
+  rpc::Node* attacker_node = stack.dep->cluster().add_node(1);
+  std::vector<NodeId> targets;
+  for (auto& p : stack.dep->providers()) targets.push_back(p->id());
+  workload::AttackerOptions aopts;
+  aopts.request_rate = 1800;  // 1.5x the pool's aggregate service capacity
+  aopts.start = simtime::seconds(30);
+  aopts.deadline = simtime::seconds(120);
+  workload::AttackerStats attacker_stats;
+  sim.spawn(workload::DosAttacker::run(*attacker_node, ClientId{666},
+                                       targets, aopts, &attacker_stats));
+
+  sim.run_until(simtime::seconds(120));
+
+  // The attack was detected and the attacker blocked.
+  EXPECT_GE(stack.security->engine().violations(), 1u);
+  EXPECT_GT(attacker_stats.rejected, 0u);
+  EXPECT_LT(attacker_stats.first_rejected, simtime::seconds(70));
+  EXPECT_LT(stack.security->trust().trust(ClientId{666}), 0.5);
+  // The honest client was never sanctioned and kept making progress.
+  EXPECT_FALSE(
+      stack.security->enforcement().is_blocked(honest->id(), sim.now()));
+  EXPECT_GT(honest_stats.bytes_done, 500 * units::MB);
+
+  // Throughput shape: depressed during the undetected attack window,
+  // recovered after blocking relative to that dip.
+  // Windows anchored on the measured detection time: [attack start,
+  // detection) is the unprotected dip; after the block (+ queue drain) the
+  // honest client recovers.
+  const SimTime detected = attacker_stats.first_rejected;
+  ASSERT_GT(detected, simtime::seconds(30));
+  ASSERT_LT(detected, simtime::seconds(70));
+  const double before = tracker.mean_mbps(simtime::seconds(5),
+                                          simtime::seconds(30));
+  const double during =
+      tracker.mean_mbps(simtime::seconds(31), detected);
+  const double after = tracker.mean_mbps(detected + simtime::seconds(10),
+                                         simtime::seconds(118));
+  EXPECT_LT(during, 0.8 * before);
+  EXPECT_GT(after, during);
+  EXPECT_GT(after, 0.6 * before);
+}
+
+TEST(FullStack, IntrospectionFeedsUserActivityHistory) {
+  sim::Simulation sim;
+  FullStack stack(sim);
+  blob::BlobClient* client = stack.dep->add_client();
+  stack.mon->attach_client(*client);
+
+  auto blob = test::run_task(sim, client->create(4 * units::MB));
+  ASSERT_TRUE(blob.ok());
+  for (int i = 0; i < 4; ++i) {
+    (void)test::run_task(
+        sim, client->append(*blob,
+                            blob::Payload::synthetic(8 * units::MB, i)));
+  }
+  sim.run_until(sim.now() + simtime::seconds(6));
+
+  const auto& uah = stack.intro->activity();
+  EXPECT_GE(uah.client_count(), 1u);
+  EXPECT_GT(uah.total(client->id(), mon::Metric::write_bytes,
+                      simtime::minutes(2), sim.now()),
+            30e6);
+}
+
+TEST(FullStack, DashboardRendersAllPanels) {
+  sim::Simulation sim;
+  FullStack stack(sim);
+  blob::BlobClient* client = stack.dep->add_client();
+  stack.mon->attach_client(*client);
+  auto blob = test::run_task(sim, client->create(4 * units::MB));
+  ASSERT_TRUE(blob.ok());
+  (void)test::run_task(
+      sim,
+      client->write(*blob, 0, blob::Payload::synthetic(32 * units::MB, 1)));
+  (void)test::run_task(sim, client->read(*blob, 0, 32 * units::MB));
+  sim.run_until(sim.now() + simtime::seconds(8));
+
+  viz::Dashboard dash(*stack.intro);
+  const std::string out = dash.render(0, sim.now());
+  EXPECT_NE(out.find("system summary"), std::string::npos);
+  EXPECT_NE(out.find("storage space"), std::string::npos);
+  EXPECT_NE(out.find("physical parameters"), std::string::npos);
+  EXPECT_NE(out.find("BLOB read bytes"), std::string::npos);
+  EXPECT_NE(out.find("chunk distribution"), std::string::npos);
+  EXPECT_NE(out.find("client activity"), std::string::npos);
+  // Real numbers made it into the summary (utilization non-zero).
+  EXPECT_NE(out.find("storage used"), std::string::npos);
+}
+
+TEST(FullStack, MapeControllerRunsAllModulesTogether) {
+  sim::Simulation sim;
+  FullStack stack(sim);
+  core::AutonomicController controller(*stack.dep, *stack.intro,
+                                       stack.security.get());
+  controller.add_module(std::make_unique<core::ProtectionModule>());
+  controller.start();
+
+  // Attack raises rejected_rate -> protection module hardens scanning.
+  rpc::Node* attacker_node = stack.dep->cluster().add_node(1);
+  std::vector<NodeId> targets;
+  for (auto& p : stack.dep->providers()) targets.push_back(p->id());
+  workload::AttackerOptions aopts;
+  aopts.request_rate = 400;
+  aopts.start = simtime::seconds(5);
+  aopts.deadline = simtime::seconds(90);
+  workload::AttackerStats astats;
+  sim.spawn(workload::DosAttacker::run(*attacker_node, ClientId{777},
+                                       targets, aopts, &astats));
+  sim.run_until(simtime::seconds(90));
+
+  EXPECT_GT(controller.iterations(), 0u);
+  EXPECT_GT(astats.rejected, 0u);
+  bool hardened = false;
+  for (const auto& entry : controller.action_log()) {
+    if (entry.action.type == core::AdaptAction::Type::set_scan_interval) {
+      hardened = true;
+    }
+  }
+  EXPECT_TRUE(hardened);
+}
+
+TEST(ThroughputTracker, SpreadsBytesAcrossBins) {
+  workload::ThroughputTracker t(simtime::seconds(1));
+  // 10 MB over 2 s finishing at t=3 -> 5 MB in bin 1, 5 MB in bin 2.
+  t.record(simtime::seconds(3), 10e6, simtime::seconds(2));
+  auto series = t.mbps_series(0, simtime::seconds(4));
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_NEAR(series[0], 0, 1e-9);
+  EXPECT_NEAR(series[1], 5, 1e-6);
+  EXPECT_NEAR(series[2], 5, 1e-6);
+  EXPECT_NEAR(series[3], 0, 1e-9);
+  EXPECT_NEAR(t.mean_mbps(0, simtime::seconds(4)), 2.5, 1e-6);
+}
+
+TEST(ThroughputTracker, InstantOpLandsInOneBin) {
+  workload::ThroughputTracker t;
+  t.record(simtime::millis(1500), 4e6, 0);
+  auto series = t.mbps_series(0, simtime::seconds(2));
+  EXPECT_NEAR(series[1], 4.0, 1e-6);
+  EXPECT_NEAR(series[0], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bs

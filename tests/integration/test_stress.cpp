@@ -1,0 +1,143 @@
+// Long-haul mixed-workload stress: many clients doing writes, reads,
+// appends, trims and deletes concurrently with the full autonomic stack
+// running, then a sweep of global invariants.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/elasticity.hpp"
+#include "core/removal.hpp"
+#include "core/replication.hpp"
+#include "mon/layer.hpp"
+#include "test_util.hpp"
+#include "workload/clients.hpp"
+
+namespace bs {
+namespace {
+
+TEST(Stress, MixedWorkloadWithFullAutonomicStack) {
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.sites = 3;
+  cfg.data_providers = 8;
+  cfg.metadata_providers = 2;
+  cfg.provider_capacity = 2ull * units::GB;
+  blob::Deployment dep(sim, cfg);
+
+  rpc::Node* intro_node = dep.cluster().add_node(0);
+  intro::IntrospectionService intro(*intro_node);
+  intro.start();
+  mon::MonitoringConfig mcfg;
+  mcfg.sinks = {intro_node->id()};
+  mon::MonitoringLayer monitoring(dep, mcfg);
+  monitoring.start();
+
+  core::AutonomicController controller(dep, intro);
+  controller.add_module(std::make_unique<core::ElasticityModule>());
+  controller.add_module(std::make_unique<core::ReplicationModule>());
+  core::RemovalOptions ropts;
+  ropts.keep_versions = 6;
+  controller.add_module(std::make_unique<core::RemovalModule>(ropts));
+  controller.executor().set_provider_added_hook(
+      [&monitoring](blob::DataProvider& p) {
+        monitoring.attach_provider(p);
+      });
+  controller.start();
+
+  // 10 clients: 4 dedicated writers, 3 mixed write+read, 3 readers on a
+  // shared hot blob.
+  std::vector<blob::BlobClient*> clients;
+  for (int i = 0; i < 10; ++i) {
+    clients.push_back(dep.add_client());
+    monitoring.attach_client(*clients.back());
+  }
+  auto hot = test::run_task(sim, clients[0]->create(4 * units::MB, 2));
+  ASSERT_TRUE(hot.ok());
+  ASSERT_TRUE(test::run_task(
+                  sim, clients[0]->write(
+                           *hot, 0,
+                           blob::Payload::synthetic(64 * units::MB, 7)))
+                  .ok());
+
+  std::vector<workload::ClientRunStats> stats(10);
+  for (int i = 0; i < 4; ++i) {
+    auto blob = test::run_task(sim, clients[i]->create(4 * units::MB));
+    workload::WriterOptions w;
+    // Bounded volume: 4 x 2 GB fits the 16 GB pool with room for the
+    // overwrite writers (an unbounded writer would legitimately exhaust
+    // storage faster than elasticity can grow it).
+    w.total_bytes = 2ull * units::GB;
+    w.op_bytes = 16 * units::MB;
+    w.deadline = simtime::minutes(5);
+    sim.spawn(workload::Writer::run(*clients[i], blob.value(), w,
+                                    &stats[i]));
+  }
+  for (int i = 4; i < 7; ++i) {
+    // Mixed: a writer that repeatedly overwrites the same region (so the
+    // removal module trims its history).
+    auto blob = test::run_task(sim, clients[i]->create(4 * units::MB));
+    sim.spawn([](sim::Simulation& s, blob::BlobClient& c, BlobId b,
+                 workload::ClientRunStats& st) -> sim::Task<void> {
+      std::uint64_t round = 0;
+      while (s.now() < simtime::minutes(5)) {
+        auto w = co_await c.write(
+            b, 0, blob::Payload::synthetic(8 * units::MB, round++));
+        if (w.ok()) {
+          ++st.ops_ok;
+          st.bytes_done += 8 * units::MB;
+        } else {
+          ++st.ops_failed;
+        }
+        co_await s.delay(simtime::seconds(5));
+      }
+    }(sim, *clients[i], blob.value(), stats[i]));
+  }
+  for (int i = 7; i < 10; ++i) {
+    workload::ReaderOptions r;
+    r.loop_forever = true;
+    r.op_bytes = 16 * units::MB;
+    r.deadline = simtime::minutes(5);
+    r.rng_seed = 900 + i;
+    sim.spawn(workload::Reader::run(*clients[i], *hot, r, &stats[i]));
+  }
+
+  sim.run_until(simtime::minutes(6));
+
+  // Everyone made progress; failure rates are negligible.
+  std::uint64_t total_ok = 0, total_failed = 0;
+  for (const auto& s : stats) {
+    total_ok += s.ops_ok;
+    total_failed += s.ops_failed;
+  }
+  EXPECT_GT(total_ok, 300u);
+  EXPECT_LT(total_failed, total_ok / 50 + 3);
+
+  // The removal module kept every overwrite history bounded.
+  auto blobs = test::run_task(
+      sim, dep.cluster().call<blob::ListBlobsReq, blob::ListBlobsResp>(
+               *dep.cluster().node(clients[0]->node().id()),
+               dep.endpoints().version_manager, blob::ListBlobsReq{}));
+  ASSERT_TRUE(blobs.ok());
+  for (const auto& d : blobs.value().blobs) {
+    auto versions = test::run_task(sim, clients[0]->versions(d.id));
+    ASSERT_TRUE(versions.ok());
+    EXPECT_LE(versions.value().size(), 8u)
+        << "blob " << d.id.value << " history unbounded";
+    // Every surviving blob's latest version is fully readable.
+    if (d.latest.size > 0) {
+      auto read = test::run_task(
+          sim, clients[1]->read(d.id, 0, d.latest.size));
+      EXPECT_TRUE(read.ok()) << "blob " << d.id.value << ": "
+                             << (read.ok() ? "" : read.error().to_string());
+    }
+  }
+
+  // Storage accounting is self-consistent on every provider.
+  for (auto& p : dep.providers()) {
+    EXPECT_LE(p->used(), p->capacity());
+  }
+  // The controller actually ran and took actions.
+  EXPECT_GT(controller.iterations(), 20u);
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,168 @@
+// User Activity History and IntrospectionService snapshot logic.
+#include <gtest/gtest.h>
+
+#include "intro/introspection.hpp"
+#include "rpc/rpc.hpp"
+#include "test_util.hpp"
+
+namespace bs::intro {
+namespace {
+
+mon::Record rec(mon::Domain d, std::uint64_t id, mon::Metric m, SimTime t,
+                double v) {
+  mon::Record r;
+  r.key = {d, id, m};
+  r.time = t;
+  r.value = v;
+  return r;
+}
+
+TEST(UserActivityHistory, RateAndTotalQueries) {
+  UserActivityHistory uah;
+  for (int t = 1; t <= 10; ++t) {
+    uah.ingest(rec(mon::Domain::client, 1, mon::Metric::write_ops,
+                   simtime::seconds(t), 10));
+  }
+  const SimTime now = simtime::seconds(10);
+  EXPECT_DOUBLE_EQ(
+      uah.total(ClientId{1}, mon::Metric::write_ops, simtime::seconds(5),
+                now),
+      50);
+  EXPECT_DOUBLE_EQ(
+      uah.rate(ClientId{1}, mon::Metric::write_ops, simtime::seconds(5),
+               now),
+      10);
+  // Unknown client/metric -> 0.
+  EXPECT_DOUBLE_EQ(
+      uah.rate(ClientId{9}, mon::Metric::write_ops, simtime::seconds(5),
+               now),
+      0);
+  EXPECT_DOUBLE_EQ(
+      uah.rate(ClientId{1}, mon::Metric::read_ops, simtime::seconds(5), now),
+      0);
+}
+
+TEST(UserActivityHistory, NonClientRecordsIgnored) {
+  UserActivityHistory uah;
+  uah.ingest(rec(mon::Domain::provider, 1, mon::Metric::used_bytes, 0, 5));
+  EXPECT_EQ(uah.client_count(), 0u);
+  EXPECT_EQ(uah.records_ingested(), 0u);
+}
+
+TEST(UserActivityHistory, ActiveClientsWindow) {
+  UserActivityHistory uah;
+  uah.ingest(rec(mon::Domain::client, 1, mon::Metric::write_ops,
+                 simtime::seconds(5), 3));
+  uah.ingest(rec(mon::Domain::client, 2, mon::Metric::write_ops,
+                 simtime::seconds(50), 3));
+  // Zero-valued records do not make a client "active".
+  uah.ingest(rec(mon::Domain::client, 3, mon::Metric::write_ops,
+                 simtime::seconds(50), 0));
+  auto active = uah.active_clients(simtime::seconds(10),
+                                   simtime::seconds(55));
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], ClientId{2});
+}
+
+TEST(UserActivityHistory, PruneDropsOldSamples) {
+  UserActivityHistory uah(simtime::seconds(30));
+  for (int t = 0; t < 60; t += 5) {
+    uah.ingest(rec(mon::Domain::client, 1, mon::Metric::write_ops,
+                   simtime::seconds(t), 1));
+  }
+  uah.prune(simtime::seconds(60));
+  const TimeSeries* ts = uah.series(ClientId{1}, mon::Metric::write_ops);
+  ASSERT_NE(ts, nullptr);
+  for (const auto& s : ts->samples()) {
+    EXPECT_GE(s.time, simtime::seconds(30));
+  }
+}
+
+class IntrospectionTest : public ::testing::Test {
+ protected:
+  IntrospectionTest() : cluster_(sim_, net::Topology::single_site()) {
+    node_ = cluster_.add_node(0);
+    src_ = cluster_.add_node(0);
+    service_ = std::make_unique<IntrospectionService>(*node_);
+  }
+
+  void push(std::vector<mon::Record> records) {
+    mon::MonStoreReq req;
+    req.records = std::move(records);
+    auto r = test::run_task(
+        sim_, cluster_.call<mon::MonStoreReq, mon::MonStoreResp>(
+                  *src_, node_->id(), std::move(req)));
+    ASSERT_TRUE(r.ok());
+  }
+
+  sim::Simulation sim_;
+  rpc::Cluster cluster_;
+  rpc::Node* node_;
+  rpc::Node* src_;
+  std::unique_ptr<IntrospectionService> service_;
+};
+
+TEST_F(IntrospectionTest, SnapshotAggregatesProviders) {
+  sim_.run_until(simtime::seconds(9));
+  std::vector<mon::Record> records;
+  for (std::uint64_t p = 10; p < 13; ++p) {
+    records.push_back(rec(mon::Domain::provider, p,
+                          mon::Metric::used_bytes, simtime::seconds(9),
+                          2e9));
+    records.push_back(rec(mon::Domain::provider, p,
+                          mon::Metric::capacity_bytes, simtime::seconds(9),
+                          10e9));
+    records.push_back(rec(mon::Domain::provider, p,
+                          mon::Metric::store_rate, simtime::seconds(9),
+                          50e6));
+    records.push_back(rec(mon::Domain::node, p, mon::Metric::cpu_load,
+                          simtime::seconds(9), 0.5));
+  }
+  push(std::move(records));
+  sim_.run_until(simtime::seconds(10));
+
+  auto snap = service_->snapshot();
+  EXPECT_EQ(snap.providers.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.total_used, 6e9);
+  EXPECT_DOUBLE_EQ(snap.total_capacity, 30e9);
+  EXPECT_NEAR(snap.utilization(), 0.2, 1e-9);
+  EXPECT_NEAR(snap.aggregate_write_rate, 150e6, 1e3);
+  EXPECT_NEAR(snap.avg_cpu, 0.5, 1e-9);
+  EXPECT_NEAR(snap.providers[0].cpu, 0.5, 1e-9);
+}
+
+TEST_F(IntrospectionTest, SnapshotSeesBlobRatesAndClients) {
+  sim_.run_until(simtime::seconds(8));
+  std::vector<mon::Record> records;
+  // 3 seconds x 30 MB of reads on blob 4 inside the 10 s window.
+  for (int t = 7; t <= 9; ++t) {
+    records.push_back(rec(mon::Domain::blob, 4,
+                          mon::Metric::blob_read_bytes,
+                          simtime::seconds(t), 30e6));
+  }
+  records.push_back(rec(mon::Domain::client, 21, mon::Metric::write_ops,
+                        simtime::seconds(9), 5));
+  records.push_back(rec(mon::Domain::client, 21, mon::Metric::rejected_ops,
+                        simtime::seconds(9), 20));
+  push(std::move(records));
+  sim_.run_until(simtime::seconds(10));
+
+  auto snap = service_->snapshot();
+  ASSERT_EQ(snap.blobs.size(), 1u);
+  EXPECT_NEAR(snap.blobs[0].read_rate, 9e6, 1e3);  // 90 MB over 10 s
+  EXPECT_EQ(snap.active_clients, 1u);
+  EXPECT_NEAR(snap.rejected_rate, 2.0, 1e-9);  // 20 rejections / 10 s
+}
+
+TEST_F(IntrospectionTest, ClientRecordsRouteToActivity) {
+  push({rec(mon::Domain::client, 3, mon::Metric::write_bytes,
+            simtime::seconds(1), 1e6)});
+  EXPECT_EQ(service_->activity().client_count(), 1u);
+  EXPECT_DOUBLE_EQ(
+      service_->activity().total(ClientId{3}, mon::Metric::write_bytes,
+                                 simtime::seconds(10), simtime::seconds(2)),
+      1e6);
+}
+
+}  // namespace
+}  // namespace bs::intro

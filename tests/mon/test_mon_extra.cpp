@@ -1,0 +1,160 @@
+// Monitoring corner cases: instrument buffer limits and gauge aux values,
+// record partitioning across storage servers, and the query RPCs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mon/layer.hpp"
+#include "test_util.hpp"
+
+namespace bs::mon {
+namespace {
+
+TEST(Instrument, BufferLimitDropsExcessEvents) {
+  sim::Simulation sim;
+  rpc::Cluster cluster(sim, net::Topology::single_site());
+  rpc::Node* node = cluster.add_node(0);
+  rpc::Node* svc = cluster.add_node(0);
+  InstrumentOptions opts;
+  opts.buffer_limit = 10;
+  Instrument inst(*node, svc->id(), opts);  // not started: nothing drains
+  for (int i = 0; i < 25; ++i) {
+    MetricEvent ev;
+    ev.kind = MetricKind::control_op;
+    inst.emit(ev);
+  }
+  EXPECT_EQ(inst.events_emitted(), 10u);
+  EXPECT_EQ(inst.events_dropped(), 15u);
+}
+
+TEST(Instrument, StopsWhenNodeGoesDown) {
+  sim::Simulation sim;
+  rpc::Cluster cluster(sim, net::Topology::single_site());
+  rpc::Node* node = cluster.add_node(0);
+  rpc::Node* svc_node = cluster.add_node(0);
+  MonitoringService svc(*svc_node, {});
+  svc.start();
+  Instrument inst(*node, svc_node->id(), {});
+  inst.start();
+  MetricEvent ev;
+  ev.kind = MetricKind::control_op;
+  inst.emit(ev);
+  sim.run_until(simtime::seconds(3));
+  const auto sent = inst.batches_sent();
+  EXPECT_GT(sent, 0u);
+  node->set_up(false);
+  inst.emit(ev);
+  sim.run_until(simtime::seconds(10));
+  EXPECT_EQ(inst.batches_sent(), sent);  // flush loop exited
+}
+
+class MonRpcTest : public ::testing::Test {
+ protected:
+  MonRpcTest() : cluster_(sim_, net::Topology::single_site()) {
+    storage_node_ = cluster_.add_node(0);
+    server_ = std::make_unique<MonStorageServer>(*storage_node_);
+    server_->start();
+    client_ = cluster_.add_node(0);
+    // Preload two series.
+    MonStoreReq req;
+    for (int t = 0; t < 10; ++t) {
+      req.records.push_back(Record{
+          {Domain::provider, 7, Metric::used_bytes},
+          simtime::seconds(t), 100.0 * t});
+      req.records.push_back(Record{
+          {Domain::node, 7, Metric::cpu_load}, simtime::seconds(t), 0.5});
+    }
+    auto r = test::run_task(
+        sim_, cluster_.call<MonStoreReq, MonStoreResp>(
+                  *client_, storage_node_->id(), std::move(req)));
+    EXPECT_TRUE(r.ok());
+    sim_.run_until(simtime::seconds(2));  // drain to "disk"
+  }
+
+  sim::Simulation sim_;
+  rpc::Cluster cluster_;
+  rpc::Node* storage_node_;
+  std::unique_ptr<MonStorageServer> server_;
+  rpc::Node* client_;
+};
+
+TEST_F(MonRpcTest, QueryReturnsRange) {
+  MonQueryReq q;
+  q.key = {Domain::provider, 7, Metric::used_bytes};
+  q.from = simtime::seconds(3);
+  q.to = simtime::seconds(7);
+  auto r = test::run_task(sim_, cluster_.call<MonQueryReq, MonQueryResp>(
+                                    *client_, storage_node_->id(), q));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.value().samples[0].value, 300.0);
+}
+
+TEST_F(MonRpcTest, QueryUnknownSeriesIsEmpty) {
+  MonQueryReq q;
+  q.key = {Domain::blob, 99, Metric::blob_read_bytes};
+  auto r = test::run_task(sim_, cluster_.call<MonQueryReq, MonQueryResp>(
+                                    *client_, storage_node_->id(), q));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().samples.empty());
+}
+
+TEST_F(MonRpcTest, ListSeriesFiltersByDomain) {
+  MonListSeriesReq all;
+  auto r1 = test::run_task(
+      sim_, cluster_.call<MonListSeriesReq, MonListSeriesResp>(
+                *client_, storage_node_->id(), all));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().keys.size(), 2u);
+
+  MonListSeriesReq only_nodes;
+  only_nodes.filter_domain = true;
+  only_nodes.domain = Domain::node;
+  auto r2 = test::run_task(
+      sim_, cluster_.call<MonListSeriesReq, MonListSeriesResp>(
+                *client_, storage_node_->id(), only_nodes));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2.value().keys.size(), 1u);
+  EXPECT_EQ(r2.value().keys[0].metric, Metric::cpu_load);
+}
+
+TEST(MonPartitioning, RecordsShardAcrossStorageServersByKey) {
+  sim::Simulation sim;
+  blob::DeploymentConfig dcfg;
+  dcfg.sites = 1;
+  dcfg.data_providers = 6;
+  dcfg.metadata_providers = 1;
+  blob::Deployment dep(sim, dcfg);
+  MonitoringConfig mcfg;
+  mcfg.services = 1;
+  mcfg.storage_servers = 3;
+  MonitoringLayer layer(dep, mcfg);
+  layer.start();
+  blob::BlobClient* c = dep.add_client();
+  layer.attach_client(*c);
+  auto blob = test::run_task(sim, c->create(units::MB));
+  (void)test::run_task(
+      sim, c->write(*blob, 0, blob::Payload::synthetic(16 * units::MB, 1)));
+  sim.run_until(simtime::seconds(8));
+
+  // Each series lives on exactly one storage server (hash-partitioned),
+  // and more than one server holds something.
+  std::size_t servers_with_data = 0;
+  std::set<RecordKey> seen;
+  for (auto& s : layer.storage()) {
+    auto keys = s->keys();
+    if (!keys.empty()) ++servers_with_data;
+    for (const auto& k : keys) {
+      EXPECT_EQ(seen.count(k), 0u) << "series on two servers";
+      seen.insert(k);
+    }
+  }
+  EXPECT_GE(servers_with_data, 2u);
+  // The layer's query() finds every series wherever it lives.
+  for (const auto& k : seen) {
+    EXPECT_NE(layer.query(k), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace bs::mon

@@ -1,0 +1,133 @@
+// Property tests for the flow-level bandwidth model: conservation (bytes
+// delivered = bytes requested), capacity (no resource serves more than
+// capacity x time), and work conservation on a shared bottleneck.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/flow.hpp"
+#include "sim/sync.hpp"
+
+namespace bs::net {
+namespace {
+
+class FlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowPropertyTest, RandomFlowsConserveBytesAndRespectCapacity) {
+  Rng rng(GetParam());
+  sim::Simulation sim;
+  FlowScheduler flows(sim);
+
+  const std::size_t n_resources = 2 + rng.next_below(6);
+  std::vector<Resource*> resources;
+  std::vector<double> caps;
+  for (std::size_t i = 0; i < n_resources; ++i) {
+    const double cap = rng.uniform(1e6, 2e8);
+    caps.push_back(cap);
+    resources.push_back(
+        flows.create_resource("r" + std::to_string(i), cap));
+  }
+
+  const int n_flows = 3 + static_cast<int>(rng.next_below(40));
+  double total_requested = 0;
+  sim::WaitGroup wg(sim);
+  for (int f = 0; f < n_flows; ++f) {
+    const double bytes = rng.uniform(1e4, 5e7);
+    total_requested += bytes;
+    // Each flow crosses a random non-empty subset of resources.
+    std::vector<Resource*> path;
+    for (std::size_t i = 0; i < n_resources; ++i) {
+      if (rng.chance(0.4)) path.push_back(resources[i]);
+    }
+    if (path.empty()) {
+      path.push_back(
+          resources[rng.next_below(n_resources)]);
+    }
+    const SimDuration start = simtime::millis(rng.uniform(0, 2000));
+    wg.launch([](sim::Simulation& s, FlowScheduler& fl, double b,
+                 std::vector<Resource*> p,
+                 SimDuration at) -> sim::Task<void> {
+      co_await s.delay(at);
+      co_await fl.transfer(b, std::move(p));
+    }(sim, flows, bytes, path, start));
+  }
+  sim.run();
+
+  // All flows completed.
+  EXPECT_EQ(flows.completed_flows(), static_cast<std::uint64_t>(n_flows));
+  EXPECT_EQ(flows.active_flow_count(), 0u);
+
+  // Capacity: no resource moved more than cap * elapsed (with rounding
+  // slack); conservation: the sum over flows of bytes matches what the
+  // resources saw (each flow counts once per crossed resource, so compare
+  // against per-resource accounting bounds rather than equality).
+  const double elapsed = simtime::to_seconds(sim.now());
+  double total_served_max = 0;
+  for (std::size_t i = 0; i < n_resources; ++i) {
+    EXPECT_LE(resources[i]->bytes_served(),
+              caps[i] * elapsed * 1.001 + 1024)
+        << "resource " << i;
+    total_served_max = std::max(total_served_max,
+                                resources[i]->bytes_served());
+    EXPECT_EQ(resources[i]->active_flows(), 0u);
+  }
+  EXPECT_LE(total_served_max, total_requested * 1.001 + 1024);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31, 47, 59));
+
+TEST(FlowWorkConservation, SharedBottleneckFinishesAtAnalyticTime) {
+  // K flows of equal size all crossing one bottleneck: total time must be
+  // (sum of bytes) / capacity regardless of arrival micro-ordering.
+  for (int k : {2, 5, 17}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim);
+    auto* r = flows.create_resource("link", 1e8);
+    sim::WaitGroup wg(sim);
+    const double each = 3e7;
+    for (int i = 0; i < k; ++i) {
+      wg.launch([](FlowScheduler& f, Resource* res,
+                   double b) -> sim::Task<void> {
+        std::vector<Resource*> p{res};
+        co_await f.transfer(b, std::move(p));
+      }(flows, r, each));
+    }
+    sim.run();
+    EXPECT_NEAR(simtime::to_seconds(sim.now()), each * k / 1e8,
+                0.01 * k)
+        << "k=" << k;
+  }
+}
+
+TEST(FlowFairness, UnequalPathsGetMaxMinShares) {
+  // Three flows: A crosses r1 only; B crosses r1+r2; C crosses r2 only.
+  // r1 = 100, r2 = 40 MB/s. Max-min: B gets 20, C gets 20, A gets 80.
+  sim::Simulation sim;
+  FlowScheduler flows(sim);
+  auto* r1 = flows.create_resource("r1", 100e6);
+  auto* r2 = flows.create_resource("r2", 40e6);
+
+  // Sizes proportional to the max-min shares: all three flows should then
+  // complete at ~1 s simultaneously.
+  SimTime ta = 0, tb = 0, tc = 0;
+  auto one = [](sim::Simulation& s, FlowScheduler& f,
+                std::vector<Resource*> p, double bytes,
+                SimTime& out) -> sim::Task<void> {
+    co_await f.transfer(bytes, std::move(p));
+    out = s.now();
+  };
+  sim::WaitGroup wg(sim);
+  wg.launch(one(sim, flows, {r1}, 80e6, ta));
+  wg.launch(one(sim, flows, {r1, r2}, 20e6, tb));
+  wg.launch(one(sim, flows, {r2}, 20e6, tc));
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(ta), 1.0, 0.02);
+  EXPECT_NEAR(simtime::to_seconds(tb), 1.0, 0.02);
+  EXPECT_NEAR(simtime::to_seconds(tc), 1.0, 0.02);
+  // Resource accounting matches the shares integrated over the run.
+  EXPECT_NEAR(r1->bytes_served(), 100e6, 2e6);
+  EXPECT_NEAR(r2->bytes_served(), 40e6, 2e6);
+}
+
+}  // namespace
+}  // namespace bs::net

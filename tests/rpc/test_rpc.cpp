@@ -1,0 +1,199 @@
+#include "rpc/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace bs::rpc {
+namespace {
+
+struct EchoReq {
+  static constexpr const char* kName = "test.echo";
+  int value{0};
+  std::uint64_t wire_size() const { return 32; }
+};
+struct EchoResp {
+  int value{0};
+  std::uint64_t wire_size() const { return 32; }
+};
+
+struct BigPutReq {
+  static constexpr const char* kName = "test.big_put";
+  static constexpr bool kPayloadToDisk = true;
+  std::uint64_t bytes{0};
+  std::uint64_t wire_size() const { return 64 + bytes; }
+};
+struct BigPutResp {
+  std::uint64_t wire_size() const { return 16; }
+};
+
+struct SlowReq {
+  static constexpr const char* kName = "test.slow";
+  std::uint64_t wire_size() const { return 16; }
+};
+struct SlowResp {
+  std::uint64_t wire_size() const { return 16; }
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : cluster_(sim_, net::Topology::grid5000()) {
+    server_ = cluster_.add_node(0);
+    client_ = cluster_.add_node(1);
+    server_->serve<EchoReq, EchoResp>(
+        [](const EchoReq& req,
+           const Envelope&) -> sim::Task<Result<EchoResp>> {
+          co_return EchoResp{req.value * 2};
+        });
+    server_->serve<BigPutReq, BigPutResp>(
+        [](const BigPutReq&,
+           const Envelope&) -> sim::Task<Result<BigPutResp>> {
+          co_return BigPutResp{};
+        });
+    server_->serve<SlowReq, SlowResp>(
+        [this](const SlowReq&,
+               const Envelope&) -> sim::Task<Result<SlowResp>> {
+          co_await sim_.delay(simtime::seconds(60));
+          co_return SlowResp{};
+        });
+  }
+
+  sim::Simulation sim_;
+  Cluster cluster_;
+  Node* server_;
+  Node* client_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  auto r = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{21}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value, 42);
+  // Crossed two WAN hops + service overhead: at least 8 ms, under 100 ms.
+  EXPECT_GT(sim_.now(), simtime::millis(8));
+  EXPECT_LT(sim_.now(), simtime::millis(100));
+}
+
+struct NoHandlerReq {
+  static constexpr const char* kName = "test.nohandler";
+  std::uint64_t wire_size() const { return 16; }
+};
+
+TEST_F(RpcTest, UnknownServiceFails) {
+  auto r = test::run_task(
+      sim_, cluster_.call<NoHandlerReq, EchoResp>(*client_, server_->id(),
+                                                  NoHandlerReq{}));
+  EXPECT_EQ(r.code(), Errc::unavailable);
+}
+
+TEST_F(RpcTest, DownNodeUnavailable) {
+  server_->set_up(false);
+  auto r = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{1}));
+  EXPECT_EQ(r.code(), Errc::unavailable);
+}
+
+TEST_F(RpcTest, UnknownDestinationUnavailable) {
+  auto r = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, NodeId{999},
+                                             EchoReq{1}));
+  EXPECT_EQ(r.code(), Errc::unavailable);
+}
+
+TEST_F(RpcTest, LargePayloadPaysBandwidth) {
+  // 125 MB over a 1 Gb/s NIC ~ 1 s (+ disk is faster, + latency).
+  auto r = test::run_task(
+      sim_, cluster_.call<BigPutReq, BigPutResp>(*client_, server_->id(),
+                                                 BigPutReq{125'000'000}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(sim_.now(), simtime::seconds(0.9));
+  EXPECT_LT(sim_.now(), simtime::seconds(1.5));
+}
+
+TEST_F(RpcTest, TimeoutFires) {
+  CallOptions opts;
+  opts.timeout = simtime::seconds(5);
+  auto r = test::run_task(
+      sim_, cluster_.call<SlowReq, SlowResp>(*client_, server_->id(),
+                                             SlowReq{}, opts));
+  EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(cluster_.calls_timed_out(), 1u);
+  // The caller observed the timeout at exactly 5 s.
+  EXPECT_EQ(sim_.now(), simtime::seconds(5));
+}
+
+TEST_F(RpcTest, AdmissionHookRejectsCheaply) {
+  server_->set_admission(
+      [](const Envelope& env, const char*) -> Result<void> {
+        if (env.client == ClientId{666}) {
+          return Error{Errc::blocked, "banned"};
+        }
+        return ok_result();
+      });
+  CallOptions banned;
+  banned.client = ClientId{666};
+  auto r1 = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{1}, banned));
+  EXPECT_EQ(r1.code(), Errc::blocked);
+
+  CallOptions fine;
+  fine.client = ClientId{7};
+  auto r2 = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{1}, fine));
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST_F(RpcTest, RequestObserverSeesTraffic) {
+  std::vector<RequestInfo> seen;
+  server_->set_request_observer(
+      [&seen](const RequestInfo& info) { seen.push_back(info); });
+  CallOptions opts;
+  opts.client = ClientId{5};
+  (void)test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{1}, opts));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_STREQ(seen[0].name, "test.echo");
+  EXPECT_EQ(seen[0].client, ClientId{5});
+  EXPECT_EQ(seen[0].outcome, Errc::ok);
+  EXPECT_EQ(seen[0].request_bytes, 32u);
+}
+
+TEST_F(RpcTest, ServiceQueueSerializesBeyondConcurrency) {
+  // The default spec allows 4 concurrent requests with 300 us overhead;
+  // 8 echo calls therefore need two service "waves".
+  sim::WaitGroup wg(sim_);
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    wg.launch([](Cluster& c, Node& from, NodeId to,
+                 int& d) -> sim::Task<void> {
+      (void)co_await c.call<EchoReq, EchoResp>(from, to, EchoReq{1});
+      ++d;
+    }(cluster_, *client_, server_->id(), done));
+  }
+  sim_.run();
+  EXPECT_EQ(done, 8);
+  EXPECT_GT(server_->requests_served(), 0u);
+}
+
+TEST(RpcClusterTest, RetireNodeMakesItUnavailable) {
+  sim::Simulation sim;
+  Cluster cluster(sim, net::Topology::single_site());
+  Node* a = cluster.add_node(0);
+  Node* b = cluster.add_node(0);
+  b->serve<EchoReq, EchoResp>(
+      [](const EchoReq& req, const Envelope&) -> sim::Task<Result<EchoResp>> {
+        co_return EchoResp{req.value};
+      });
+  cluster.retire_node(b->id());
+  auto r = test::run_task(
+      sim, cluster.call<EchoReq, EchoResp>(*a, b->id(), EchoReq{1}));
+  EXPECT_EQ(r.code(), Errc::unavailable);
+}
+
+}  // namespace
+}  // namespace bs::rpc

@@ -1,0 +1,122 @@
+// The stock policy set: each default policy fires on the behaviour it
+// describes and stays quiet on honest traffic; trust-adaptive thresholds
+// treat repeat offenders more strictly than first-timers.
+#include <gtest/gtest.h>
+
+#include "sec/engine.hpp"
+
+namespace bs::sec {
+namespace {
+
+class DefaultPoliciesTest : public ::testing::Test {
+ protected:
+  DefaultPoliciesTest()
+      : activity_(simtime::minutes(10)),
+        enforcement_(sim_, trust_),
+        engine_(sim_, activity_, trust_, enforcement_) {
+    EXPECT_TRUE(engine_.load_source(default_policy_source()).ok());
+    sim_.run_until(simtime::seconds(60));
+  }
+
+  void feed(std::uint64_t client, mon::Metric metric, double per_sec,
+            SimTime from = 0, SimTime to = simtime::seconds(60)) {
+    for (SimTime t = from; t < to; t += simtime::seconds(1)) {
+      mon::Record r;
+      r.key = {mon::Domain::client, client, metric};
+      r.time = t;
+      r.value = per_sec;
+      activity_.ingest(r);
+    }
+  }
+
+  std::vector<std::string> fired_policies() {
+    std::vector<std::string> names;
+    for (const auto& v : engine_.scan()) names.push_back(v.policy->name);
+    return names;
+  }
+
+  sim::Simulation sim_;
+  intro::UserActivityHistory activity_;
+  TrustManager trust_;
+  PolicyEnforcement enforcement_;
+  DetectionEngine engine_;
+};
+
+TEST_F(DefaultPoliciesTest, HonestClientTriggersNothing) {
+  feed(1, mon::Metric::write_ops, 3);           // ~2 chunks/s is honest
+  feed(1, mon::Metric::write_bytes, 120e6);
+  feed(1, mon::Metric::meta_ops, 10);
+  EXPECT_TRUE(fired_policies().empty());
+}
+
+TEST_F(DefaultPoliciesTest, WriteFloodFires) {
+  feed(2, mon::Metric::write_ops, 200);
+  auto fired = fired_policies();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "dos_write_flood");
+}
+
+TEST_F(DefaultPoliciesTest, ReadFloodFires) {
+  feed(3, mon::Metric::read_ops, 300);
+  auto fired = fired_policies();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "dos_read_flood");
+}
+
+TEST_F(DefaultPoliciesTest, MetaScrapeRequiresNoDataTraffic) {
+  // Metadata hammering WITH real data traffic is a legitimate big job.
+  feed(4, mon::Metric::meta_ops, 300);
+  feed(4, mon::Metric::write_bytes, 50e6);
+  EXPECT_TRUE(fired_policies().empty());
+  // The same metadata rate with no data movement is scraping.
+  feed(5, mon::Metric::meta_ops, 300);
+  auto fired = fired_policies();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "meta_scrape");
+}
+
+TEST_F(DefaultPoliciesTest, RepeatOffenderNeedsLowTrustAndRejections) {
+  // Lots of rejections but a clean history (trust 0.8): not a repeat
+  // offender yet.
+  feed(6, mon::Metric::rejected_ops, 20);
+  EXPECT_TRUE(fired_policies().empty());
+  // Same behaviour with ruined trust: fires.
+  trust_.adjust(ClientId{7}, -0.5);
+  feed(7, mon::Metric::rejected_ops, 20);
+  auto fired = fired_policies();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "repeat_offender");
+}
+
+TEST_F(DefaultPoliciesTest, TrustScalingMakesRepeatOffendersEasierToFlag) {
+  // Two clients at the same borderline write rate: just under the
+  // threshold for a trusted client, over it once trust scaling shrinks
+  // the bound.
+  const double borderline = 50;  // threshold is 60
+  feed(10, mon::Metric::write_ops, borderline);
+  feed(11, mon::Metric::write_ops, borderline);
+  trust_.record_violation(ClientId{11}, Severity::high);  // trust -> 0.32
+  auto fired = fired_policies();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "dos_write_flood");
+  // And it was the low-trust client.
+  EXPECT_LT(trust_.trust(ClientId{11}), trust_.trust(ClientId{10}));
+}
+
+TEST_F(DefaultPoliciesTest, HotReloadReplacesPolicySet) {
+  feed(2, mon::Metric::write_ops, 200);
+  ASSERT_EQ(fired_policies().size(), 1u);
+  // Administrators can replace the policy set at runtime.
+  ASSERT_TRUE(engine_
+                  .load_source("policy only_reads { when rate(read_ops, "
+                               "10s) > 1e9; then log; }")
+                  .ok());
+  EXPECT_EQ(engine_.policies().size(), 1u);
+  EXPECT_TRUE(fired_policies().empty());  // old flood no longer matches
+  // A broken reload leaves the previous set untouched.
+  EXPECT_FALSE(engine_.load_source("policy broken {").ok());
+  EXPECT_EQ(engine_.policies().size(), 1u);
+}
+
+}  // namespace
+}  // namespace bs::sec

@@ -1,0 +1,236 @@
+// Trust manager, enforcement, and detection-engine behaviour over synthetic
+// activity histories.
+#include <gtest/gtest.h>
+
+#include "sec/engine.hpp"
+#include "sec/framework.hpp"
+#include "test_util.hpp"
+
+namespace bs::sec {
+namespace {
+
+void feed(intro::UserActivityHistory& uah, std::uint64_t client,
+          mon::Metric metric, SimTime from, SimTime to, double per_sec) {
+  for (SimTime t = from; t < to; t += simtime::seconds(1)) {
+    mon::Record r;
+    r.key = {mon::Domain::client, client, metric};
+    r.time = t;
+    r.value = per_sec;
+    uah.ingest(r);
+  }
+}
+
+TEST(TrustManager, ViolationsCutRecoveryHeals) {
+  TrustManager tm;
+  const ClientId c{1};
+  EXPECT_DOUBLE_EQ(tm.trust(c), 0.8);
+  tm.record_violation(c, Severity::high);
+  EXPECT_NEAR(tm.trust(c), 0.32, 1e-9);
+  tm.record_violation(c, Severity::low);
+  EXPECT_NEAR(tm.trust(c), 0.288, 1e-9);
+  for (int i = 0; i < 10; ++i) tm.record_clean(c);
+  EXPECT_NEAR(tm.trust(c), 0.388, 1e-9);
+}
+
+TEST(TrustManager, TrustIsBounded) {
+  TrustManager tm;
+  const ClientId c{2};
+  for (int i = 0; i < 50; ++i) tm.record_violation(c, Severity::high);
+  EXPECT_GE(tm.trust(c), 0.05);
+  for (int i = 0; i < 1000; ++i) tm.record_clean(c);
+  EXPECT_LE(tm.trust(c), 1.0);
+}
+
+TEST(TrustManager, ThresholdScaleTracksTrust) {
+  TrustManager tm;
+  const ClientId good{1}, bad{2};
+  tm.record_violation(bad, Severity::high);
+  tm.record_violation(bad, Severity::high);
+  EXPECT_GT(tm.threshold_scale(good), tm.threshold_scale(bad));
+  EXPECT_LE(tm.threshold_scale(bad), 1.0);
+  EXPECT_GE(tm.threshold_scale(bad), 0.4);
+}
+
+TEST(Enforcement, BlockExpiresAndScalesWithTrust) {
+  sim::Simulation sim;
+  TrustManager tm;
+  PolicyEnforcement enf(sim, tm);
+
+  auto policies = parse_policies(
+      "policy p { severity high; when trust() < 2; then block(10s); }");
+  ASSERT_TRUE(policies.ok());
+  Violation v;
+  v.client = ClientId{1};
+  v.policy = &policies.value()[0];
+  enf.handle(v);
+
+  // handle() first records the violation (trust 0.8 -> 0.32), then blocks
+  // for 10 s * (2 - 0.32) = 16.8 s.
+  EXPECT_TRUE(enf.is_blocked(ClientId{1}, simtime::seconds(16)));
+  EXPECT_FALSE(enf.is_blocked(ClientId{1}, simtime::seconds(17)));
+  EXPECT_EQ(enf.blocked_count(0), 1u);
+}
+
+TEST(Enforcement, AdmissionRejectsBlockedAndThrottled) {
+  sim::Simulation sim;
+  TrustManager tm;
+  PolicyEnforcement enf(sim, tm);
+
+  auto policies = parse_policies(R"(
+    policy b { when trust() < 2; then block(60s); }
+    policy t { when trust() < 2; then throttle(2); }
+  )");
+  ASSERT_TRUE(policies.ok());
+
+  Violation blocked;
+  blocked.client = ClientId{1};
+  blocked.policy = &policies.value()[0];
+  enf.handle(blocked);
+
+  rpc::Envelope env;
+  env.client = ClientId{1};
+  EXPECT_EQ(enf.admission_check(env, "x").code(), Errc::blocked);
+
+  // Internal traffic (no client identity) always passes.
+  rpc::Envelope anon;
+  EXPECT_TRUE(enf.admission_check(anon, "x").ok());
+
+  Violation throttled;
+  throttled.client = ClientId{2};
+  throttled.policy = &policies.value()[1];
+  enf.handle(throttled);
+  env.client = ClientId{2};
+  // Burst of 2 allowed, third rejected.
+  EXPECT_TRUE(enf.admission_check(env, "x").ok());
+  EXPECT_TRUE(enf.admission_check(env, "x").ok());
+  EXPECT_EQ(enf.admission_check(env, "x").code(), Errc::throttled);
+  EXPECT_GE(enf.rejections(), 2u);
+}
+
+TEST(Enforcement, ThrottleWithDurationExpires) {
+  sim::Simulation sim;
+  TrustManager tm;
+  PolicyEnforcement enf(sim, tm);
+  auto policies = parse_policies(
+      "policy t { when trust() < 2; then throttle(1, 10s); }");
+  ASSERT_TRUE(policies.ok());
+  Violation v;
+  v.client = ClientId{3};
+  v.policy = &policies.value()[0];
+  enf.handle(v);
+  ASSERT_TRUE(enf.is_throttled(ClientId{3}, sim.now()));
+
+  rpc::Envelope env;
+  env.client = ClientId{3};
+  // Burst of 1 allowed, then throttled.
+  EXPECT_TRUE(enf.admission_check(env, "x").ok());
+  EXPECT_EQ(enf.admission_check(env, "x").code(), Errc::throttled);
+  // After the sanction expires the client is clean again.
+  sim.run_until(simtime::seconds(11));
+  EXPECT_FALSE(enf.is_throttled(ClientId{3}, sim.now()));
+  EXPECT_TRUE(enf.admission_check(env, "x").ok());
+  EXPECT_TRUE(enf.admission_check(env, "x").ok());  // no bucket anymore
+}
+
+TEST(Enforcement, PardonClearsSanctions) {
+  sim::Simulation sim;
+  TrustManager tm;
+  PolicyEnforcement enf(sim, tm);
+  auto policies = parse_policies(
+      "policy p { when trust() < 2; then block(60s); }");
+  ASSERT_TRUE(policies.ok());
+  Violation v;
+  v.client = ClientId{1};
+  v.policy = &policies.value()[0];
+  enf.handle(v);
+  ASSERT_TRUE(enf.is_blocked(ClientId{1}, 0));
+  enf.pardon(ClientId{1});
+  EXPECT_FALSE(enf.is_blocked(ClientId{1}, 0));
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : activity_(simtime::minutes(5)),
+        enforcement_(sim_, trust_),
+        engine_(sim_, activity_, trust_, enforcement_) {}
+
+  sim::Simulation sim_;
+  intro::UserActivityHistory activity_;
+  TrustManager trust_;
+  PolicyEnforcement enforcement_;
+  DetectionEngine engine_;
+};
+
+TEST_F(EngineTest, DetectsFloodAndBlocks) {
+  ASSERT_TRUE(engine_
+                  .load_source("policy dos { severity high; when "
+                               "rate(write_ops, 10s) > 50; then block(60s); }")
+                  .ok());
+  feed(activity_, 1, mon::Metric::write_ops, 0, simtime::seconds(10), 100);
+  feed(activity_, 2, mon::Metric::write_ops, 0, simtime::seconds(10), 5);
+
+  sim_.run_until(simtime::seconds(10));
+  auto violations = engine_.scan();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].client, ClientId{1});
+  engine_.start();  // periodic loop would now enforce; do it directly:
+  enforcement_.handle(violations[0]);
+  EXPECT_TRUE(enforcement_.is_blocked(ClientId{1}, sim_.now()));
+}
+
+TEST_F(EngineTest, RefractoryPreventsDoubleFiring) {
+  ASSERT_TRUE(engine_
+                  .load_source("policy dos { when rate(write_ops, 10s) > 50; "
+                               "then log; }")
+                  .ok());
+  feed(activity_, 1, mon::Metric::write_ops, 0, simtime::seconds(10), 100);
+  sim_.run_until(simtime::seconds(10));
+  EXPECT_EQ(engine_.scan().size(), 1u);
+  EXPECT_EQ(engine_.scan().size(), 0u);  // refractory window
+}
+
+TEST_F(EngineTest, BlockedClientsAreSkipped) {
+  ASSERT_TRUE(engine_
+                  .load_source("policy dos { severity high; when "
+                               "rate(write_ops, 10s) > 50; then block(60s); }")
+                  .ok());
+  feed(activity_, 1, mon::Metric::write_ops, 0, simtime::seconds(10), 100);
+  sim_.run_until(simtime::seconds(10));
+  for (const auto& v : engine_.scan()) enforcement_.handle(v);
+  ASSERT_TRUE(enforcement_.is_blocked(ClientId{1}, sim_.now()));
+  // Even with fresh flood data, a blocked client is not re-scanned.
+  feed(activity_, 1, mon::Metric::write_ops, simtime::seconds(10),
+       simtime::seconds(20), 100);
+  sim_.run_until(simtime::seconds(20));
+  EXPECT_TRUE(engine_.scan().empty());
+}
+
+TEST_F(EngineTest, CleanScansRebuildTrust) {
+  ASSERT_TRUE(engine_
+                  .load_source("policy dos { when rate(write_ops, 10s) > "
+                               "1000; then log; }")
+                  .ok());
+  trust_.adjust(ClientId{1}, -0.5);  // 0.3
+  const double before = trust_.trust(ClientId{1});
+  feed(activity_, 1, mon::Metric::write_ops, 0, simtime::seconds(10), 5);
+  sim_.run_until(simtime::seconds(10));
+  (void)engine_.scan();
+  EXPECT_GT(trust_.trust(ClientId{1}), before);
+}
+
+TEST_F(EngineTest, PeriodicLoopEnforces) {
+  ASSERT_TRUE(engine_
+                  .load_source("policy dos { severity high; when "
+                               "rate(write_ops, 10s) > 50; then block(60s); }")
+                  .ok());
+  engine_.start();
+  feed(activity_, 7, mon::Metric::write_ops, 0, simtime::seconds(20), 100);
+  sim_.run_until(simtime::seconds(20));
+  EXPECT_GT(engine_.scans(), 0u);
+  EXPECT_GE(engine_.violations(), 1u);
+  EXPECT_TRUE(enforcement_.is_blocked(ClientId{7}, sim_.now()));
+}
+
+}  // namespace
+}  // namespace bs::sec

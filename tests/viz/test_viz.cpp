@@ -1,0 +1,69 @@
+// Chart primitive tests.
+#include <gtest/gtest.h>
+
+#include "viz/chart.hpp"
+
+namespace bs::viz {
+namespace {
+
+TEST(Chart, LineChartContainsTitleAndLegend) {
+  auto out = line_chart("throughput", {"a", "b"},
+                        {{1, 2, 3, 4}, {4, 3, 2, 1}});
+  EXPECT_NE(out.find("== throughput =="), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  // Plot glyphs present.
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(Chart, LineChartHandlesEmpty) {
+  auto out = line_chart("empty", {}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(Chart, SeriesChartResamples) {
+  TimeSeries ts;
+  for (int i = 0; i < 100; ++i) ts.append(simtime::seconds(i), i);
+  auto out = series_chart("ts", ts, 0, simtime::seconds(100));
+  EXPECT_NE(out.find("== ts =="), std::string::npos);
+}
+
+TEST(Chart, BarChartScalesToMax) {
+  auto out = bar_chart("bars", {"x", "yy"}, {10, 20}, 20);
+  EXPECT_NE(out.find("####################"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("20.00"), std::string::npos);
+}
+
+TEST(Chart, Sparkline) {
+  EXPECT_EQ(sparkline({}), "");
+  const auto s = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '#');
+  // Flat series renders uniformly.
+  const auto flat = sparkline({5, 5, 5});
+  EXPECT_EQ(flat, "   ");
+}
+
+TEST(Chart, TableAligns) {
+  auto out = table({"id", "name"}, {{"1", "alpha"}, {"22", "b"}});
+  EXPECT_NE(out.find("| id | name  |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | b     |"), std::string::npos);
+}
+
+TEST(Chart, CsvRoundTrip) {
+  auto out = to_csv({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(out, "a,b\n1,2\n3,4\n");
+}
+
+TEST(Chart, FormatSi) {
+  EXPECT_EQ(format_si(1500), "1.50k");
+  EXPECT_EQ(format_si(2.5e6), "2.50M");
+  EXPECT_EQ(format_si(3.25e9), "3.25G");
+  EXPECT_EQ(format_si(12.0), "12.00");
+}
+
+}  // namespace
+}  // namespace bs::viz

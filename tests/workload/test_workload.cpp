@@ -1,0 +1,174 @@
+// Workload generator behaviour: writers, readers, attackers, trackers.
+#include <gtest/gtest.h>
+
+#include "blob/deployment.hpp"
+#include "test_util.hpp"
+#include "workload/clients.hpp"
+
+namespace bs::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    blob::DeploymentConfig cfg;
+    cfg.sites = 2;
+    cfg.data_providers = 4;
+    cfg.metadata_providers = 2;
+    dep_ = std::make_unique<blob::Deployment>(sim_, cfg);
+  }
+
+  BlobId make_blob(blob::BlobClient& c, std::uint64_t chunk = units::MB) {
+    auto r = test::run_task(sim_, c.create(chunk));
+    return r.value();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<blob::Deployment> dep_;
+};
+
+TEST_F(WorkloadTest, WriterWritesExactlyTotalBytes) {
+  blob::BlobClient* c = dep_->add_client();
+  BlobId blob = make_blob(*c);
+  ClientRunStats stats;
+  WriterOptions w;
+  w.total_bytes = 10 * units::MB;
+  w.op_bytes = 3 * units::MB;  // last op is the 1 MB remainder
+  sim_.spawn(Writer::run(*c, blob, w, &stats));
+  sim_.run_until(simtime::minutes(2));
+  EXPECT_EQ(stats.bytes_done, 10 * units::MB);
+  EXPECT_EQ(stats.ops_ok, 4u);
+  EXPECT_EQ(stats.ops_failed, 0u);
+  EXPECT_GT(stats.finished, stats.started);
+
+  auto d = test::run_task(sim_, c->stat(blob));
+  EXPECT_EQ(d.value().latest.size, 10 * units::MB);
+}
+
+TEST_F(WorkloadTest, WriterRespectsStartAndDeadline) {
+  blob::BlobClient* c = dep_->add_client();
+  BlobId blob = make_blob(*c);
+  ClientRunStats stats;
+  WriterOptions w;
+  w.loop_forever = true;
+  w.op_bytes = 8 * units::MB;
+  w.start = simtime::seconds(10);
+  w.deadline = simtime::seconds(20);
+  sim_.spawn(Writer::run(*c, blob, w, &stats));
+  sim_.run_until(simtime::minutes(1));
+  EXPECT_GE(stats.started, simtime::seconds(10));
+  EXPECT_GT(stats.ops_ok, 0u);
+  // No op STARTED after the deadline (the last may finish slightly past).
+  EXPECT_LT(stats.finished, simtime::seconds(22));
+}
+
+TEST_F(WorkloadTest, WriterRetriesAfterFailure) {
+  blob::BlobClient* c = dep_->add_client();
+  BlobId blob = make_blob(*c);
+  // Take all providers down; writes fail; bring them back later.
+  for (auto& p : dep_->providers()) p->node().set_up(false);
+  ClientRunStats stats;
+  WriterOptions w;
+  w.total_bytes = 4 * units::MB;
+  w.op_bytes = 4 * units::MB;
+  w.retry_backoff = simtime::seconds(2);
+  sim_.spawn(Writer::run(*c, blob, w, &stats));
+  sim_.run_until(simtime::seconds(40));
+  EXPECT_GT(stats.ops_failed, 0u);
+  EXPECT_EQ(stats.bytes_done, 0u);
+  for (auto& p : dep_->providers()) {
+    p->node().set_up(true);
+    // A restarted provider re-registers with the provider manager.
+    p->start_heartbeats(dep_->provider_manager_node().id());
+  }
+  sim_.run_until(simtime::minutes(3));
+  EXPECT_EQ(stats.bytes_done, 4 * units::MB);
+}
+
+TEST_F(WorkloadTest, ReaderReadsFromExistingBlob) {
+  blob::BlobClient* wc = dep_->add_client();
+  BlobId blob = make_blob(*wc);
+  ASSERT_TRUE(test::run_task(
+                  sim_, wc->write(blob, 0, blob::Payload::synthetic(
+                                               16 * units::MB, 1)))
+                  .ok());
+  blob::BlobClient* rc = dep_->add_client();
+  ClientRunStats stats;
+  ReaderOptions r;
+  r.total_bytes = 32 * units::MB;
+  r.op_bytes = 4 * units::MB;
+  sim_.spawn(Reader::run(*rc, blob, r, &stats));
+  sim_.run_until(simtime::minutes(2));
+  EXPECT_GE(stats.bytes_done, 32 * units::MB);
+  EXPECT_EQ(stats.ops_failed, 0u);
+}
+
+TEST_F(WorkloadTest, ReaderOnEmptyBlobFailsGracefully) {
+  blob::BlobClient* c = dep_->add_client();
+  BlobId blob = make_blob(*c);
+  ClientRunStats stats;
+  ReaderOptions r;
+  r.total_bytes = units::MB;
+  sim_.spawn(Reader::run(*c, blob, r, &stats));
+  sim_.run_until(simtime::seconds(10));
+  EXPECT_EQ(stats.ops_ok, 0u);
+  EXPECT_EQ(stats.ops_failed, 1u);
+  EXPECT_GT(stats.finished, 0);  // returned instead of spinning
+}
+
+TEST_F(WorkloadTest, AttackerFloodsAtConfiguredRate) {
+  std::vector<NodeId> targets;
+  for (auto& p : dep_->providers()) targets.push_back(p->id());
+  rpc::Node* node = dep_->cluster().add_node(0);
+  AttackerOptions a;
+  a.request_rate = 100;
+  a.start = simtime::seconds(5);
+  a.deadline = simtime::seconds(25);
+  AttackerStats stats;
+  sim_.spawn(DosAttacker::run(*node, ClientId{66}, targets, a, &stats));
+  sim_.run_until(simtime::minutes(1));
+  // ~100 req/s for 20 s.
+  EXPECT_NEAR(static_cast<double>(stats.sent), 2000, 50);
+  EXPECT_EQ(stats.rejected, 0u);  // nothing blocks it here
+  EXPECT_GT(stats.served, 1900u);
+  // Garbage chunks actually landed on providers.
+  std::uint64_t garbage = 0;
+  for (auto& p : dep_->providers()) garbage += p->chunk_count();
+  EXPECT_EQ(garbage, stats.served);
+}
+
+TEST_F(WorkloadTest, AttackerCountsRejectionsWhenBlocked) {
+  std::vector<NodeId> targets;
+  for (auto& p : dep_->providers()) {
+    targets.push_back(p->id());
+    p->node().set_admission([](const rpc::Envelope& env, const char*) {
+      return env.client == ClientId{66}
+                 ? Result<void>{Error{Errc::blocked, "banned"}}
+                 : ok_result();
+    });
+  }
+  rpc::Node* node = dep_->cluster().add_node(0);
+  AttackerOptions a;
+  a.request_rate = 50;
+  a.deadline = simtime::seconds(10);
+  AttackerStats stats;
+  sim_.spawn(DosAttacker::run(*node, ClientId{66}, targets, a, &stats));
+  sim_.run_until(simtime::seconds(30));
+  EXPECT_EQ(stats.served, 0u);
+  EXPECT_GT(stats.rejected, 400u);
+  EXPECT_LT(stats.first_rejected, simtime::seconds(1));
+}
+
+TEST(ClientRunStats, RunMbps) {
+  ClientRunStats s;
+  s.started = simtime::seconds(1);
+  s.finished = simtime::seconds(3);
+  s.bytes_done = 200 * units::MB;
+  EXPECT_NEAR(s.run_mbps(), 100.0, 1e-9);
+  ClientRunStats unfinished;
+  unfinished.bytes_done = 100;
+  EXPECT_DOUBLE_EQ(unfinished.run_mbps(), 0.0);
+}
+
+}  // namespace
+}  // namespace bs::workload
