@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_elasticity.dir/bench/bench_ablation_elasticity.cpp.o"
+  "CMakeFiles/bench_ablation_elasticity.dir/bench/bench_ablation_elasticity.cpp.o.d"
+  "bench/bench_ablation_elasticity"
+  "bench/bench_ablation_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_removal.dir/bench/bench_ablation_removal.cpp.o"
+  "CMakeFiles/bench_ablation_removal.dir/bench/bench_ablation_removal.cpp.o.d"
+  "bench/bench_ablation_removal"
+  "bench/bench_ablation_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dos_timeline.dir/bench/bench_dos_timeline.cpp.o"
+  "CMakeFiles/bench_dos_timeline.dir/bench/bench_dos_timeline.cpp.o.d"
+  "bench/bench_dos_timeline"
+  "bench/bench_dos_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dos_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

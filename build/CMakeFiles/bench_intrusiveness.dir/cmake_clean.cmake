@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intrusiveness.dir/bench/bench_intrusiveness.cpp.o"
+  "CMakeFiles/bench_intrusiveness.dir/bench/bench_intrusiveness.cpp.o.d"
+  "bench/bench_intrusiveness"
+  "bench/bench_intrusiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intrusiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_allocation.dir/bench/bench_micro_allocation.cpp.o"
+  "CMakeFiles/bench_micro_allocation.dir/bench/bench_micro_allocation.cpp.o.d"
+  "bench/bench_micro_allocation"
+  "bench/bench_micro_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

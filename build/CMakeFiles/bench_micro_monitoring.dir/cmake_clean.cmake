@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_monitoring.dir/bench/bench_micro_monitoring.cpp.o"
+  "CMakeFiles/bench_micro_monitoring.dir/bench/bench_micro_monitoring.cpp.o.d"
+  "bench/bench_micro_monitoring"
+  "bench/bench_micro_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

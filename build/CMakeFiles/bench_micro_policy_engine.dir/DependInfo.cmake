@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_policy_engine.cpp" "CMakeFiles/bench_micro_policy_engine.dir/bench/bench_micro_policy_engine.cpp.o" "gcc" "CMakeFiles/bench_micro_policy_engine.dir/bench/bench_micro_policy_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sec/CMakeFiles/bs_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/intro/CMakeFiles/bs_intro.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/bs_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/bs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

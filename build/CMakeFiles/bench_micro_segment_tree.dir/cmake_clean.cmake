@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_segment_tree.dir/bench/bench_micro_segment_tree.cpp.o"
+  "CMakeFiles/bench_micro_segment_tree.dir/bench/bench_micro_segment_tree.cpp.o.d"
+  "bench/bench_micro_segment_tree"
+  "bench/bench_micro_segment_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_segment_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

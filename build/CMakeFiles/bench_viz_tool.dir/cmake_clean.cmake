@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_viz_tool.dir/bench/bench_viz_tool.cpp.o"
+  "CMakeFiles/bench_viz_tool.dir/bench/bench_viz_tool.cpp.o.d"
+  "bench/bench_viz_tool"
+  "bench/bench_viz_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_viz_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

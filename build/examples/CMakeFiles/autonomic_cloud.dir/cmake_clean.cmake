@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_cloud.dir/autonomic_cloud.cpp.o"
+  "CMakeFiles/autonomic_cloud.dir/autonomic_cloud.cpp.o.d"
+  "autonomic_cloud"
+  "autonomic_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

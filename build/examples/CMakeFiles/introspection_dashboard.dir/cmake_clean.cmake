@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/introspection_dashboard.dir/introspection_dashboard.cpp.o"
+  "CMakeFiles/introspection_dashboard.dir/introspection_dashboard.cpp.o.d"
+  "introspection_dashboard"
+  "introspection_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/introspection_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

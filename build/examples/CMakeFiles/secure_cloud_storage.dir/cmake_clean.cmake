@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_cloud_storage.dir/secure_cloud_storage.cpp.o"
+  "CMakeFiles/secure_cloud_storage.dir/secure_cloud_storage.cpp.o.d"
+  "secure_cloud_storage"
+  "secure_cloud_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_cloud_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blob/allocation.cpp" "src/blob/CMakeFiles/bs_blob.dir/allocation.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/allocation.cpp.o.d"
+  "/root/repo/src/blob/client.cpp" "src/blob/CMakeFiles/bs_blob.dir/client.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/client.cpp.o.d"
+  "/root/repo/src/blob/data_provider.cpp" "src/blob/CMakeFiles/bs_blob.dir/data_provider.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/data_provider.cpp.o.d"
+  "/root/repo/src/blob/deployment.cpp" "src/blob/CMakeFiles/bs_blob.dir/deployment.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/deployment.cpp.o.d"
+  "/root/repo/src/blob/meta_ops.cpp" "src/blob/CMakeFiles/bs_blob.dir/meta_ops.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/meta_ops.cpp.o.d"
+  "/root/repo/src/blob/meta_tree.cpp" "src/blob/CMakeFiles/bs_blob.dir/meta_tree.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/meta_tree.cpp.o.d"
+  "/root/repo/src/blob/metadata_provider.cpp" "src/blob/CMakeFiles/bs_blob.dir/metadata_provider.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/metadata_provider.cpp.o.d"
+  "/root/repo/src/blob/provider_manager.cpp" "src/blob/CMakeFiles/bs_blob.dir/provider_manager.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/provider_manager.cpp.o.d"
+  "/root/repo/src/blob/version_manager.cpp" "src/blob/CMakeFiles/bs_blob.dir/version_manager.cpp.o" "gcc" "src/blob/CMakeFiles/bs_blob.dir/version_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/bs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_blob.dir/allocation.cpp.o"
+  "CMakeFiles/bs_blob.dir/allocation.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/client.cpp.o"
+  "CMakeFiles/bs_blob.dir/client.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/data_provider.cpp.o"
+  "CMakeFiles/bs_blob.dir/data_provider.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/deployment.cpp.o"
+  "CMakeFiles/bs_blob.dir/deployment.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/meta_ops.cpp.o"
+  "CMakeFiles/bs_blob.dir/meta_ops.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/meta_tree.cpp.o"
+  "CMakeFiles/bs_blob.dir/meta_tree.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/metadata_provider.cpp.o"
+  "CMakeFiles/bs_blob.dir/metadata_provider.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/provider_manager.cpp.o"
+  "CMakeFiles/bs_blob.dir/provider_manager.cpp.o.d"
+  "CMakeFiles/bs_blob.dir/version_manager.cpp.o"
+  "CMakeFiles/bs_blob.dir/version_manager.cpp.o.d"
+  "libbs_blob.a"
+  "libbs_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

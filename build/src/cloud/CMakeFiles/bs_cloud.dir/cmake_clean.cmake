@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_cloud.dir/gateway.cpp.o"
+  "CMakeFiles/bs_cloud.dir/gateway.cpp.o.d"
+  "libbs_cloud.a"
+  "libbs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

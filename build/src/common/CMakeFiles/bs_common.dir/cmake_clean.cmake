@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_common.dir/config.cpp.o"
+  "CMakeFiles/bs_common.dir/config.cpp.o.d"
+  "CMakeFiles/bs_common.dir/log.cpp.o"
+  "CMakeFiles/bs_common.dir/log.cpp.o.d"
+  "CMakeFiles/bs_common.dir/result.cpp.o"
+  "CMakeFiles/bs_common.dir/result.cpp.o.d"
+  "CMakeFiles/bs_common.dir/rng.cpp.o"
+  "CMakeFiles/bs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bs_common.dir/stats.cpp.o"
+  "CMakeFiles/bs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bs_common.dir/strings.cpp.o"
+  "CMakeFiles/bs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/bs_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/bs_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/bs_common.dir/timeseries.cpp.o"
+  "CMakeFiles/bs_common.dir/timeseries.cpp.o.d"
+  "CMakeFiles/bs_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/bs_common.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/bs_common.dir/types.cpp.o"
+  "CMakeFiles/bs_common.dir/types.cpp.o.d"
+  "libbs_common.a"
+  "libbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_core.dir/controller.cpp.o"
+  "CMakeFiles/bs_core.dir/controller.cpp.o.d"
+  "CMakeFiles/bs_core.dir/elasticity.cpp.o"
+  "CMakeFiles/bs_core.dir/elasticity.cpp.o.d"
+  "CMakeFiles/bs_core.dir/protection.cpp.o"
+  "CMakeFiles/bs_core.dir/protection.cpp.o.d"
+  "CMakeFiles/bs_core.dir/removal.cpp.o"
+  "CMakeFiles/bs_core.dir/removal.cpp.o.d"
+  "CMakeFiles/bs_core.dir/replication.cpp.o"
+  "CMakeFiles/bs_core.dir/replication.cpp.o.d"
+  "libbs_core.a"
+  "libbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

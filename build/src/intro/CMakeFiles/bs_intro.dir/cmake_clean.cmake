@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_intro.dir/activity.cpp.o"
+  "CMakeFiles/bs_intro.dir/activity.cpp.o.d"
+  "CMakeFiles/bs_intro.dir/introspection.cpp.o"
+  "CMakeFiles/bs_intro.dir/introspection.cpp.o.d"
+  "libbs_intro.a"
+  "libbs_intro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_intro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

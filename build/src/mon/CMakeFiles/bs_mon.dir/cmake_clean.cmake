@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_mon.dir/filters.cpp.o"
+  "CMakeFiles/bs_mon.dir/filters.cpp.o.d"
+  "CMakeFiles/bs_mon.dir/instrument.cpp.o"
+  "CMakeFiles/bs_mon.dir/instrument.cpp.o.d"
+  "CMakeFiles/bs_mon.dir/layer.cpp.o"
+  "CMakeFiles/bs_mon.dir/layer.cpp.o.d"
+  "CMakeFiles/bs_mon.dir/record.cpp.o"
+  "CMakeFiles/bs_mon.dir/record.cpp.o.d"
+  "CMakeFiles/bs_mon.dir/service.cpp.o"
+  "CMakeFiles/bs_mon.dir/service.cpp.o.d"
+  "CMakeFiles/bs_mon.dir/storage.cpp.o"
+  "CMakeFiles/bs_mon.dir/storage.cpp.o.d"
+  "libbs_mon.a"
+  "libbs_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_rpc.dir/rpc.cpp.o"
+  "CMakeFiles/bs_rpc.dir/rpc.cpp.o.d"
+  "libbs_rpc.a"
+  "libbs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_sec.dir/enforcement.cpp.o"
+  "CMakeFiles/bs_sec.dir/enforcement.cpp.o.d"
+  "CMakeFiles/bs_sec.dir/engine.cpp.o"
+  "CMakeFiles/bs_sec.dir/engine.cpp.o.d"
+  "CMakeFiles/bs_sec.dir/framework.cpp.o"
+  "CMakeFiles/bs_sec.dir/framework.cpp.o.d"
+  "CMakeFiles/bs_sec.dir/policy.cpp.o"
+  "CMakeFiles/bs_sec.dir/policy.cpp.o.d"
+  "CMakeFiles/bs_sec.dir/trust.cpp.o"
+  "CMakeFiles/bs_sec.dir/trust.cpp.o.d"
+  "libbs_sec.a"
+  "libbs_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bs_sim.dir/simulation.cpp.o.d"
+  "libbs_sim.a"
+  "libbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

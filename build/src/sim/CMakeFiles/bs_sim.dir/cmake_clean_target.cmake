@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbs_sim.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_viz.dir/chart.cpp.o"
+  "CMakeFiles/bs_viz.dir/chart.cpp.o.d"
+  "CMakeFiles/bs_viz.dir/dashboard.cpp.o"
+  "CMakeFiles/bs_viz.dir/dashboard.cpp.o.d"
+  "libbs_viz.a"
+  "libbs_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

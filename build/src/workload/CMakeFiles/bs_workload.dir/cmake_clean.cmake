@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_workload.dir/clients.cpp.o"
+  "CMakeFiles/bs_workload.dir/clients.cpp.o.d"
+  "CMakeFiles/bs_workload.dir/stats.cpp.o"
+  "CMakeFiles/bs_workload.dir/stats.cpp.o.d"
+  "libbs_workload.a"
+  "libbs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blob/test_blob_e2e.cpp" "tests/CMakeFiles/test_blob.dir/blob/test_blob_e2e.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/test_blob_e2e.cpp.o.d"
+  "/root/repo/tests/blob/test_failure_injection.cpp" "tests/CMakeFiles/test_blob.dir/blob/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/blob/test_meta.cpp" "tests/CMakeFiles/test_blob.dir/blob/test_meta.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/test_meta.cpp.o.d"
+  "/root/repo/tests/blob/test_provider_allocation.cpp" "tests/CMakeFiles/test_blob.dir/blob/test_provider_allocation.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/test_provider_allocation.cpp.o.d"
+  "/root/repo/tests/blob/test_version_manager.cpp" "tests/CMakeFiles/test_blob.dir/blob/test_version_manager.cpp.o" "gcc" "tests/CMakeFiles/test_blob.dir/blob/test_version_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blob/CMakeFiles/bs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

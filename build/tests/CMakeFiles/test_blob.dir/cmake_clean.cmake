@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blob.dir/blob/test_blob_e2e.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/test_blob_e2e.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/test_failure_injection.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/test_meta.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/test_meta.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/test_provider_allocation.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/test_provider_allocation.cpp.o.d"
+  "CMakeFiles/test_blob.dir/blob/test_version_manager.cpp.o"
+  "CMakeFiles/test_blob.dir/blob/test_version_manager.cpp.o.d"
+  "test_blob"
+  "test_blob.pdb"
+  "test_blob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/test_s3.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_s3.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_s3.cpp.o.d"
+  "/root/repo/tests/cloud/test_s3_security.cpp" "tests/CMakeFiles/test_cloud.dir/cloud/test_s3_security.cpp.o" "gcc" "tests/CMakeFiles/test_cloud.dir/cloud/test_s3_security.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/bs_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/sec/CMakeFiles/bs_sec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/bs_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/intro/CMakeFiles/bs_intro.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/bs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/bs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mon.dir/intro/test_introspection.cpp.o"
+  "CMakeFiles/test_mon.dir/intro/test_introspection.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/test_mon_extra.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/test_mon_extra.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/test_monitoring.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/test_monitoring.cpp.o.d"
+  "test_mon"
+  "test_mon.pdb"
+  "test_mon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

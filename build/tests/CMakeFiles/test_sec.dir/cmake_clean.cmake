@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sec.dir/sec/test_default_policies.cpp.o"
+  "CMakeFiles/test_sec.dir/sec/test_default_policies.cpp.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_policy_lang.cpp.o"
+  "CMakeFiles/test_sec.dir/sec/test_policy_lang.cpp.o.d"
+  "CMakeFiles/test_sec.dir/sec/test_security.cpp.o"
+  "CMakeFiles/test_sec.dir/sec/test_security.cpp.o.d"
+  "test_sec"
+  "test_sec.pdb"
+  "test_sec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

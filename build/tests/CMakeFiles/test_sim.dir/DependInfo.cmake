@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_flow.cpp" "tests/CMakeFiles/test_sim.dir/net/test_flow.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/net/test_flow.cpp.o.d"
+  "/root/repo/tests/net/test_flow_property.cpp" "tests/CMakeFiles/test_sim.dir/net/test_flow_property.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/net/test_flow_property.cpp.o.d"
+  "/root/repo/tests/rpc/test_rpc.cpp" "tests/CMakeFiles/test_sim.dir/rpc/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/rpc/test_rpc.cpp.o.d"
+  "/root/repo/tests/sim/test_simulation.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/bs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
