@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Runs every bench binary in build/bench/ (experiment reproductions and
+# google-benchmark micro/ablation benches). Build first with:
+#   cmake -B build -S . && cmake --build build -j
+# The tier-1 test gate is the companion one-liner:
+#   ctest --test-dir build -L tier1 --output-on-failure -j
+set -eu
+cd "$(dirname "$0")/.."
+if [ ! -d build/bench ]; then
+  echo "build/bench not found — build the tree first" >&2
+  exit 1
+fi
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "== $b"
+  "$b"
+done

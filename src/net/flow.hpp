@@ -5,6 +5,22 @@
 // are driven by the simulation clock. This reproduces the contention
 // behaviour of a real cluster (the physical effect behind every throughput
 // number in the paper) at a cost of microseconds per flow.
+//
+// Two scheduling paths share the same progressive-filling core:
+//  - incremental (default): per-flow-event cost scales with the size of the
+//    affected contention component. Each resource keeps an intrusive list of
+//    the flows crossing it; an arrival/departure walks only the connected
+//    component of flows transitively sharing resources with the changed
+//    flow, settles and refills just that subgraph, and completions come from
+//    a lazy-deletion ETA min-heap keyed by (eta, flow id, rate epoch).
+//    Per-flow progress is lazy: `remaining` is settled only when the flow's
+//    own rate changes (or on demand via Resource::bytes_served()).
+//  - reference (Options{.incremental = false}): global progressive filling
+//    and a linear next-completion scan on every event. Quadratic, but
+//    simple; kept as the equivalence oracle for the property suite. Both
+//    modes share the settle discipline (settle exactly the affected
+//    component), the completion grouping and the stored per-flow ETAs, so
+//    their trajectories are bit-identical, not merely approximately equal.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +37,41 @@
 namespace bs::net {
 
 class FlowScheduler;
+class Resource;
+
+namespace detail {
+
+struct Flow;
+
+/// Membership of one flow in one resource's intrusive flow list.
+struct FlowLink {
+  Flow* flow{nullptr};
+  Resource* resource{nullptr};
+  FlowLink* prev{nullptr};
+  FlowLink* next{nullptr};
+};
+
+struct Flow {
+  Flow(sim::Simulation& sim, std::uint64_t id_, double bytes)
+      : id(id_), remaining(bytes), done(sim) {}
+  std::uint64_t id;
+  double remaining;
+  double rate{0};
+  SimTime last_settle{0};      // progress is settled lazily up to this time
+  // Absolute completion ETA, computed once at the flow's last rate change
+  // (shared by both scheduling modes so they stay bit-identical).
+  SimTime eta{simtime::kInfinite};
+  std::uint64_t rate_epoch{0};  // bumped whenever rate changes (stales ETAs)
+  std::uint64_t mark{0};        // component-walk visit marker
+  double prev_rate{0};          // scratch: rate before a refill
+  bool frozen{false};           // scratch for progressive filling
+  // One link per distinct resource; sized once at creation (never
+  // reallocated — resources hold pointers into this vector).
+  std::vector<FlowLink> links;
+  sim::Event done;
+};
+
+}  // namespace detail
 
 /// A capacity-limited medium (NIC direction, disk, backbone link).
 class Resource {
@@ -31,8 +82,9 @@ class Resource {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double capacity() const { return capacity_; }
 
-  /// Total bytes that have traversed this resource.
-  [[nodiscard]] double bytes_served() const { return bytes_served_; }
+  /// Total bytes that have traversed this resource. Settles the progress of
+  /// every flow currently crossing it, so the value is exact as of now.
+  [[nodiscard]] double bytes_served() const;
 
   /// Current number of flows crossing this resource.
   [[nodiscard]] std::size_t active_flows() const { return flow_count_; }
@@ -43,53 +95,116 @@ class Resource {
   double capacity_;        // bytes per second
   double bytes_served_{0};
   std::size_t flow_count_{0};
-  // Scratch fields used during rate computation.
+  FlowScheduler* sched_{nullptr};
+  detail::FlowLink* flows_head_{nullptr};  // intrusive list of crossing flows
+  // Scratch fields used during rate computation / component walks.
   double cap_left_{0};
   std::size_t unfrozen_{0};
+  std::uint64_t mark_{0};
 };
 
 class FlowScheduler {
  public:
-  explicit FlowScheduler(sim::Simulation& sim) : sim_(sim) {}
+  struct Options {
+    bool incremental = true;
+    /// Default options, overridable via the environment: setting
+    /// BS_FLOW_SCHED=reference (or "global" / "0") selects the reference
+    /// path so whole experiments can be A/B-ed without code changes.
+    static Options from_env();
+  };
+
+  explicit FlowScheduler(sim::Simulation& sim, Options opts = Options::from_env())
+      : sim_(sim), opts_(opts) {}
   FlowScheduler(const FlowScheduler&) = delete;
   FlowScheduler& operator=(const FlowScheduler&) = delete;
+  ~FlowScheduler();
 
   /// Creates a resource owned by the scheduler.
   Resource* create_resource(std::string name, double capacity_bps);
 
   /// Awaitable transfer of `bytes` across `resources`; completes when the
-  /// last byte has been delivered under fair sharing.
+  /// last byte has been delivered under fair sharing. Duplicate entries in
+  /// `resources` are ignored (the flow crosses each resource once).
   sim::Task<void> transfer(double bytes, std::vector<Resource*> resources);
 
   [[nodiscard]] std::uint64_t completed_flows() const { return completed_; }
   [[nodiscard]] std::size_t active_flow_count() const {
     return active_.size();
   }
+  [[nodiscard]] bool incremental() const { return opts_.incremental; }
+
+  /// Read-only view of an active flow, for invariant checks in tests.
+  struct FlowInfo {
+    std::uint64_t id;
+    double rate;
+    double remaining;  // as of the flow's last settle
+    std::vector<const Resource*> resources;
+  };
+  [[nodiscard]] std::vector<FlowInfo> active_flows_snapshot() const;
 
  private:
-  struct Flow {
-    Flow(sim::Simulation& sim, std::uint64_t id_, double bytes,
-         std::vector<Resource*> rs)
-        : id(id_), remaining(bytes), resources(std::move(rs)), done(sim) {}
+  friend class Resource;
+  using Flow = detail::Flow;
+  using FlowLink = detail::FlowLink;
+
+  struct EtaEntry {
+    SimTime eta;
     std::uint64_t id;
-    double remaining;
-    double rate{0};
-    bool frozen{false};  // scratch for rate computation
-    std::vector<Resource*> resources;
-    sim::Event done;
+    std::uint64_t epoch;
+  };
+  struct EtaLater {  // min-heap on (eta, id) via std::push_heap
+    bool operator()(const EtaEntry& a, const EtaEntry& b) const {
+      if (a.eta != b.eta) return a.eta > b.eta;
+      return a.id > b.id;
+    }
   };
 
-  void advance_to_now();
-  void recompute_rates();
+  // Shared by both paths.
+  void link(Flow* f);
+  void unlink(Flow* f);
+  void settle_flow(Flow& f);
+  void settle_resource(Resource* r);
+  void credit_residue(Flow& f);
+  void update_eta(Flow& f);
+  void fill_rates(const std::vector<Flow*>& flows,
+                  const std::vector<Resource*>& resources);
+
+  // Incremental path.
+  void on_arrival_incremental(Flow* f);
+  void on_wakeup();
+  void collect_component(Flow* start, std::uint64_t epoch,
+                         std::vector<Flow*>& flows,
+                         std::vector<Resource*>& resources);
+  void refill_and_reschedule(std::vector<Flow*>& flows,
+                             std::vector<Resource*>& resources);
+  void push_eta(Flow& f);
+  void restore_eta_heap(std::size_t old_size);
+  void rebuild_eta_heap();
+  void arm_wakeup();
+  void compact_eta_heap();
+
+  // Reference path (global refill + linear completion scan).
+  void recompute_rates_global();
   void schedule_next_completion();
   void on_completion_event(std::uint64_t generation);
 
   sim::Simulation& sim_;
+  Options opts_;
   std::vector<std::unique_ptr<Resource>> resources_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> active_;
-  SimTime last_advance_{0};
   std::uint64_t next_flow_id_{0};
   std::uint64_t completed_{0};
+  std::uint64_t mark_epoch_{0};
+
+  // Incremental-path state.
+  std::vector<EtaEntry> eta_heap_;
+  SimTime next_wakeup_{simtime::kInfinite};
+  // Scratch buffers reused across events to avoid per-event allocation.
+  std::vector<Flow*> scratch_flows_;
+  std::vector<Resource*> scratch_resources_;
+  std::vector<Flow*> scratch_due_;
+
+  // Reference-path state.
   std::uint64_t generation_{0};
 };
 

@@ -1,10 +1,19 @@
 // Deterministic discrete-event simulation kernel. A single event queue
 // totally ordered by (time, insertion sequence) drives callbacks; coroutine
 // actors suspend on awaitables that schedule their resumption.
+//
+// The queue is allocation-free on the hot path: events carry an
+// InlineCallback (small-buffer-optimized, move-only) instead of a
+// std::function, and coroutine resumptions go through schedule_resume(),
+// whose 8-byte thunk always fits the inline storage.
 #pragma once
 
+#include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -12,9 +21,99 @@
 
 namespace bs::sim {
 
+/// Move-only type-erased callable with inline storage for small targets.
+/// Callables up to kInlineSize bytes (any capturing lambda the simulator
+/// uses, and in particular a bare coroutine_handle) are stored in place;
+/// larger ones fall back to a single heap allocation.
+class InlineCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() noexcept = default;
+
+  template <class F>
+    requires(!std::is_same_v<std::decay_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      if (ops_) ops_->destroy(buf_);
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() {
+    if (ops_) ops_->destroy(buf_);
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs *dst from *src and destroys *src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); }};
+
+  template <class D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**std::launder(reinterpret_cast<D**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<D**>(p)); }};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_{nullptr};
+};
+
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -25,6 +124,18 @@ class Simulation {
   void schedule_at(SimTime t, Callback cb);
   void schedule_in(SimDuration dt, Callback cb) {
     schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Fast path for waking a coroutine: never allocates (the 8-byte handle
+  /// thunk always fits InlineCallback's inline storage).
+  void schedule_resume_at(SimTime t, std::coroutine_handle<> h) {
+    schedule_at(t, ResumeThunk{h});
+  }
+  void schedule_resume_in(SimDuration dt, std::coroutine_handle<> h) {
+    schedule_resume_at(now_ + dt, h);
+  }
+  void schedule_resume(std::coroutine_handle<> h) {
+    schedule_resume_at(now_, h);
   }
 
   /// Runs events until the queue is empty or stop() is called.
@@ -52,7 +163,7 @@ class Simulation {
       SimDuration dt;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) const {
-        s->schedule_in(dt, [h] { h.resume(); });
+        s->schedule_resume_in(dt, h);
       }
       void await_resume() const noexcept {}
     };
@@ -67,6 +178,10 @@ class Simulation {
   void install_log_clock();
 
  private:
+  struct ResumeThunk {
+    std::coroutine_handle<> h;
+    void operator()() const { h.resume(); }
+  };
   struct Event {
     SimTime time;
     std::uint64_t seq;

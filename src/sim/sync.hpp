@@ -29,7 +29,7 @@ class Event {
     if (set_) return;
     set_ = true;
     for (auto h : waiters_) {
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->schedule_resume(h);
     }
     waiters_.clear();
   }
@@ -87,7 +87,7 @@ class Semaphore {
       auto h = waiters_.front();
       waiters_.pop_front();
       // The permit transfers directly to the woken waiter.
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->schedule_resume(h);
     } else {
       ++count_;
     }
@@ -128,8 +128,7 @@ class Mailbox {
       Waiter w = waiters_.front();
       waiters_.pop_front();
       w.slot->emplace(std::move(item));
-      auto h = w.handle;
-      sim_->schedule_in(0, [h] { h.resume(); });
+      sim_->schedule_resume(w.handle);
     } else {
       items_.push_back(std::move(item));
     }
@@ -184,7 +183,7 @@ class WaitGroup {
     assert(count_ > 0);
     if (--count_ == 0) {
       for (auto h : waiters_) {
-        sim_.schedule_in(0, [h] { h.resume(); });
+        sim_.schedule_resume(h);
       }
       waiters_.clear();
     }

@@ -140,6 +140,82 @@ TEST(Flow, ZeroByteTransferCompletesInstantly) {
   EXPECT_EQ(sim.now(), 0);
 }
 
+TEST(Flow, DuplicateResourceEntriesCountOnce) {
+  // A repeated Resource* in the transfer path must not inflate the per-flow
+  // share accounting: {r, r, r} behaves exactly like {r}.
+  for (const bool incremental : {true, false}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim, {.incremental = incremental});
+    auto* r = flows.create_resource("link", mb_per_sec(100));
+    test::run_task_void(sim, flows.transfer(200e6, {r, r, r}));
+    EXPECT_NEAR(simtime::to_seconds(sim.now()), 2.0, 1e-3)
+        << "incremental=" << incremental;
+    EXPECT_EQ(r->active_flows(), 0u);
+    EXPECT_NEAR(r->bytes_served(), 200e6, 1.0);
+  }
+}
+
+TEST(Flow, DuplicateResourceCompetesFairlyWithPlainFlow) {
+  // Before dedup, a duplicated entry double-counted the flow in unfrozen_,
+  // halving its share. Both flows must finish together at 2 s.
+  sim::Simulation sim;
+  FlowScheduler flows(sim);
+  auto* r = flows.create_resource("link", mb_per_sec(100));
+  SimTime t_dup = 0, t_plain = 0;
+  sim::WaitGroup wg(sim);
+  wg.launch([](sim::Simulation& s, FlowScheduler& f, Resource* res,
+               SimTime& out) -> sim::Task<void> {
+    std::vector<Resource*> rs{res, res};
+    co_await f.transfer(100e6, std::move(rs));
+    out = s.now();
+  }(sim, flows, r, t_dup));
+  wg.launch([](sim::Simulation& s, FlowScheduler& f, Resource* res,
+               SimTime& out) -> sim::Task<void> {
+    std::vector<Resource*> rs{res};
+    co_await f.transfer(100e6, std::move(rs));
+    out = s.now();
+  }(sim, flows, r, t_plain));
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(t_dup), 2.0, 1e-3);
+  EXPECT_NEAR(simtime::to_seconds(t_plain), 2.0, 1e-3);
+}
+
+TEST(Flow, BytesServedPinnedToAnalyticTotals) {
+  // Max-min shares: A={r1} gets 80, B={r1,r2} gets 20, C={r2} gets 20 MB/s.
+  // After completion each resource has served exactly the bytes of the
+  // flows crossing it (residue crediting makes the totals exact).
+  for (const bool incremental : {true, false}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim, {.incremental = incremental});
+    auto* r1 = flows.create_resource("r1", 100e6);
+    auto* r2 = flows.create_resource("r2", 40e6);
+    sim::WaitGroup wg(sim);
+    wg.launch(flows.transfer(80e6, {r1}));
+    wg.launch(flows.transfer(20e6, {r1, r2}));
+    wg.launch(flows.transfer(20e6, {r2}));
+    sim.run();
+    EXPECT_NEAR(r1->bytes_served(), 100e6, 1.0)
+        << "incremental=" << incremental;
+    EXPECT_NEAR(r2->bytes_served(), 40e6, 1.0)
+        << "incremental=" << incremental;
+  }
+}
+
+TEST(Flow, BytesServedSettlesOnDemandMidTransfer) {
+  // bytes_served() must reflect progress up to now even between flow
+  // events (the lazy path settles the resource's flows on read).
+  sim::Simulation sim;
+  FlowScheduler flows(sim);
+  auto* r = flows.create_resource("link", mb_per_sec(100));
+  sim::WaitGroup wg(sim);
+  wg.launch(flows.transfer(200e6, {r}));
+  sim.run_until(simtime::seconds(0.5));
+  EXPECT_NEAR(r->bytes_served(), 50e6, 1e3);
+  EXPECT_EQ(r->active_flows(), 1u);
+  sim.run();
+  EXPECT_NEAR(r->bytes_served(), 200e6, 1.0);
+}
+
 TEST(Flow, StaggeredArrivalSlowsExistingFlow) {
   sim::Simulation sim;
   FlowScheduler flows(sim);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/sync.hpp"
@@ -74,6 +77,110 @@ TEST(Simulation, EventsProcessedCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
   sim.run();
   EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(InlineCallback, SmallCallableStaysInlineAndRuns) {
+  int hits = 0;
+  sim::InlineCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  sim::InlineCallback a([&hits] { ++hits; });
+  sim::InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  sim::InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, LargeCallableFallsBackToHeap) {
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes > inline storage
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i;
+  std::uint64_t sum = 0;
+  sim::InlineCallback cb([payload, &sum] {
+    for (auto v : payload) sum += v;
+  });
+  sim::InlineCallback moved(std::move(cb));
+  moved();
+  EXPECT_EQ(sum, 120u);
+}
+
+TEST(InlineCallback, MoveOnlyCaptureIsSupported) {
+  // std::function required copyable callables; the event queue must not.
+  auto p = std::make_unique<int>(42);
+  int seen = 0;
+  sim::Simulation sim;
+  sim.schedule_at(0, [p = std::move(p), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Simulation, ScheduleAtNowFromCallbackPreservesFifo) {
+  // From inside an event callback, wakeups scheduled at the current time —
+  // whether raw callbacks or coroutine resumes — run in insertion order.
+  sim::Simulation sim;
+  std::vector<std::string> order;
+  sim::Event ev(sim);
+  sim.spawn([](sim::Event& e, std::vector<std::string>& out) -> sim::Task<void> {
+    co_await e.wait();
+    out.push_back("waiter");
+  }(ev, order));
+  sim.schedule_at(simtime::seconds(1), [&] {
+    ev.set();  // enqueues the waiter's resume at now
+    sim.schedule_at(sim.now(), [&] { order.push_back("cb1"); });
+    sim.schedule_in(0, [&] { order.push_back("cb2"); });
+  });
+  sim.run();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"waiter", "cb1", "cb2"}));
+  EXPECT_EQ(sim.now(), simtime::seconds(1));
+}
+
+TEST(Simulation, ZeroDelayResumesInterleaveDeterministically) {
+  // delay(0) re-enqueues at the current time; repeated rounds of coroutine
+  // resumes and schedule_at(now) callbacks must keep global FIFO order.
+  sim::Simulation sim;
+  std::vector<std::string> order;
+  sim.spawn([](sim::Simulation& s,
+               std::vector<std::string>& out) -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(0);
+      out.push_back("coro" + std::to_string(i));
+      s.schedule_at(s.now(), [&out, i] {
+        out.push_back("cb" + std::to_string(i));
+      });
+    }
+  }(sim, order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"coro0", "cb0", "coro1", "cb1",
+                                             "coro2", "cb2"}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, RunUntilWithZeroDelayChainsStopsAtTarget) {
+  // A callback that keeps rescheduling at now must not stall run_until past
+  // its target, and seq ordering keeps the chain deterministic.
+  sim::Simulation sim;
+  int fired = 0;
+  sim.schedule_at(simtime::seconds(2), [&] { ++fired; });
+  sim.run_until(simtime::seconds(1));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), simtime::seconds(1));
+  sim.schedule_at(sim.now(), [&] {
+    sim.schedule_in(0, [&] { ++fired; });
+  });
+  sim.run_until(simtime::seconds(1));
+  EXPECT_EQ(fired, 1);  // both the chain head and tail ran at t=1
+  sim.run();
+  EXPECT_EQ(fired, 2);
 }
 
 TEST(Task, DelayAdvancesSimTime) {
