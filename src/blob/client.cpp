@@ -17,14 +17,33 @@ BlobClient::BlobClient(rpc::Node& node, ClientId id, Endpoints endpoints,
       config_(config), rng_(rng_seed) {
   assert(!endpoints_.metadata_providers.empty());
   meta_store_ = std::make_unique<RemoteMetadataStore>(
-      node_, endpoints_.metadata_providers, id_, config_.rpc_timeout);
+      node_, endpoints_.metadata_providers, id_, config_.rpc_timeout,
+      config_.retry);
 }
 
 rpc::CallOptions BlobClient::opts(SimDuration timeout) const {
   rpc::CallOptions o;
   o.timeout = timeout;
   o.client = id_;
+  o.retry = config_.retry;
   return o;
+}
+
+void BlobClient::report_provider_failure(NodeId provider) {
+  if (!config_.report_failures) return;
+  // Fire-and-forget: the report must never block or fail the data path.
+  // Retries are off — a lost report is harmless.
+  rpc::CallOptions o;
+  o.timeout = config_.rpc_timeout;
+  o.client = id_;
+  node_.cluster().sim().spawn(
+      [](rpc::Node& n, NodeId pm, NodeId failed,
+         rpc::CallOptions ro) -> sim::Task<void> {
+        ReportFailureReq req;
+        req.provider = failed;
+        (void)co_await n.cluster().call<ReportFailureReq, ReportFailureResp>(
+            n, pm, req, ro);
+      }(node_, endpoints_.provider_manager, provider, o));
 }
 
 void BlobClient::observe(ClientOpInfo info) {
@@ -164,6 +183,9 @@ sim::Task<Result<void>> BlobClient::put_chunk_replicated(
       stored.push_back(target);
     } else {
       failed.push_back(target);
+      if (rpc::RetryPolicy::retryable(r.error().code)) {
+        report_provider_failure(target);
+      }
     }
   }
   plan.leaves[chunk_idx].replicas = std::move(stored);
@@ -401,6 +423,9 @@ sim::Task<Result<ChunkRead>> BlobClient::fetch_chunk(
       co_return out;
     }
     last = r.error();
+    if (rpc::RetryPolicy::retryable(last.code)) {
+      report_provider_failure(target);
+    }
   }
   co_return last;
 }

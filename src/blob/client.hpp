@@ -28,6 +28,13 @@ struct ClientConfig {
   SimDuration rpc_timeout{simtime::seconds(30)};
   /// Commit can legitimately wait for earlier concurrent writers.
   SimDuration commit_timeout{simtime::seconds(120)};
+  /// Transport-level retry for every client RPC (jittered exponential
+  /// backoff, deterministic via the cluster's seeded RNG). Down-node
+  /// failures still fail fast; retries matter for drops and timeouts.
+  rpc::RetryPolicy retry{.max_attempts = 3};
+  /// Report chunk put/get transport failures to the provider manager so
+  /// allocation steers away from the failing provider.
+  bool report_failures{true};
 };
 
 struct WriteReceipt {
@@ -147,6 +154,8 @@ class BlobClient {
                                            std::uint64_t read_lo,
                                            std::uint64_t read_hi);
   void observe(ClientOpInfo info);
+  /// Detached, best-effort failure report to the provider manager.
+  void report_provider_failure(NodeId provider);
 
   rpc::CallOptions opts(SimDuration timeout) const;
 

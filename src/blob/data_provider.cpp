@@ -9,6 +9,15 @@ namespace bs::blob {
 DataProvider::DataProvider(rpc::Node& node, Options options)
     : node_(node), options_(options) {
   register_handlers();
+  node_.add_crash_listener([this](const rpc::CrashOptions& c) {
+    stop_heartbeats();
+    if (c.lose_storage) wipe();
+  });
+  node_.add_restart_listener([this] {
+    // Re-register with the last known manager; the registration carries the
+    // surviving store (or a zeroed one after a wipe).
+    if (pm_node_.valid()) start_heartbeats(pm_node_);
+  });
 }
 
 void DataProvider::register_handlers() {
@@ -172,27 +181,39 @@ sim::Task<Result<ReplicateChunkResp>> DataProvider::handle_replicate(
 }
 
 void DataProvider::start_heartbeats(NodeId provider_manager) {
-  if (heartbeats_on_) return;
+  pm_node_ = provider_manager;
   heartbeats_on_ = true;
-  node_.cluster().sim().spawn(heartbeat_loop(provider_manager));
+  // Bumping the generation stales any previous loop, so a crash→restart
+  // before the old loop noticed never doubles the heartbeat stream.
+  node_.cluster().sim().spawn(heartbeat_loop(provider_manager,
+                                             ++hb_generation_));
 }
 
-sim::Task<void> DataProvider::heartbeat_loop(NodeId provider_manager) {
+sim::Task<void> DataProvider::heartbeat_loop(NodeId provider_manager,
+                                             std::uint64_t generation) {
   auto& cluster = node_.cluster();
   auto& sim = cluster.sim();
-  // Register (retrying until the manager is reachable).
-  while (heartbeats_on_) {
+  auto live = [&] {
+    return heartbeats_on_ && generation == hb_generation_ && node_.up();
+  };
+  auto make_register = [&] {
     RegisterProviderReq reg;
     reg.provider = node_.id();
     reg.capacity = options_.capacity;
+    reg.free_space = free_space();
+    reg.chunks = chunks_.size();
+    return reg;
+  };
+  // Register (retrying until the manager is reachable).
+  while (live()) {
     auto r = co_await cluster.call<RegisterProviderReq, RegisterProviderResp>(
-        node_, provider_manager, reg);
+        node_, provider_manager, make_register());
     if (r.ok()) break;
     co_await sim.delay(options_.heartbeat_interval);
   }
-  while (heartbeats_on_ && node_.up()) {
+  while (live()) {
     co_await sim.delay(options_.heartbeat_interval);
-    if (!heartbeats_on_ || !node_.up()) break;
+    if (!live()) break;
     HeartbeatReq hb;
     hb.provider = node_.id();
     hb.free_space = free_space();
@@ -201,15 +222,13 @@ sim::Task<void> DataProvider::heartbeat_loop(NodeId provider_manager) {
     auto r = co_await cluster.call<HeartbeatReq, HeartbeatResp>(
         node_, provider_manager, hb);
     if (r.ok() && !r.value().known) {
-      RegisterProviderReq reg;
-      reg.provider = node_.id();
-      reg.capacity = options_.capacity;
       (void)co_await cluster.call<RegisterProviderReq, RegisterProviderResp>(
-          node_, provider_manager, reg);
+          node_, provider_manager, make_register());
     }
   }
-  // Mark stopped so a revived provider can call start_heartbeats() again.
-  heartbeats_on_ = false;
+  // Mark stopped so a revived provider can call start_heartbeats() again;
+  // a newer generation's loop keeps the flag untouched.
+  if (generation == hb_generation_) heartbeats_on_ = false;
 }
 
 void DataProvider::wipe() {

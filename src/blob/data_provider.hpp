@@ -42,8 +42,12 @@ class DataProvider {
   DataProvider(rpc::Node& node, Options options = {});
 
   /// Registers with the provider manager and starts the heartbeat loop.
+  /// Restartable: a crash kills the loop, a node restart revives it.
   void start_heartbeats(NodeId provider_manager);
-  void stop_heartbeats() { heartbeats_on_ = false; }
+  void stop_heartbeats() {
+    heartbeats_on_ = false;
+    ++hb_generation_;  // kills any loop that hasn't noticed yet
+  }
 
   [[nodiscard]] NodeId id() const { return node_.id(); }
   [[nodiscard]] rpc::Node& node() { return node_; }
@@ -77,7 +81,8 @@ class DataProvider {
 
  private:
   void register_handlers();
-  sim::Task<void> heartbeat_loop(NodeId provider_manager);
+  sim::Task<void> heartbeat_loop(NodeId provider_manager,
+                                 std::uint64_t generation);
   void notify_storage(std::int64_t delta);
 
   void notify_access(const ChunkKey& key, std::uint64_t bytes, bool write,
@@ -97,6 +102,8 @@ class DataProvider {
   std::uint64_t used_{0};
   SlidingWindowCounter stores_{simtime::seconds(10)};
   bool heartbeats_on_{false};
+  std::uint64_t hb_generation_{0};  ///< stales superseded heartbeat loops
+  NodeId pm_node_{};                ///< manager to re-register with on restart
   std::function<void(const StorageEvent&)> storage_observer_;
   std::function<void(const AccessEvent&)> access_observer_;
 };

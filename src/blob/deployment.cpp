@@ -7,8 +7,10 @@ namespace bs::blob {
 Deployment::Deployment(sim::Simulation& sim, DeploymentConfig config)
     : sim_(sim), config_(config) {
   cluster_ = std::make_unique<rpc::Cluster>(
-      sim, config_.sites <= 1 ? net::Topology::single_site()
-                              : net::Topology::grid5000(config_.sites));
+      sim,
+      config_.sites <= 1 ? net::Topology::single_site()
+                         : net::Topology::grid5000(config_.sites),
+      config_.fault_seed);
 
   // Manager actors are lightweight control-plane services. The version
   // manager's commit handler legitimately *waits* (ordered publication)
@@ -18,7 +20,8 @@ Deployment::Deployment(sim::Simulation& sim, DeploymentConfig config)
   manager_spec.service_concurrency =
       std::max<std::size_t>(manager_spec.service_concurrency, 1024);
   vm_node_ = cluster_->add_node(next_site(), manager_spec);
-  vm_ = std::make_unique<VersionManager>(*vm_node_);
+  vm_ = std::make_unique<VersionManager>(*vm_node_, config_.vm_options);
+  if (config_.start_lease_sweeper) vm_->start_lease_sweeper();
   pm_node_ = cluster_->add_node(next_site(), manager_spec);
   pm_ = std::make_unique<ProviderManager>(*pm_node_, config_.pm_options);
   if (config_.start_reaper) pm_->start_reaper();

@@ -131,7 +131,11 @@ struct RegisterProviderReq {
   static constexpr const char* kName = "blob.register_provider";
   NodeId provider;
   std::uint64_t capacity{0};
-  [[nodiscard]] std::uint64_t wire_size() const { return 32; }
+  /// State carried across a restart with an intact store; a fresh provider
+  /// registers with free_space == capacity and zero chunks.
+  std::uint64_t free_space{0};
+  std::uint64_t chunks{0};
+  [[nodiscard]] std::uint64_t wire_size() const { return 48; }
 };
 struct RegisterProviderResp {
   [[nodiscard]] std::uint64_t wire_size() const { return 16; }
@@ -183,6 +187,12 @@ struct AllocateResp {
 };
 
 /// Snapshot of one registered provider, as the provider manager sees it.
+/// Liveness verdict the provider manager holds about a data provider, fed
+/// by heartbeats (positive signal) and client failure reports / missed
+/// heartbeats (negative signal). Allocation prefers alive providers, falls
+/// back to suspects under space pressure and never places on dead ones.
+enum class ProviderHealth : std::uint8_t { alive, suspect, dead };
+
 struct ProviderEntry {
   NodeId node;
   std::uint64_t capacity{0};
@@ -192,6 +202,9 @@ struct ProviderEntry {
   SimTime last_heartbeat{0};
   std::uint64_t pending_allocs{0};  ///< chunks allocated, put not yet seen
   bool decommissioning{false};
+  ProviderHealth health{ProviderHealth::alive};
+  std::uint32_t reported_failures{0};  ///< client failure reports since last
+                                       ///< heartbeat
 };
 
 struct ListProvidersReq {
@@ -213,6 +226,18 @@ struct SetDecommissionReq {
   [[nodiscard]] std::uint64_t wire_size() const { return 25; }
 };
 struct SetDecommissionResp {
+  [[nodiscard]] std::uint64_t wire_size() const { return 16; }
+};
+
+/// Client-side failure report: a chunk put/get against `provider` failed at
+/// the transport level. Marks the entry suspect (dead after repeated
+/// reports) so allocation steers away long before the heartbeat deadline.
+struct ReportFailureReq {
+  static constexpr const char* kName = "blob.report_failure";
+  NodeId provider;
+  [[nodiscard]] std::uint64_t wire_size() const { return 24; }
+};
+struct ReportFailureResp {
   [[nodiscard]] std::uint64_t wire_size() const { return 16; }
 };
 

@@ -5,6 +5,9 @@
 namespace bs::blob {
 
 MetadataProvider::MetadataProvider(rpc::Node& node) : node_(node) {
+  node_.add_crash_listener([this](const rpc::CrashOptions& c) {
+    if (c.lose_storage) wipe();
+  });
   node_.serve<MetaPutReq, MetaPutResp>(
       [this](const MetaPutReq& req,
              const rpc::Envelope&) -> sim::Task<Result<MetaPutResp>> {
@@ -36,11 +39,13 @@ MetadataProvider::MetadataProvider(rpc::Node& node) : node_(node) {
 RemoteMetadataStore::RemoteMetadataStore(rpc::Node& self,
                                          std::vector<NodeId> providers,
                                          ClientId as_client,
-                                         SimDuration timeout)
+                                         SimDuration timeout,
+                                         std::optional<rpc::RetryPolicy> retry)
     : self_(self), providers_(std::move(providers)) {
   assert(!providers_.empty());
   opts_.client = as_client;
   opts_.timeout = timeout;
+  opts_.retry = retry;
 }
 
 NodeId RemoteMetadataStore::provider_for(const NodeKey& key) const {

@@ -20,6 +20,12 @@ class MetadataProvider {
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] std::uint64_t bytes_stored() const { return bytes_; }
 
+  /// Failure injection: drops every stored tree node (disk loss).
+  void wipe() {
+    nodes_.clear();
+    bytes_ = 0;
+  }
+
  private:
   rpc::Node& node_;
   std::unordered_map<NodeKey, TreeNode> nodes_;
@@ -31,7 +37,8 @@ class MetadataProvider {
 class RemoteMetadataStore final : public MetadataStore {
  public:
   RemoteMetadataStore(rpc::Node& self, std::vector<NodeId> providers,
-                      ClientId as_client, SimDuration timeout);
+                      ClientId as_client, SimDuration timeout,
+                      std::optional<rpc::RetryPolicy> retry = {});
 
   sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
   sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;

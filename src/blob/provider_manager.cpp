@@ -12,14 +12,31 @@ ProviderManager::ProviderManager(rpc::Node& node, Options options)
       strategy_(make_strategy(options_.strategy)), rng_(options_.rng_seed) {
   assert(strategy_ != nullptr && "unknown allocation strategy");
   register_handlers();
+  // The reaper dies with the node; a restart revives it. The registry
+  // itself survives crashes (durable manager metadata).
+  node_.add_restart_listener([this] {
+    if (reaper_enabled_) start_reaper();
+  });
 }
 
 std::size_t ProviderManager::alive_count() const {
   std::size_t n = 0;
   for (const auto& [id, e] : registry_) {
-    if (!e.decommissioning) ++n;
+    if (!e.decommissioning && e.health != ProviderHealth::dead) ++n;
   }
   return n;
+}
+
+ProviderManager::HealthCounts ProviderManager::health_counts() const {
+  HealthCounts c;
+  for (const auto& [id, e] : registry_) {
+    switch (e.health) {
+      case ProviderHealth::alive: ++c.alive; break;
+      case ProviderHealth::suspect: ++c.suspect; break;
+      case ProviderHealth::dead: ++c.dead; break;
+    }
+  }
+  return c;
 }
 
 std::vector<ProviderEntry> ProviderManager::snapshot() const {
@@ -30,16 +47,29 @@ std::vector<ProviderEntry> ProviderManager::snapshot() const {
 }
 
 std::vector<ProviderEntry*> ProviderManager::eligible(
-    std::uint64_t chunk_size, const std::vector<NodeId>& exclude) {
+    std::uint64_t chunk_size, const std::vector<NodeId>& exclude,
+    std::size_t min_count) {
   std::vector<ProviderEntry*> out;
+  std::vector<ProviderEntry*> suspects;
   out.reserve(registry_.size());
   for (auto& [id, e] : registry_) {
     if (e.decommissioning) continue;
+    if (e.health == ProviderHealth::dead) continue;
     if (e.free_space < chunk_size) continue;
     if (std::find(exclude.begin(), exclude.end(), e.node) != exclude.end()) {
       continue;
     }
-    out.push_back(&e);
+    if (e.health == ProviderHealth::suspect) {
+      suspects.push_back(&e);
+    } else {
+      out.push_back(&e);
+    }
+  }
+  // Suspects are a last resort: drafted only when the healthy pool cannot
+  // satisfy the requested placement width.
+  for (auto* s : suspects) {
+    if (out.size() >= min_count) break;
+    out.push_back(s);
   }
   return out;
 }
@@ -51,7 +81,11 @@ void ProviderManager::register_handlers() {
         ProviderEntry e;
         e.node = req.provider;
         e.capacity = req.capacity;
-        e.free_space = req.capacity;
+        // A provider restarting with an intact store reports what it kept;
+        // a zeroed report means a fresh (or wiped) store.
+        const bool fresh = req.free_space == 0 && req.chunks == 0;
+        e.free_space = fresh ? req.capacity : req.free_space;
+        e.chunks = req.chunks;
         e.last_heartbeat = node_.cluster().sim().now();
         // Re-registration (provider restart) resets the entry.
         registry_[req.provider.value] = e;
@@ -78,9 +112,33 @@ void ProviderManager::register_handlers() {
         e.chunks = req.chunks;
         e.store_rate = req.store_rate;
         e.last_heartbeat = node_.cluster().sim().now();
-        // A fresh heartbeat supersedes optimistic pending-alloc accounting.
+        // A fresh heartbeat supersedes optimistic pending-alloc accounting
+        // and clears any suspicion: the provider is demonstrably serving.
         e.pending_allocs = 0;
+        e.health = ProviderHealth::alive;
+        e.reported_failures = 0;
         co_return HeartbeatResp{true};
+      });
+
+  node_.serve<ReportFailureReq, ReportFailureResp>(
+      [this](const ReportFailureReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<ReportFailureResp>> {
+        ++failure_reports_;
+        auto it = registry_.find(req.provider.value);
+        if (it == registry_.end()) co_return ReportFailureResp{};
+        auto& e = it->second;
+        ++e.reported_failures;
+        if (e.health == ProviderHealth::alive) {
+          e.health = ProviderHealth::suspect;
+        }
+        if (e.reported_failures >= options_.failure_reports_dead &&
+            e.health != ProviderHealth::dead) {
+          e.health = ProviderHealth::dead;
+          BS_INFO("pm", "provider %llu declared dead (%u failure reports)",
+                  (unsigned long long)req.provider.value,
+                  (unsigned)e.reported_failures);
+        }
+        co_return ReportFailureResp{};
       });
 
   node_.serve<AllocateReq, AllocateResp>(
@@ -93,7 +151,7 @@ void ProviderManager::register_handlers() {
         resp.placements.reserve(req.chunk_count);
         const std::uint64_t need = std::max<std::uint64_t>(1, req.chunk_size);
         for (std::uint64_t i = 0; i < req.chunk_count; ++i) {
-          auto pool = eligible(need, req.exclude);
+          auto pool = eligible(need, req.exclude, req.replication);
           auto placed =
               strategy_->place_chunk(pool, need, req.replication, rng_);
           if (placed.empty()) {
@@ -127,28 +185,38 @@ void ProviderManager::register_handlers() {
 }
 
 void ProviderManager::start_reaper() {
-  if (reaper_on_) return;
-  reaper_on_ = true;
+  reaper_enabled_ = true;
+  if (reaper_running_) return;
+  reaper_running_ = true;
   node_.cluster().sim().spawn(reaper_loop());
 }
 
 sim::Task<void> ProviderManager::reaper_loop() {
   auto& sim = node_.cluster().sim();
+  const SimDuration suspect_after =
+      options_.heartbeat_interval * options_.missed_heartbeats_suspect;
   const SimDuration deadline =
       options_.heartbeat_interval * options_.missed_heartbeats_dead;
-  while (reaper_on_ && node_.up()) {
+  while (reaper_enabled_ && node_.up()) {
     co_await sim.delay(options_.heartbeat_interval);
+    if (!node_.up()) break;
     const SimTime now = sim.now();
     for (auto it = registry_.begin(); it != registry_.end();) {
-      if (now - it->second.last_heartbeat > deadline) {
+      auto& e = it->second;
+      const SimDuration silent = now - e.last_heartbeat;
+      if (silent > deadline) {
         BS_INFO("pm", "provider %llu expired (no heartbeat)",
-                (unsigned long long)it->second.node.value);
+                (unsigned long long)e.node.value);
         it = registry_.erase(it);
-      } else {
-        ++it;
+        continue;
       }
+      if (silent > suspect_after && e.health == ProviderHealth::alive) {
+        e.health = ProviderHealth::suspect;
+      }
+      ++it;
     }
   }
+  reaper_running_ = false;
 }
 
 }  // namespace bs::blob

@@ -16,7 +16,13 @@ namespace bs::blob {
 struct ProviderManagerOptions {
   std::string strategy{"load_aware"};
   SimDuration heartbeat_interval{simtime::seconds(2)};
+  /// Silence thresholds, in heartbeat intervals: a provider turns suspect
+  /// first (allocation avoids it while the pool allows), then is erased.
+  int missed_heartbeats_suspect{2};
   int missed_heartbeats_dead{3};
+  /// Client transport failures against a provider before it is declared
+  /// dead outright — much faster than waiting out the heartbeat deadline.
+  std::uint32_t failure_reports_dead{3};
   std::uint64_t rng_seed{42};
 };
 
@@ -36,17 +42,33 @@ class ProviderManager {
   /// Direct registry snapshot (for tests and same-process engines).
   [[nodiscard]] std::vector<ProviderEntry> snapshot() const;
 
+  /// Health tally over the registry, fed to the Knowledge base so the MAPE
+  /// loop can re-provision around failing providers.
+  struct HealthCounts {
+    std::size_t alive{0};
+    std::size_t suspect{0};
+    std::size_t dead{0};
+  };
+  [[nodiscard]] HealthCounts health_counts() const;
+
   /// Starts the reaper that expires providers missing heartbeats.
   void start_reaper();
 
   /// Total chunks allocated so far (placement decisions made).
   [[nodiscard]] std::uint64_t chunks_allocated() const { return allocated_; }
+  [[nodiscard]] std::uint64_t failure_reports() const {
+    return failure_reports_;
+  }
 
  private:
   void register_handlers();
   sim::Task<void> reaper_loop();
+  /// Providers a new chunk may land on. Alive entries come first; suspects
+  /// are drafted only when the alive pool is narrower than `min_count`
+  /// (the requested replication width). Dead providers never place.
   [[nodiscard]] std::vector<ProviderEntry*> eligible(
-      std::uint64_t chunk_size, const std::vector<NodeId>& exclude);
+      std::uint64_t chunk_size, const std::vector<NodeId>& exclude,
+      std::size_t min_count);
 
   rpc::Node& node_;
   Options options_;
@@ -54,7 +76,9 @@ class ProviderManager {
   Rng rng_;
   std::map<std::uint64_t, ProviderEntry> registry_;  // by NodeId value
   std::uint64_t allocated_{0};
-  bool reaper_on_{false};
+  std::uint64_t failure_reports_{0};
+  bool reaper_enabled_{false};
+  bool reaper_running_{false};
 };
 
 }  // namespace bs::blob

@@ -8,8 +8,55 @@
 
 namespace bs::blob {
 
-VersionManager::VersionManager(rpc::Node& node) : node_(node) {
+VersionManager::VersionManager(rpc::Node& node, Options opts)
+    : node_(node), opts_(opts) {
   register_handlers();
+  // The sweeper dies with the node; a restart revives it. Blob state itself
+  // survives crashes (the paper's version manager is durable metadata).
+  node_.add_restart_listener([this] {
+    if (sweeper_enabled_) start_lease_sweeper();
+  });
+}
+
+void VersionManager::start_lease_sweeper() {
+  sweeper_enabled_ = true;
+  if (sweeper_running_) return;
+  sweeper_running_ = true;
+  node_.cluster().sim().spawn(lease_sweeper_loop());
+}
+
+sim::Task<void> VersionManager::lease_sweeper_loop() {
+  auto& sim = node_.cluster().sim();
+  while (node_.up()) {
+    co_await sim.delay(opts_.sweep_interval);
+    if (!node_.up()) break;
+    const SimTime now = sim.now();
+    for (auto& [id, b] : blobs_) {
+      std::vector<Version> settled;
+      std::vector<Version> expired;
+      for (auto& [v, w] : b.pending) {
+        if (now - w.lease_from <= opts_.write_lease) continue;
+        if (w.published) {
+          // Decision was made but the response never reached the writer
+          // (crash, dropped reply). The version is live; only the
+          // bookkeeping entry is stale.
+          settled.push_back(v);
+        } else if (!w.committed) {
+          // Orphan: the writer went away between StartWrite and commit.
+          // It blocks ordered publication of every later version.
+          expired.push_back(v);
+        }
+      }
+      for (Version v : settled) b.pending.erase(v);
+      for (Version v : expired) {
+        ++leases_expired_;
+        BS_INFO("vm", "write lease expired for v%llu of blob %llu",
+                (unsigned long long)v, (unsigned long long)id);
+        force_abort(b, v);
+      }
+    }
+  }
+  sweeper_running_ = false;
 }
 
 std::vector<VersionInfo> VersionManager::versions_of(BlobId blob) const {
@@ -249,6 +296,7 @@ sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
   w.extent.chunk_count = div_ceil(req.size, b.chunk_size);
   w.end_bytes = offset + req.size;
   w.writer = writer;
+  w.lease_from = node_.cluster().sim().now();
   b.reserved_end = std::max(b.reserved_end, w.end_bytes);
   w.root_chunks = next_pow2(div_ceil(b.reserved_end, b.chunk_size));
   w.extent.root_chunks = w.root_chunks;
@@ -276,30 +324,61 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
   BlobState& b = it->second;
   auto pit = b.pending.find(req.version);
   if (pit == b.pending.end()) {
+    // Idempotent commit: a retry after a lost CommitWriteResp must report
+    // the outcome the first commit produced, not a spurious conflict.
+    if (auto pub = b.published.find(req.version); pub != b.published.end()) {
+      CommitWriteResp resp;
+      resp.published = true;
+      resp.info = pub->second;
+      co_return resp;
+    }
     co_return Error{Errc::conflict, "no such pending write"};
   }
   PendingWrite& w = pit->second;
-  w.committed = true;
-  w.committed_epoch = req.abort_epoch;
-  w.published = false;
-  w.rebuild = false;
-  w.decision = std::make_unique<sim::Event>(node_.cluster().sim());
-  try_publish(b);
-  co_await w.decision->wait();
+  w.lease_from = node_.cluster().sim().now();
+  if (!w.committed || !w.decision || w.decision->is_set()) {
+    w.committed = true;
+    w.committed_epoch = req.abort_epoch;
+    w.published = false;
+    w.rebuild = false;
+    w.decision = std::make_shared<sim::Event>(node_.cluster().sim());
+    try_publish(b);
+  }
+  // else: a duplicate of an in-flight commit — share its pending decision.
+  auto decision = w.decision;  // keeps the event alive across the wait
+  co_await decision->wait();
 
-  CommitWriteResp resp;
-  if (w.rebuild) {
-    resp.rebuild_needed = true;
-    resp.abort_epoch = b.abort_epoch;
-    for (const auto& e : b.history) {
-      if (e.version < req.version) resp.history.push_back(e);
+  // Re-resolve everything: while waiting, the blob map may have rehashed,
+  // the pending entry may have been erased (abort, lease expiry, a faster
+  // duplicate) or the decision may have been superseded.
+  it = blobs_.find(req.blob.value);
+  if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
+  BlobState& b2 = it->second;
+  pit = b2.pending.find(req.version);
+  if (pit == b2.pending.end()) {
+    if (auto pub = b2.published.find(req.version); pub != b2.published.end()) {
+      CommitWriteResp resp;
+      resp.published = true;
+      resp.info = pub->second;
+      co_return resp;
     }
-    w.committed = false;  // awaiting re-commit after the rebuild
+    co_return Error{Errc::conflict, "write aborted before publication"};
+  }
+  PendingWrite& w2 = pit->second;
+  CommitWriteResp resp;
+  if (w2.published) {
+    resp.published = true;
+    resp.info = b2.published.at(req.version);
+    b2.pending.erase(pit);
     co_return resp;
   }
-  resp.published = true;
-  resp.info = b.published.at(req.version);
-  b.pending.erase(req.version);
+  resp.rebuild_needed = true;
+  resp.abort_epoch = b2.abort_epoch;
+  for (const auto& e : b2.history) {
+    if (e.version < req.version) resp.history.push_back(e);
+  }
+  w2.committed = false;  // awaiting re-commit after the rebuild
+  w2.lease_from = node_.cluster().sim().now();
   co_return resp;
 }
 
@@ -315,8 +394,24 @@ sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
   if (pit->second.committed) {
     co_return Error{Errc::conflict, "write already committed"};
   }
+  BS_INFO("vm", "write v%llu of blob %llu aborted (epoch %llu)",
+          (unsigned long long)req.version,
+          (unsigned long long)req.blob.value,
+          (unsigned long long)(b.abort_epoch + 1));
+  force_abort(b, req.version);
+  co_return AbortWriteResp{};
+}
+
+void VersionManager::force_abort(BlobState& b, Version v) {
+  auto pit = b.pending.find(v);
+  if (pit == b.pending.end()) return;
+  // Wake any commit handler still parked on this write's decision; it will
+  // re-resolve the state and report the abort as a conflict.
+  if (pit->second.decision && !pit->second.decision->is_set()) {
+    pit->second.decision->set();
+  }
   b.pending.erase(pit);
-  remove_from_history(b, req.version);
+  remove_from_history(b, v);
   ++b.abort_epoch;
   // Recompute the append frontier without the aborted reservation.
   std::uint64_t end = b.latest_size;
@@ -329,12 +424,7 @@ sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
     end = std::max(end, e_end);
   }
   b.reserved_end = end;
-  BS_INFO("vm", "write v%llu of blob %llu aborted (epoch %llu)",
-          (unsigned long long)req.version,
-          (unsigned long long)req.blob.value,
-          (unsigned long long)b.abort_epoch);
   try_publish(b);
-  co_return AbortWriteResp{};
 }
 
 void VersionManager::remove_from_history(BlobState& b, Version v) {

@@ -20,8 +20,19 @@
 
 namespace bs::blob {
 
+struct VersionManagerOptions {
+  /// An uncommitted pending write older than this is auto-aborted by the
+  /// lease sweeper. Ordered publication stalls on the first uncommitted
+  /// version, so an orphan (writer crashed, StartWrite response lost)
+  /// would otherwise block every later commit forever.
+  SimDuration write_lease{simtime::seconds(300)};
+  SimDuration sweep_interval{simtime::seconds(10)};
+};
+
 class VersionManager {
  public:
+  using Options = VersionManagerOptions;
+
   /// Publication notification for the instrumentation layer.
   struct PublishEvent {
     BlobId blob;
@@ -31,10 +42,16 @@ class VersionManager {
     ClientId writer{};
   };
 
-  explicit VersionManager(rpc::Node& node);
+  explicit VersionManager(rpc::Node& node, Options opts = {});
+
+  /// Spawns the background loop enforcing Options::write_lease.
+  void start_lease_sweeper();
 
   [[nodiscard]] NodeId id() const { return node_.id(); }
   [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+  [[nodiscard]] std::uint64_t leases_expired() const {
+    return leases_expired_;
+  }
 
   void set_publish_observer(std::function<void(const PublishEvent&)> obs) {
     publish_observer_ = std::move(obs);
@@ -55,10 +72,14 @@ class VersionManager {
     bool committed{false};
     bool aborted{false};
     std::uint64_t committed_epoch{0};  ///< abort epoch sent with commit
-    /// Set when the commit decision (published / rebuild) is ready.
-    std::unique_ptr<sim::Event> decision;
+    /// Set when the commit decision (published / rebuild) is ready. Shared:
+    /// a retried commit may leave an earlier handler coroutine still
+    /// awaiting it after the pending entry is gone.
+    std::shared_ptr<sim::Event> decision;
     bool published{false};
     bool rebuild{false};
+    /// Lease clock; reset on start and on every commit interaction.
+    SimTime lease_from{0};
   };
 
   struct BlobState {
@@ -90,10 +111,19 @@ class VersionManager {
   void try_publish(BlobState& b);
   void publish_one(BlobState& b, Version v, PendingWrite& w);
   void remove_from_history(BlobState& b, Version v);
+  /// Abort machinery shared by AbortWrite and lease expiry: drops the
+  /// pending write, bumps the abort epoch, recomputes the append frontier
+  /// and re-drives publication.
+  void force_abort(BlobState& b, Version v);
+  sim::Task<void> lease_sweeper_loop();
 
   rpc::Node& node_;
+  Options opts_;
   std::map<std::uint64_t, BlobState> blobs_;  // by BlobId value
   std::uint64_t next_blob_{1};
+  std::uint64_t leases_expired_{0};
+  bool sweeper_enabled_{false};
+  bool sweeper_running_{false};
   std::function<void(const PublishEvent&)> publish_observer_;
 };
 

@@ -317,8 +317,14 @@ sim::Task<void> AutonomicController::loop() {
 
 sim::Task<void> AutonomicController::iterate() {
   ++iterations_;
-  // Monitor.
-  knowledge_.update(ctx_.introspection->snapshot());
+  // Monitor. Enrich the monitoring snapshot with the provider manager's
+  // health tally so analysis modules see failure-driven state too.
+  auto snap = ctx_.introspection->snapshot();
+  const auto health = dep_.provider_manager().health_counts();
+  snap.providers_alive = health.alive;
+  snap.providers_suspect = health.suspect;
+  snap.providers_dead = health.dead;
+  knowledge_.update(std::move(snap));
   // Analyze + Plan.
   std::vector<AdaptAction> plan;
   for (auto& module : modules_) {

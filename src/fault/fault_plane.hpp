@@ -1,0 +1,140 @@
+// Deterministic fault-injection plane. Sits above the RPC cluster and turns
+// a seeded schedule of fault events into actuator calls: node crash/restart
+// (fail-stop, optionally wiping stateful stores), site-pair partitions and
+// link degradation (probabilistic drops + latency spikes, enforced by the
+// cluster's link-fault hook), and disk slowdowns (capacity scaling through
+// the flow scheduler). Every random decision — schedule generation and
+// per-message drop rolls — is drawn from seeded RNGs, so a schedule replayed
+// on the same workload is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::fault {
+
+/// One scheduled fault action. Which fields matter depends on `kind`:
+/// crash/restart/slow_disk/restore_disk use `node`; the link kinds use the
+/// unordered site pair `{a, b}`.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    crash,         ///< fail-stop; `lose_storage` wipes stateful stores
+    restart,       ///< bring a crashed node back up
+    partition,     ///< drop every message between sites a and b
+    heal,          ///< clear all link rules between a and b
+    degrade,       ///< probabilistic drops + extra latency between a and b
+    restore_link,  ///< same as heal (named for degrade symmetry)
+    slow_disk,     ///< scale a node's disk bandwidth by `disk_factor`
+    restore_disk,  ///< restore the node's spec disk bandwidth
+  };
+
+  SimTime at{0};
+  Kind kind{Kind::crash};
+  NodeId node{};
+  bool lose_storage{false};
+  net::SiteId a{0};
+  net::SiteId b{0};
+  double drop_prob{0.0};
+  SimDuration extra_latency{0};
+  double disk_factor{1.0};
+
+  [[nodiscard]] const char* kind_name() const;
+};
+
+/// Bounds for `random_schedule`. The generator keeps schedules *safe* for
+/// the chaos harness's readability invariant: every crash is paired with a
+/// restart, at most `max_wipe_crashes` crashes lose storage (keep it below
+/// the replication factor), and every link/disk fault is healed before
+/// `quiesce_fraction` of the horizon so the tail of the run is fault-free.
+struct ScheduleOptions {
+  SimTime start{0};
+  SimTime horizon{simtime::minutes(10)};
+  double quiesce_fraction{0.7};
+
+  std::vector<NodeId> crashable;  ///< typically the data-provider nodes
+  std::size_t crashes{2};
+  std::size_t max_wipe_crashes{0};
+  SimDuration min_downtime{simtime::seconds(5)};
+  SimDuration max_downtime{simtime::seconds(40)};
+
+  std::size_t site_count{0};  ///< link faults need >= 2 sites
+  std::size_t partitions{1};
+  std::size_t degrades{1};
+  double max_drop_prob{0.3};
+  SimDuration max_extra_latency{simtime::millis(200)};
+  SimDuration min_link_fault{simtime::seconds(5)};
+  SimDuration max_link_fault{simtime::seconds(30)};
+
+  std::size_t disk_slowdowns{1};
+  double min_disk_factor{0.1};
+};
+
+/// Generates a bounded random fault schedule, sorted by time. Deterministic
+/// per seed; independent of any simulation state.
+[[nodiscard]] std::vector<FaultEvent> random_schedule(
+    std::uint64_t seed, const ScheduleOptions& opts);
+
+class FaultPlane {
+ public:
+  /// Installs itself as the cluster's link-fault hook. `seed` drives the
+  /// per-message drop rolls (schedule generation has its own seed).
+  FaultPlane(rpc::Cluster& cluster, std::uint64_t seed = 0xFA17ull);
+  ~FaultPlane();
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  // -- immediate actuators ------------------------------------------------
+  void crash(NodeId node, bool lose_storage = false);
+  void restart(NodeId node);
+  void partition(net::SiteId a, net::SiteId b);
+  void heal(net::SiteId a, net::SiteId b);
+  void degrade(net::SiteId a, net::SiteId b, double drop_prob,
+               SimDuration extra_latency);
+  void slow_disk(NodeId node, double factor);
+  void restore_disk(NodeId node);
+  /// Heals every link and restores every slowed disk.
+  void clear();
+
+  // -- scheduling ---------------------------------------------------------
+  /// Applies `ev` at `ev.at` (immediately when that time has passed).
+  void schedule(const FaultEvent& ev);
+  void schedule_all(const std::vector<FaultEvent>& schedule);
+
+  // -- introspection ------------------------------------------------------
+  [[nodiscard]] std::uint64_t faults_applied() const {
+    return faults_applied_;
+  }
+  [[nodiscard]] bool link_faulted(net::SiteId a, net::SiteId b) const {
+    return links_.count(pair_key(a, b)) > 0;
+  }
+  [[nodiscard]] std::size_t slowed_disks() const { return slowed_.size(); }
+
+ private:
+  struct LinkRule {
+    bool partitioned{false};
+    double drop_prob{0.0};
+    SimDuration extra_latency{0};
+  };
+
+  [[nodiscard]] static std::uint64_t pair_key(net::SiteId a, net::SiteId b) {
+    const std::uint64_t lo = a < b ? a : b;
+    const std::uint64_t hi = a < b ? b : a;
+    return (hi << 32) | lo;
+  }
+
+  void apply_now(const FaultEvent& ev);
+  [[nodiscard]] rpc::Cluster::LinkFault eval(net::SiteId from, net::SiteId to);
+
+  rpc::Cluster& cluster_;
+  Rng drop_rng_;
+  std::unordered_map<std::uint64_t, LinkRule> links_;
+  std::unordered_map<std::uint64_t, double> slowed_;  ///< NodeId -> factor
+  std::uint64_t faults_applied_{0};
+};
+
+}  // namespace bs::fault

@@ -49,6 +49,12 @@ struct SystemSnapshot {
   std::size_t active_clients{0};
   double rejected_rate{0};  ///< rejections/s across clients
 
+  /// Provider health tally (from the provider manager's failure tracking);
+  /// filled by the autonomic controller when it enriches the snapshot.
+  std::size_t providers_alive{0};
+  std::size_t providers_suspect{0};
+  std::size_t providers_dead{0};
+
   [[nodiscard]] double utilization() const {
     return total_capacity > 0 ? total_used / total_capacity : 0;
   }

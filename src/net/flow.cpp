@@ -44,6 +44,30 @@ Resource* FlowScheduler::create_resource(std::string name,
   return resources_.back().get();
 }
 
+void FlowScheduler::set_capacity(Resource* r, double capacity_bps) {
+  assert(capacity_bps > 0);
+  if (r->capacity_ == capacity_bps) return;
+  if (r->flow_count_ == 0) {
+    // Idle resource: no rates depend on it, the new capacity simply applies
+    // to whatever arrives next.
+    r->capacity_ = capacity_bps;
+    return;
+  }
+  scratch_flows_.clear();
+  scratch_resources_.clear();
+  collect_component(r->flows_head_->flow, ++mark_epoch_, scratch_flows_,
+                    scratch_resources_);
+  r->capacity_ = capacity_bps;
+  if (opts_.incremental) {
+    refill_and_reschedule(scratch_flows_, scratch_resources_);
+    compact_eta_heap();
+    arm_wakeup();
+  } else {
+    recompute_rates_global();
+    schedule_next_completion();
+  }
+}
+
 double Resource::bytes_served() const {
   if (sched_ != nullptr) sched_->settle_resource(const_cast<Resource*>(this));
   return bytes_served_;

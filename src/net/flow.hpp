@@ -122,6 +122,12 @@ class FlowScheduler {
   /// Creates a resource owned by the scheduler.
   Resource* create_resource(std::string name, double capacity_bps);
 
+  /// Changes a resource's capacity at runtime (disk slowdowns, degraded
+  /// links). Settles the resource's contention component at the old rates,
+  /// then refills it under the new capacity — the same event discipline as
+  /// an arrival, so both scheduling modes stay bit-identical.
+  void set_capacity(Resource* r, double capacity_bps);
+
   /// Awaitable transfer of `bytes` across `resources`; completes when the
   /// last byte has been delivered under fair sharing. Duplicate entries in
   /// `resources` are ignored (the flow crosses each resource once).

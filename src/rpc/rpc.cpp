@@ -17,8 +17,36 @@ Node::Node(Cluster& cluster, NodeId id, net::SiteId site,
       cluster.sim(), std::max<std::size_t>(1, spec.service_concurrency));
 }
 
-Cluster::Cluster(sim::Simulation& sim, net::Topology topology)
-    : sim_(sim), topology_(std::move(topology)), flows_(sim) {}
+void Node::crash(const CrashOptions& opts) {
+  if (!up_) return;
+  up_ = false;
+  ++incarnation_;
+  for (auto& l : crash_listeners_) l(opts);
+}
+
+void Node::restart() {
+  if (up_) return;
+  up_ = true;
+  for (auto& l : restart_listeners_) l();
+}
+
+SimDuration RetryPolicy::backoff(std::uint32_t retry, Rng& rng) const {
+  double d = static_cast<double>(base_backoff);
+  for (std::uint32_t i = 1; i < retry; ++i) d *= multiplier;
+  d = std::min(d, static_cast<double>(max_backoff));
+  if (jitter > 0) {
+    const double j = std::min(jitter, 1.0);
+    d *= (1.0 - j) + j * rng.next_double();
+  }
+  return static_cast<SimDuration>(d);
+}
+
+Cluster::Cluster(sim::Simulation& sim, net::Topology topology,
+                 std::uint64_t fault_seed)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      flows_(sim),
+      retry_rng_(fault_seed) {}
 
 Node* Cluster::add_node(net::SiteId site, const NodeSpec& spec) {
   assert(site < topology_.site_count());
@@ -56,6 +84,23 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_erased(
     Node& src, NodeId dst, std::type_index type, const char* name,
     detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
     CallOptions opts) {
+  const RetryPolicy policy = opts.retry ? *opts.retry : default_retry_;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    auto r = co_await call_attempt(src, dst, type, name, req, req_bytes,
+                                   payload_to_disk, opts);
+    if (r.ok() || attempt >= policy.max_attempts ||
+        !RetryPolicy::retryable(r.error().code)) {
+      co_return r;
+    }
+    ++calls_retried_;
+    co_await sim_.delay(policy.backoff(attempt, retry_rng_));
+  }
+}
+
+sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
+    Node& src, NodeId dst, std::type_index type, const char* name,
+    detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
+    const CallOptions& opts) {
   ++calls_started_;
   auto state = std::make_shared<CallState>(sim_);
   sim_.spawn(call_body(state, &src, node(dst), type, name, std::move(req),
@@ -96,8 +141,24 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
     co_return;
   }
 
-  const SimDuration latency =
-      topology_.latency(src->site(), dst->site());
+  // Pin both endpoints to their current incarnation: a crash on either side
+  // while the call is in flight invalidates the request, the queued work and
+  // the response. Every await below re-checks the pins.
+  const std::uint64_t src_inc = src->incarnation();
+  const std::uint64_t dst_inc = dst->incarnation();
+  auto src_alive = [&] { return src->up() && src->incarnation() == src_inc; };
+  auto dst_alive = [&] { return dst->up() && dst->incarnation() == dst_inc; };
+
+  SimDuration latency = topology_.latency(src->site(), dst->site());
+  if (link_fault_) {
+    const LinkFault lf = link_fault_(src->site(), dst->site());
+    if (lf.drop) {
+      // Request lost on the wire: never settles, the timeout watcher fires.
+      ++messages_dropped_;
+      co_return;
+    }
+    latency += lf.extra_latency;
+  }
   Envelope env;
   env.client = opts.client;
   env.src_node = src->id();
@@ -106,6 +167,11 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   co_await sim_.delay(latency);
   co_await transmit(*src, *dst, req_bytes,
                     payload_to_disk ? dst->disk() : nullptr);
+  if (!dst_alive()) {
+    settle(Error{Errc::unavailable, "destination crashed"});
+    co_return;
+  }
+  if (!src_alive()) co_return;  // caller crashed; nobody awaits the result
 
   RequestInfo info;
   info.name = name;
@@ -134,13 +200,31 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   }
   const SimTime enqueue_at = sim_.now();
   co_await dst->service_sem_->acquire();
+  if (!dst_alive()) {
+    // The crash wiped the logical service queue: this waiter resumed into a
+    // dead (or reincarnated) node, so its request is lost. The slot is still
+    // handed on so the queue drains deterministically.
+    dst->service_sem_->release();
+    settle(Error{Errc::unavailable, "destination crashed"});
+    co_return;
+  }
   info.queue_wait = sim_.now() - enqueue_at;
   const SimTime service_start = sim_.now();
 
   co_await sim_.delay(dst->spec().service_overhead);
+  if (!dst_alive()) {
+    dst->service_sem_->release();
+    settle(Error{Errc::unavailable, "destination crashed"});
+    co_return;
+  }
   detail::AnyResponse resp =
       co_await dst->handlers_[type](std::move(req), env);
   dst->service_sem_->release();
+  if (!dst_alive()) {
+    // Handler finished on a node that crashed mid-service: result lost.
+    settle(Error{Errc::unavailable, "destination crashed"});
+    co_return;
+  }
 
   ++dst->served_;
   info.service_time = sim_.now() - service_start;
@@ -153,9 +237,22 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
     co_return;
   }
 
-  co_await sim_.delay(latency);
+  // Response direction: link rules may have changed while the request was
+  // being served, so they are re-evaluated for the way back.
+  SimDuration resp_latency = topology_.latency(dst->site(), src->site());
+  if (link_fault_) {
+    const LinkFault lf = link_fault_(dst->site(), src->site());
+    if (lf.drop) {
+      ++messages_dropped_;
+      co_return;  // response lost; the caller's timeout fires
+    }
+    resp_latency += lf.extra_latency;
+  }
+  co_await sim_.delay(resp_latency);
   co_await transmit(*dst, *src, resp.wire_size,
                     resp.from_disk ? dst->disk() : nullptr);
+  if (!dst_alive()) co_return;  // crashed before the last byte left
+  if (!src_alive()) co_return;  // caller crashed while the response flew
   settle(std::move(resp.payload));
 }
 

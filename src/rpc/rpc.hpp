@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
@@ -26,6 +27,7 @@
 
 #include "common/log.hpp"
 #include "common/result.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/flow.hpp"
 #include "net/topology.hpp"
@@ -44,10 +46,39 @@ struct Envelope {
   SimTime sent_at{0};
 };
 
-/// Options for a single call.
+/// Retry policy: exponential backoff with jitter, deterministic because the
+/// jitter is drawn from the cluster's seeded RNG. `max_attempts == 1`
+/// disables retries. Only transport-level failures (timeout, unavailable)
+/// are retried; application errors propagate to the caller unchanged.
+struct RetryPolicy {
+  std::uint32_t max_attempts{1};
+  SimDuration base_backoff{simtime::millis(50)};
+  double multiplier{2.0};
+  SimDuration max_backoff{simtime::seconds(5)};
+  /// Fraction of each backoff that is randomized: the delay before retry k
+  /// is uniform in [d*(1-jitter), d] with d = min(base*mult^(k-1), max).
+  double jitter{0.5};
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+  [[nodiscard]] SimDuration backoff(std::uint32_t retry, Rng& rng) const;
+  [[nodiscard]] static bool retryable(Errc code) {
+    return code == Errc::timeout || code == Errc::unavailable;
+  }
+};
+
+/// Options for a single call. `timeout` is per attempt; with a retry policy
+/// the overall deadline is the sum of attempt timeouts plus backoffs.
 struct CallOptions {
   SimDuration timeout{simtime::seconds(30)};
   ClientId client{};
+  /// Per-call override; when absent the cluster default applies.
+  std::optional<RetryPolicy> retry{};
+};
+
+/// How a node crashes. Fail-stop: in-flight RPCs touching the node (either
+/// side), queued requests and un-sent responses are all lost.
+struct CrashOptions {
+  bool lose_storage{false};  ///< stateful services wipe their stores
 };
 
 /// Observation record handed to the instrumentation layer for every request
@@ -108,6 +139,8 @@ class Node {
   using AdmissionHook =
       std::function<Result<void>(const Envelope&, const char* req_name)>;
   using RequestObserver = std::function<void(const RequestInfo&)>;
+  using CrashListener = std::function<void(const CrashOptions&)>;
+  using RestartListener = std::function<void()>;
 
   Node(Cluster& cluster, NodeId id, net::SiteId site, const NodeSpec& spec);
 
@@ -118,6 +151,23 @@ class Node {
 
   [[nodiscard]] bool up() const { return up_; }
   void set_up(bool up) { up_ = up; }
+
+  /// Fail-stop crash: bumps the incarnation (invalidating every RPC pinned
+  /// to the old one) and runs crash listeners so stateful services can stop
+  /// background loops and optionally wipe their stores. No-op if down.
+  void crash(const CrashOptions& opts = {});
+  /// Brings a crashed node back up and runs restart listeners (services
+  /// re-register, heartbeats resume). No-op if already up.
+  void restart();
+  /// Bumped on every crash. RPCs pin both endpoints' incarnations at send
+  /// time and abandon the call when either changes mid-flight.
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+  void add_crash_listener(CrashListener l) {
+    crash_listeners_.push_back(std::move(l));
+  }
+  void add_restart_listener(RestartListener l) {
+    restart_listeners_.push_back(std::move(l));
+  }
 
   net::Resource* nic_tx() { return nic_tx_; }
   net::Resource* nic_rx() { return nic_rx_; }
@@ -167,6 +217,9 @@ class Node {
   net::SiteId site_;
   NodeSpec spec_;
   bool up_{true};
+  std::uint64_t incarnation_{0};
+  std::vector<CrashListener> crash_listeners_;
+  std::vector<RestartListener> restart_listeners_;
   net::Resource* nic_tx_;
   net::Resource* nic_rx_;
   net::Resource* disk_;
@@ -179,7 +232,10 @@ class Node {
 
 class Cluster {
  public:
-  Cluster(sim::Simulation& sim, net::Topology topology);
+  /// `fault_seed` feeds the RNG used for retry jitter (and nothing else),
+  /// keeping backoff schedules deterministic per seed.
+  Cluster(sim::Simulation& sim, net::Topology topology,
+          std::uint64_t fault_seed = 0xB5FA117ull);
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
@@ -215,8 +271,33 @@ class Cluster {
   /// latency + serialization delay); larger payloads contend for bandwidth.
   static constexpr std::uint64_t kFlowThreshold = 64 * units::KiB;
 
+  /// Link-level fault, evaluated once per message direction at send time. A
+  /// dropped message vanishes (the caller's timeout fires); extra latency is
+  /// added to the propagation delay of that message only.
+  struct LinkFault {
+    bool drop{false};
+    SimDuration extra_latency{0};
+  };
+  using LinkFaultFn = std::function<LinkFault(net::SiteId from, net::SiteId to)>;
+  /// Installs the fault-plane hook (empty function clears it).
+  void set_link_fault_fn(LinkFaultFn fn) { link_fault_ = std::move(fn); }
+
+  /// Default retry policy for calls that don't carry their own. Disabled by
+  /// default: retries are opt-in per client.
+  void set_default_retry(RetryPolicy policy) { default_retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& default_retry() const {
+    return default_retry_;
+  }
+
+  /// `calls_started` counts every attempt (retries included); `timeouts`
+  /// counts every attempt that timed out, so with retries enabled one
+  /// logical call can contribute several of each.
   [[nodiscard]] std::uint64_t calls_started() const { return calls_started_; }
   [[nodiscard]] std::uint64_t calls_timed_out() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t calls_retried() const { return calls_retried_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return messages_dropped_;
+  }
 
  private:
   struct CallState {
@@ -226,10 +307,17 @@ class Cluster {
     Result<detail::AnyPtr> result{Errc::internal};
   };
 
+  /// Retry loop around `call_attempt`, driven by the effective RetryPolicy.
   sim::Task<Result<detail::AnyPtr>> call_erased(
       Node& src, NodeId dst, std::type_index type, const char* name,
       detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
       CallOptions opts);
+
+  /// One attempt: spawns the call body and races it against the timeout.
+  sim::Task<Result<detail::AnyPtr>> call_attempt(
+      Node& src, NodeId dst, std::type_index type, const char* name,
+      detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
+      const CallOptions& opts);
 
   sim::Task<void> call_body(std::shared_ptr<CallState> state, Node* src,
                             Node* dst, std::type_index type, const char* name,
@@ -245,8 +333,13 @@ class Cluster {
   net::Topology topology_;
   net::FlowScheduler flows_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  LinkFaultFn link_fault_;
+  RetryPolicy default_retry_{};
+  Rng retry_rng_;
   std::uint64_t calls_started_{0};
   std::uint64_t timeouts_{0};
+  std::uint64_t calls_retried_{0};
+  std::uint64_t messages_dropped_{0};
 };
 
 }  // namespace bs::rpc

@@ -3,6 +3,7 @@
 // require identical event counts, throughput series, and security actions.
 #include <gtest/gtest.h>
 
+#include "fault/fault_plane.hpp"
 #include "mon/layer.hpp"
 #include "sec/framework.hpp"
 #include "test_util.hpp"
@@ -99,6 +100,79 @@ TEST(Determinism, IdenticalRunsProduceIdenticalDigests) {
   // And the scenario did something nontrivial.
   EXPECT_GT(a.events, 100000u);
   EXPECT_GT(a.attacker_rejected, 0u);
+}
+
+std::uint64_t run_faulted_scenario() {
+  // Writers racing a nontrivial fault schedule: provider crashes (one
+  // losing its store), a partition, degraded links with probabilistic
+  // drops, a disk slowdown — plus jittered RPC retries. Everything draws
+  // from seeded RNGs, so the digest must replay bit-identically.
+  sim::Simulation sim;
+  blob::DeploymentConfig cfg;
+  cfg.sites = 3;
+  cfg.data_providers = 8;
+  cfg.metadata_providers = 2;
+  cfg.fault_seed = 0xDE7E12ull;
+  cfg.vm_options.write_lease = simtime::seconds(30);
+  cfg.vm_options.sweep_interval = simtime::seconds(5);
+  blob::Deployment dep(sim, cfg);
+
+  std::vector<blob::BlobClient*> clients;
+  for (int i = 0; i < 3; ++i) clients.push_back(dep.add_client());
+  auto blob = test::run_task(sim, clients[0]->create(4 * units::MB, 2));
+
+  fault::FaultPlane plane(dep.cluster(), /*seed=*/5151);
+  fault::ScheduleOptions so;
+  so.horizon = simtime::minutes(3);
+  for (auto& p : dep.providers()) so.crashable.push_back(p->id());
+  so.crashes = 3;
+  so.max_wipe_crashes = 1;
+  so.site_count = cfg.sites;
+  so.partitions = 1;
+  so.degrades = 2;
+  so.disk_slowdowns = 1;
+  plane.schedule_all(fault::random_schedule(/*seed=*/777, so));
+
+  Rng wl(0xABCDull);
+  struct Op {
+    Result<blob::WriteReceipt> result{Errc::internal};
+  };
+  std::vector<Op> ops(12);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const SimTime at = simtime::millis(wl.uniform(0, 100000));
+    const std::uint64_t bytes = (1 + wl.next_below(3)) * 4 * units::MB;
+    sim.spawn([](sim::Simulation& s, blob::BlobClient& cl, BlobId b,
+                 SimTime when, std::uint64_t n, std::uint64_t content,
+                 Op& op) -> sim::Task<void> {
+      co_await s.delay_until(when);
+      op.result = co_await cl.append(b, blob::Payload::synthetic(n, content));
+    }(sim, *clients[i % clients.size()], blob.value(), at, bytes, i + 1,
+      ops[i]));
+  }
+
+  sim.run_until(simtime::minutes(5));
+
+  test::Digest dg;
+  for (const auto& op : ops) {
+    dg.mix(static_cast<std::uint64_t>(op.result.code()));
+    if (op.result.ok()) {
+      dg.mix(op.result.value().version);
+      dg.mix_signed(op.result.value().duration);
+    }
+  }
+  dg.mix(sim.events_processed());
+  dg.mix(dep.cluster().calls_retried());
+  dg.mix(dep.cluster().calls_timed_out());
+  dg.mix(dep.cluster().messages_dropped());
+  dg.mix(plane.faults_applied());
+  dg.mix(dep.version_manager().leases_expired());
+  return dg.value();
+}
+
+TEST(Determinism, FaultScheduleReplaysBitIdentically) {
+  const std::uint64_t a = run_faulted_scenario();
+  const std::uint64_t b = run_faulted_scenario();
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
-// Equivalence and invariant suite for the flow scheduler's two paths.
-// Seeded arrival/departure traces are replayed through the incremental
+// Property suite for the flow-level bandwidth model. Seeded
+// arrival/departure traces are replayed through the incremental
 // (component-scoped) scheduler and the reference (global-recompute) oracle,
 // asserting:
 //  (a) completion times agree to 1 ns,
 //  (b) no resource's allocated rate ever exceeds its capacity,
 //  (c) every flow crosses at least one saturated resource (max-min:
-//      every unfrozen bottleneck is filled).
+//      every unfrozen bottleneck is filled),
+// plus analytic work-conservation / fairness pins and mid-flight capacity
+// changes (the fault plane's disk-slowdown actuator).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -147,6 +149,138 @@ TEST_P(FlowEquivalenceTest, IncrementalMatchesReferenceOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowEquivalenceTest,
                          ::testing::Values(1, 5, 9, 13, 21, 33, 47, 101, 257,
                                            1031));
+
+TEST(FlowWorkConservation, SharedBottleneckFinishesAtAnalyticTime) {
+  // K flows of equal size all crossing one bottleneck: total time must be
+  // (sum of bytes) / capacity regardless of arrival micro-ordering.
+  for (int k : {2, 5, 17}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim);
+    auto* r = flows.create_resource("link", 1e8);
+    sim::WaitGroup wg(sim);
+    const double each = 3e7;
+    for (int i = 0; i < k; ++i) {
+      wg.launch([](FlowScheduler& f, Resource* res,
+                   double b) -> sim::Task<void> {
+        std::vector<Resource*> p{res};
+        co_await f.transfer(b, std::move(p));
+      }(flows, r, each));
+    }
+    sim.run();
+    EXPECT_NEAR(simtime::to_seconds(sim.now()), each * k / 1e8,
+                0.01 * k)
+        << "k=" << k;
+  }
+}
+
+TEST(FlowFairness, UnequalPathsGetMaxMinShares) {
+  // Three flows: A crosses r1 only; B crosses r1+r2; C crosses r2 only.
+  // r1 = 100, r2 = 40 MB/s. Max-min: B gets 20, C gets 20, A gets 80.
+  sim::Simulation sim;
+  FlowScheduler flows(sim);
+  auto* r1 = flows.create_resource("r1", 100e6);
+  auto* r2 = flows.create_resource("r2", 40e6);
+
+  // Sizes proportional to the max-min shares: all three flows should then
+  // complete at ~1 s simultaneously.
+  SimTime ta = 0, tb = 0, tc = 0;
+  auto one = [](sim::Simulation& s, FlowScheduler& f,
+                std::vector<Resource*> p, double bytes,
+                SimTime& out) -> sim::Task<void> {
+    co_await f.transfer(bytes, std::move(p));
+    out = s.now();
+  };
+  sim::WaitGroup wg(sim);
+  wg.launch(one(sim, flows, {r1}, 80e6, ta));
+  wg.launch(one(sim, flows, {r1, r2}, 20e6, tb));
+  wg.launch(one(sim, flows, {r2}, 20e6, tc));
+  sim.run();
+  EXPECT_NEAR(simtime::to_seconds(ta), 1.0, 0.02);
+  EXPECT_NEAR(simtime::to_seconds(tb), 1.0, 0.02);
+  EXPECT_NEAR(simtime::to_seconds(tc), 1.0, 0.02);
+  // Resource accounting matches the shares integrated over the run.
+  EXPECT_NEAR(r1->bytes_served(), 100e6, 2e6);
+  EXPECT_NEAR(r2->bytes_served(), 40e6, 2e6);
+}
+
+TEST(FlowCapacityChange, MidFlightSlowdownShiftsCompletionAnalytically) {
+  // One 100 MB flow on a 100 MB/s link, halved to 50 MB/s at t=0.5 s:
+  // 50 MB done by the change, the remaining 50 MB takes 1 s -> 1.5 s total.
+  for (const bool incremental : {true, false}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim, {.incremental = incremental});
+    auto* r = flows.create_resource("disk", 100e6);
+    SimTime done = 0;
+    sim::WaitGroup wg(sim);
+    wg.launch([](sim::Simulation& s, FlowScheduler& f, Resource* res,
+                 SimTime& out) -> sim::Task<void> {
+      std::vector<Resource*> p{res};
+      co_await f.transfer(100e6, std::move(p));
+      out = s.now();
+    }(sim, flows, r, done));
+    sim.schedule_at(simtime::millis(500),
+                    [&] { flows.set_capacity(r, 50e6); });
+    sim.run();
+    EXPECT_NEAR(simtime::to_seconds(done), 1.5, 0.01)
+        << "incremental=" << incremental;
+    // Restoring with no active flows is a plain bookkeeping update.
+    flows.set_capacity(r, 100e6);
+    EXPECT_NEAR(r->bytes_served(), 100e6, 1e3);
+  }
+}
+
+TEST(FlowCapacityChange, IncrementalMatchesReferenceUnderCapacityFlaps) {
+  // A random trace plus periodic capacity halving/restoring on one
+  // resource: both scheduler modes must still agree bit-for-bit.
+  const Trace t = make_trace(41);
+  std::vector<RunResult> results;
+  for (const bool incremental : {true, false}) {
+    sim::Simulation sim;
+    FlowScheduler flows(sim, {.incremental = incremental});
+    std::vector<Resource*> resources;
+    for (std::size_t i = 0; i < t.caps.size(); ++i) {
+      resources.push_back(
+          flows.create_resource("r" + std::to_string(i), t.caps[i]));
+    }
+    RunResult rr;
+    rr.completion.assign(t.ops.size(), -1);
+    sim::WaitGroup wg(sim);
+    for (std::size_t i = 0; i < t.ops.size(); ++i) {
+      const auto& op = t.ops[i];
+      std::vector<Resource*> path;
+      for (auto idx : op.path) path.push_back(resources[idx]);
+      wg.launch([](sim::Simulation& s, FlowScheduler& fl, double bytes,
+                   std::vector<Resource*> p, SimDuration at,
+                   SimTime& out) -> sim::Task<void> {
+        co_await s.delay(at);
+        co_await fl.transfer(bytes, std::move(p));
+        out = s.now();
+      }(sim, flows, op.bytes, std::move(path), op.at, rr.completion[i]));
+    }
+    for (SimTime probe = simtime::millis(300); probe <= simtime::seconds(4);
+         probe += simtime::millis(600)) {
+      const bool slow = (probe / simtime::millis(600)) % 2 == 0;
+      sim.schedule_at(probe, [&flows, &resources, &t, slow] {
+        flows.set_capacity(resources[0], slow ? t.caps[0] / 2 : t.caps[0]);
+      });
+    }
+    sim.run();
+    rr.end = sim.now();
+    rr.completed = flows.completed_flows();
+    for (auto* r : resources) rr.served.push_back(r->bytes_served());
+    EXPECT_EQ(flows.active_flow_count(), 0u);
+    results.push_back(std::move(rr));
+  }
+  ASSERT_EQ(results[0].completed, results[1].completed);
+  EXPECT_EQ(results[0].end, results[1].end);
+  for (std::size_t i = 0; i < results[0].completion.size(); ++i) {
+    EXPECT_EQ(results[0].completion[i], results[1].completion[i])
+        << "flow " << i;
+  }
+  for (std::size_t i = 0; i < results[0].served.size(); ++i) {
+    EXPECT_EQ(results[0].served[i], results[1].served[i]) << "resource " << i;
+  }
+}
 
 TEST(FlowEquivalence, ServedBytesMatchRequestedTotals) {
   // Conservation, pinned analytically: each resource serves exactly the sum
