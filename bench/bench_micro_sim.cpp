@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 #include "sim/sync.hpp"
 
@@ -110,6 +112,40 @@ void BM_RpcRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RpcRoundTrip);
+
+// Same round trip with a TraceSink + MetricsRegistry installed: the cost of
+// actually recording spans/counters. BM_RpcRoundTrip above is the
+// tracing-compiled-in-but-disabled case; the BS_TRACE=OFF build of it is the
+// compiled-out baseline the <2% overhead acceptance compares against.
+void BM_RpcRoundTripTraced(benchmark::State& state) {
+  sim::Simulation sim;
+  obs::TraceSink sink;
+  obs::MetricsRegistry registry;
+  sim.attach_trace(sink);
+  obs::ScopedMetrics metrics_scope(registry);
+  rpc::Cluster cluster(sim, net::Topology::single_site());
+  rpc::Node* server = cluster.add_node(0);
+  rpc::Node* client = cluster.add_node(0);
+  server->serve<PingReq, PingResp>(
+      [](const PingReq&, const rpc::Envelope&)
+          -> sim::Task<Result<PingResp>> { co_return PingResp{}; });
+  for (auto _ : state) {
+    bool done = false;
+    sim.spawn([](rpc::Cluster& c, rpc::Node& n, NodeId to,
+                 bool& flag) -> sim::Task<void> {
+      auto r = co_await c.call<PingReq, PingResp>(n, to, PingReq{});
+      benchmark::DoNotOptimize(r);
+      flag = true;
+    }(cluster, *client, server->id(), done));
+    while (!done && sim.step()) {
+    }
+  }
+  sim::Simulation::detach_trace();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["trace_records"] =
+      static_cast<double>(sink.size() + sink.dropped());
+}
+BENCHMARK(BM_RpcRoundTripTraced);
 
 }  // namespace
 

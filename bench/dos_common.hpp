@@ -83,7 +83,9 @@ inline void launch_dos_workload(sim::Simulation& sim, Stack& stack,
     a.start = attack_start;
     a.deadline = deadline;
     a.rng_seed = 1000 + i;
-    sim.spawn(workload::DosAttacker::run(*node, ClientId{500 + i}, targets,
+    sim.spawn(workload::DosAttacker::run(*node,
+                                         ClientId{500 + static_cast<std::uint64_t>(i)},
+                                         targets,
                                          a, &sc.attacker_stats[i]));
   }
 }

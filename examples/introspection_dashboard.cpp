@@ -4,16 +4,32 @@
 // patterns, chunk distribution, and client activity.
 //
 //   $ ./examples/introspection_dashboard
+//
+// Also dumps the run's observability artifacts next to the binary:
+//   bs_trace.json  — Chrome trace_event stream; open it in Perfetto
+//                    (https://ui.perfetto.dev, "Open trace file") or
+//                    chrome://tracing to walk every RPC/blob/MAPE-K span
+//                    on the simulated clock.
+//   bs_metrics.csv — counter/gauge/histogram snapshot for spreadsheets.
 #include <cstdio>
+#include <fstream>
 
 #include "mon/layer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "viz/dashboard.hpp"
+#include "viz/metrics_panel.hpp"
 #include "workload/clients.hpp"
 
 using namespace bs;
 
 int main() {
   sim::Simulation sim;
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  sim.attach_trace(trace);
+  obs::ScopedMetrics metrics_scope(metrics);
   blob::DeploymentConfig cfg;
   cfg.data_providers = 6;
   cfg.metadata_providers = 2;
@@ -74,5 +90,16 @@ int main() {
               (unsigned long long)monitoring.total_records(),
               monitoring.distinct_series(),
               (unsigned long long)monitoring.total_dropped());
+
+  std::fputs("\n", stdout);
+  std::fputs(viz::metrics_table(metrics, sim.now()).c_str(), stdout);
+  std::ofstream("bs_trace.json", std::ios::binary)
+      << obs::chrome_trace_json(trace);
+  std::ofstream("bs_metrics.csv", std::ios::binary)
+      << obs::metrics_csv(metrics, sim.now());
+  std::printf("\nwrote bs_trace.json (%zu trace records, %llu dropped) — "
+              "load it at https://ui.perfetto.dev\nwrote bs_metrics.csv\n",
+              trace.size(), (unsigned long long)trace.dropped());
+  sim::Simulation::detach_trace();
   return 0;
 }

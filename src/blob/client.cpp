@@ -21,11 +21,13 @@ BlobClient::BlobClient(rpc::Node& node, ClientId id, Endpoints endpoints,
       config_.retry);
 }
 
-rpc::CallOptions BlobClient::opts(SimDuration timeout) const {
+rpc::CallOptions BlobClient::opts(SimDuration timeout,
+                                  obs::SpanId parent) const {
   rpc::CallOptions o;
   o.timeout = timeout;
   o.client = id_;
   o.retry = config_.retry;
+  o.parent_span = parent;
   return o;
 }
 
@@ -54,12 +56,20 @@ sim::Task<Result<BlobId>> BlobClient::create(std::uint64_t chunk_size,
                                              std::uint32_t replication,
                                              SimDuration ttl) {
   const SimTime t0 = node_.cluster().sim().now();
+  obs::Span op_span;
+  if (auto* ts = obs::sink()) {
+    op_span = ts->span("blob.create", "blob", 0,
+                       {"client", static_cast<std::int64_t>(id_.value)},
+                       {"replication", replication});
+  }
   CreateBlobReq req;
   req.chunk_size = chunk_size;
   req.replication = replication;
   req.ttl = ttl;
   auto r = co_await node_.cluster().call<CreateBlobReq, CreateBlobResp>(
-      node_, endpoints_.version_manager, req, opts(config_.rpc_timeout));
+      node_, endpoints_.version_manager, req,
+      opts(config_.rpc_timeout, op_span.id()));
+  op_span.end(errc_name(r.code()));
   ClientOpInfo info;
   info.op = ClientOpInfo::Op::create;
   info.client = id_;
@@ -122,6 +132,7 @@ struct BlobClient::WritePlan {
   std::vector<ChunkDescriptor> leaves;
   std::vector<std::vector<NodeId>> placements;
   std::uint32_t retries{0};
+  obs::SpanId span{0};  ///< enclosing write-op span for nested RPC traces
 };
 
 sim::Task<Result<WriteReceipt>> BlobClient::write(BlobId blob,
@@ -167,7 +178,7 @@ sim::Task<Result<void>> BlobClient::put_chunk_replicated(
                              failed.end());
       auto r = co_await cluster.call<AllocateReq, AllocateResp>(
           node_, endpoints_.provider_manager, std::move(realloc),
-          opts(config_.rpc_timeout));
+          opts(config_.rpc_timeout, plan.span));
       if (!r.ok()) co_return r.error();
       targets = std::move(r.value().placements[0]);
       continue;
@@ -178,7 +189,7 @@ sim::Task<Result<void>> BlobClient::put_chunk_replicated(
     put.key = key;
     put.payload = plan.chunk_payloads[chunk_idx];
     auto r = co_await cluster.call<PutChunkReq, PutChunkResp>(
-        node_, target, std::move(put), opts(config_.rpc_timeout));
+        node_, target, std::move(put), opts(config_.rpc_timeout, plan.span));
     if (r.ok()) {
       stored.push_back(target);
     } else {
@@ -193,7 +204,8 @@ sim::Task<Result<void>> BlobClient::put_chunk_replicated(
 }
 
 sim::Task<Result<void>> BlobClient::put_metadata(
-    const std::vector<std::pair<NodeKey, TreeNode>>& nodes) {
+    const std::vector<std::pair<NodeKey, TreeNode>>& nodes,
+    obs::SpanId parent) {
   auto& sim = node_.cluster().sim();
   sim::Semaphore sem(sim, config_.meta_parallelism);
   sim::WaitGroup wg(sim);
@@ -201,11 +213,11 @@ sim::Task<Result<void>> BlobClient::put_metadata(
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     wg.launch([](BlobClient& self, sim::Semaphore& s,
                  const std::pair<NodeKey, TreeNode>& kv,
-                 Result<void>& slot) -> sim::Task<void> {
+                 obs::SpanId span, Result<void>& slot) -> sim::Task<void> {
       co_await s.acquire();
       sim::SemGuard guard(s);
-      slot = co_await self.meta_store_->put(kv.first, kv.second);
-    }(*this, sem, nodes[i], results[i]));
+      slot = co_await self.meta_store_->put(kv.first, kv.second, span);
+    }(*this, sem, nodes[i], parent, results[i]));
   }
   co_await wg.wait();
   for (auto& r : results) {
@@ -226,9 +238,18 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
   info.blob = blob;
   info.bytes = data.size;
 
+  obs::Span op_span;
+  if (auto* ts = obs::sink()) {
+    op_span = ts->span(
+        op == ClientOpInfo::Op::append ? "blob.append" : "blob.write", "blob",
+        0, {"client", static_cast<std::int64_t>(id_.value)},
+        {"bytes", static_cast<std::int64_t>(data.size)});
+  }
+
   auto fail = [&](Error err) {
     info.duration = sim.now() - t0;
     info.outcome = err.code;
+    op_span.end(errc_name(err.code));
     observe(info);
     return err;
   };
@@ -240,13 +261,15 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
   // 1. Version assignment (the only serialized step).
   WritePlan plan;
   plan.blob = blob;
+  plan.span = op_span.id();
   {
     StartWriteReq req;
     req.blob = blob;
     req.offset = offset;
     req.size = data.size;
     auto r = co_await cluster.call<StartWriteReq, StartWriteResp>(
-        node_, endpoints_.version_manager, req, opts(config_.rpc_timeout));
+        node_, endpoints_.version_manager, req,
+        opts(config_.rpc_timeout, op_span.id()));
     if (!r.ok()) co_return fail(r.error());
     plan.start = std::move(r.value());
   }
@@ -282,7 +305,8 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
     ab.blob = blob;
     ab.version = plan.start.version;
     (void)co_await cluster.call<AbortWriteReq, AbortWriteResp>(
-        node_, endpoints_.version_manager, ab, opts(config_.rpc_timeout));
+        node_, endpoints_.version_manager, ab,
+        opts(config_.rpc_timeout, op_span.id()));
   };
 
   // 3. Placement for every chunk.
@@ -295,7 +319,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
     req.replication = plan.start.replication;
     auto r = co_await cluster.call<AllocateReq, AllocateResp>(
         node_, endpoints_.provider_manager, std::move(req),
-        opts(config_.rpc_timeout));
+        opts(config_.rpc_timeout, op_span.id()));
     if (!r.ok()) {
       co_await abort_write();
       co_return fail(r.error());
@@ -334,7 +358,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
     auto nodes = meta_ops::build_nodes(blob, plan.start.extent(),
                                        plan.leaves, history,
                                        plan.start.root_chunks);
-    if (auto r = co_await put_metadata(nodes); !r.ok()) {
+    if (auto r = co_await put_metadata(nodes, op_span.id()); !r.ok()) {
       co_await abort_write();
       co_return fail(r.error());
     }
@@ -344,7 +368,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
     req.abort_epoch = epoch;
     auto r = co_await cluster.call<CommitWriteReq, CommitWriteResp>(
         node_, endpoints_.version_manager, req,
-        opts(config_.commit_timeout));
+        opts(config_.commit_timeout, op_span.id()));
     if (!r.ok()) co_return fail(r.error());
     if (r.value().published) break;
     assert(r.value().rebuild_needed);
@@ -366,6 +390,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
 
   info.duration = receipt.duration;
   info.outcome = Errc::ok;
+  op_span.end("ok");
   observe(info);
   co_return receipt;
 }
@@ -374,7 +399,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
 
 sim::Task<Result<ChunkRead>> BlobClient::fetch_chunk(
     const meta_ops::LeafRef& leaf, std::uint64_t chunk_size,
-    std::uint64_t read_lo, std::uint64_t read_hi) {
+    std::uint64_t read_lo, std::uint64_t read_hi, obs::SpanId parent) {
   auto& cluster = node_.cluster();
   const std::uint64_t base = leaf.chunk_index * chunk_size;
   ChunkRead out;
@@ -415,7 +440,7 @@ sim::Task<Result<ChunkRead>> BlobClient::fetch_chunk(
     req.offset = lo - base;
     req.length = hi - lo;
     auto r = co_await cluster.call<GetChunkReq, GetChunkResp>(
-        node_, target, req, opts(config_.rpc_timeout));
+        node_, target, req, opts(config_.rpc_timeout, parent));
     if (r.ok()) {
       out.bytes = r.value().payload.size;
       out.checksum = r.value().payload.checksum;
@@ -443,9 +468,17 @@ sim::Task<Result<ReadResult>> BlobClient::read(BlobId blob,
   info.client = id_;
   info.blob = blob;
 
+  obs::Span op_span;
+  if (auto* ts = obs::sink()) {
+    op_span = ts->span("blob.read", "blob", 0,
+                       {"client", static_cast<std::int64_t>(id_.value)},
+                       {"length", static_cast<std::int64_t>(length)});
+  }
+
   auto fail = [&](Error err) {
     info.duration = sim.now() - t0;
     info.outcome = err.code;
+    op_span.end(errc_name(err.code));
     observe(info);
     return err;
   };
@@ -454,7 +487,8 @@ sim::Task<Result<ReadResult>> BlobClient::read(BlobId blob,
   ireq.blob = blob;
   ireq.version = version;
   auto ir = co_await cluster.call<BlobInfoReq, BlobInfoResp>(
-      node_, endpoints_.version_manager, ireq, opts(config_.rpc_timeout));
+      node_, endpoints_.version_manager, ireq,
+      opts(config_.rpc_timeout, op_span.id()));
   if (!ir.ok()) co_return fail(ir.error());
   const VersionInfo at = ir.value().at;
   const std::uint64_t cs = ir.value().descriptor.chunk_size;
@@ -466,6 +500,7 @@ sim::Task<Result<ReadResult>> BlobClient::read(BlobId blob,
   if (at.version == 0 || offset >= hi_byte) {
     result.duration = sim.now() - t0;
     info.duration = result.duration;
+    op_span.end("ok");
     observe(info);
     co_return result;
   }
@@ -484,12 +519,13 @@ sim::Task<Result<ReadResult>> BlobClient::read(BlobId blob,
   for (std::size_t i = 0; i < leaves.value().size(); ++i) {
     wg.launch([](BlobClient& self, sim::Semaphore& s,
                  const meta_ops::LeafRef& leaf, std::uint64_t chunk_size,
-                 std::uint64_t rlo, std::uint64_t rhi,
+                 std::uint64_t rlo, std::uint64_t rhi, obs::SpanId span,
                  Result<ChunkRead>& slot) -> sim::Task<void> {
       co_await s.acquire();
       sim::SemGuard guard(s);
-      slot = co_await self.fetch_chunk(leaf, chunk_size, rlo, rhi);
-    }(*this, sem, leaves.value()[i], cs, offset, hi_byte, reads[i]));
+      slot = co_await self.fetch_chunk(leaf, chunk_size, rlo, rhi, span);
+    }(*this, sem, leaves.value()[i], cs, offset, hi_byte, op_span.id(),
+      reads[i]));
   }
   co_await wg.wait();
 
@@ -506,6 +542,7 @@ sim::Task<Result<ReadResult>> BlobClient::read(BlobId blob,
 
   info.bytes = result.bytes;
   info.duration = result.duration;
+  op_span.end("ok");
   observe(info);
   co_return result;
 }

@@ -148,16 +148,18 @@ class BlobClient {
   sim::Task<Result<void>> put_chunk_replicated(WritePlan& plan,
                                                std::size_t chunk_idx);
   sim::Task<Result<void>> put_metadata(
-      const std::vector<std::pair<NodeKey, TreeNode>>& nodes);
+      const std::vector<std::pair<NodeKey, TreeNode>>& nodes,
+      obs::SpanId parent);
   sim::Task<Result<ChunkRead>> fetch_chunk(const meta_ops::LeafRef& leaf,
                                            std::uint64_t chunk_size,
                                            std::uint64_t read_lo,
-                                           std::uint64_t read_hi);
+                                           std::uint64_t read_hi,
+                                           obs::SpanId parent);
   void observe(ClientOpInfo info);
   /// Detached, best-effort failure report to the provider manager.
   void report_provider_failure(NodeId provider);
 
-  rpc::CallOptions opts(SimDuration timeout) const;
+  rpc::CallOptions opts(SimDuration timeout, obs::SpanId parent = 0) const;
 
   rpc::Node& node_;
   ClientId id_;

@@ -53,21 +53,36 @@ NodeId RemoteMetadataStore::provider_for(const NodeKey& key) const {
 }
 
 sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key) {
+  return get(key, obs::SpanId{0});
+}
+
+sim::Task<Result<void>> RemoteMetadataStore::put(const NodeKey& key,
+                                                 TreeNode node) {
+  return put(key, std::move(node), obs::SpanId{0});
+}
+
+sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key,
+                                                     obs::SpanId parent) {
   MetaGetReq req;
   req.key = key;
+  rpc::CallOptions o = opts_;
+  o.parent_span = parent;
   auto r = co_await self_.cluster().call<MetaGetReq, MetaGetResp>(
-      self_, provider_for(key), req, opts_);
+      self_, provider_for(key), req, o);
   if (!r.ok()) co_return r.error();
   co_return std::move(r.value().node);
 }
 
 sim::Task<Result<void>> RemoteMetadataStore::put(const NodeKey& key,
-                                                 TreeNode node) {
+                                                 TreeNode node,
+                                                 obs::SpanId parent) {
   MetaPutReq req;
   req.key = key;
   req.node = std::move(node);
+  rpc::CallOptions o = opts_;
+  o.parent_span = parent;
   auto r = co_await self_.cluster().call<MetaPutReq, MetaPutResp>(
-      self_, provider_for(key), std::move(req), opts_);
+      self_, provider_for(key), std::move(req), o);
   if (!r.ok()) co_return r.error();
   co_return ok_result();
 }

@@ -43,6 +43,11 @@ class RemoteMetadataStore final : public MetadataStore {
   sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
   sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;
 
+  /// Traced variants: the underlying RPC spans nest under `parent`.
+  sim::Task<Result<TreeNode>> get(const NodeKey& key, obs::SpanId parent);
+  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node,
+                              obs::SpanId parent);
+
   [[nodiscard]] NodeId provider_for(const NodeKey& key) const;
 
  private:

@@ -5,6 +5,7 @@
 
 #include "blob/meta_ops.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace bs::blob {
 
@@ -50,6 +51,12 @@ sim::Task<void> VersionManager::lease_sweeper_loop() {
       for (Version v : settled) b.pending.erase(v);
       for (Version v : expired) {
         ++leases_expired_;
+        obs::count("vm.leases_expired");
+        if (auto* ts = obs::sink()) {
+          ts->instant("vm.lease_expired", "vm", 0, "",
+                      {"blob", static_cast<std::int64_t>(id)},
+                      {"version", static_cast<std::int64_t>(v)});
+        }
         BS_INFO("vm", "write lease expired for v%llu of blob %llu",
                 (unsigned long long)v, (unsigned long long)id);
         force_abort(b, v);
@@ -405,6 +412,14 @@ sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
 void VersionManager::force_abort(BlobState& b, Version v) {
   auto pit = b.pending.find(v);
   if (pit == b.pending.end()) return;
+  obs::count("vm.writes_aborted");
+  if (auto* ts = obs::sink()) {
+    ts->instant("vm.write_aborted", "vm", 0, "",
+                {"blob", static_cast<std::int64_t>(b.id.value)},
+                {"version", static_cast<std::int64_t>(v)});
+  }
+  BS_WARN("vm", "aborting pending v%llu of blob %llu",
+          (unsigned long long)v, (unsigned long long)b.id.value);
   // Wake any commit handler still parked on this write's decision; it will
   // re-resolve the state and report the abort as a conflict.
   if (pit->second.decision && !pit->second.decision->is_set()) {
@@ -461,6 +476,15 @@ void VersionManager::publish_one(BlobState& b, Version v, PendingWrite& w) {
   b.published.emplace(v, info);
   b.latest = v;
   b.latest_size = info.size;
+  obs::count("vm.versions_published");
+  if (auto* ts = obs::sink()) {
+    ts->instant("vm.publish", "vm", 0, "",
+                {"blob", static_cast<std::int64_t>(b.id.value)},
+                {"version", static_cast<std::int64_t>(v)});
+  }
+  BS_DEBUG("vm", "published v%llu of blob %llu (%llu bytes)",
+           (unsigned long long)v, (unsigned long long)b.id.value,
+           (unsigned long long)info.size);
   if (publish_observer_) {
     PublishEvent ev;
     ev.blob = b.id;

@@ -47,6 +47,8 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] double mean() const { return stats_.mean(); }
+  [[nodiscard]] double min() const { return stats_.min(); }
+  [[nodiscard]] double max() const { return stats_.max(); }
   [[nodiscard]] const std::vector<std::uint64_t>& bins() const { return bins_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_width() const { return width_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bs::core {
 
@@ -71,8 +73,10 @@ sim::Task<Result<void>> Executor::execute(const AdaptAction& action) {
   }
   if (result.ok()) {
     ++executed_;
+    obs::count("mape.actions_executed");
   } else {
     ++failed_;
+    obs::count("mape.actions_failed");
     BS_WARN("core", "action %s failed: %s", action.type_name(),
             result.error().to_string().c_str());
   }
@@ -317,6 +321,13 @@ sim::Task<void> AutonomicController::loop() {
 
 sim::Task<void> AutonomicController::iterate() {
   ++iterations_;
+  obs::count("mape.iterations");
+  obs::TraceSink* ts = obs::sink();
+  obs::Span iter_span;
+  if (ts) {
+    iter_span = ts->span("mape.iterate", "core", 0,
+                         {"iteration", static_cast<std::int64_t>(iterations_)});
+  }
   // Monitor. Enrich the monitoring snapshot with the provider manager's
   // health tally so analysis modules see failure-driven state too.
   auto snap = ctx_.introspection->snapshot();
@@ -324,6 +335,13 @@ sim::Task<void> AutonomicController::iterate() {
   snap.providers_alive = health.alive;
   snap.providers_suspect = health.suspect;
   snap.providers_dead = health.dead;
+  const SimTime now = dep_.sim().now();
+  obs::gauge_set("core.providers_alive", static_cast<double>(health.alive),
+                 now);
+  obs::gauge_set("core.providers_suspect",
+                 static_cast<double>(health.suspect), now);
+  obs::gauge_set("core.providers_dead", static_cast<double>(health.dead),
+                 now);
   knowledge_.update(std::move(snap));
   // Analyze + Plan.
   std::vector<AdaptAction> plan;
@@ -338,9 +356,14 @@ sim::Task<void> AutonomicController::iterate() {
   for (const auto& action : plan) {
     auto r = co_await executor_.execute(action);
     log_.push_back(ExecutedAction{dep_.sim().now(), action, r.ok()});
+    if (ts) {
+      ts->instant("mape.action", "core", iter_span.id(), action.type_name(),
+                  {"ok", r.ok() ? 1 : 0});
+    }
     BS_INFO("core", "executed %s (%s): %s", action.type_name(),
             action.reason.c_str(), r.ok() ? "ok" : "failed");
   }
+  iter_span.end("ok");
 }
 
 }  // namespace bs::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bs::fault {
 
@@ -109,6 +111,12 @@ void FaultPlane::clear() {
 }
 
 void FaultPlane::apply_now(const FaultEvent& ev) {
+  obs::count("fault.injected");
+  if (auto* ts = obs::sink()) {
+    ts->instant("fault.inject", "fault", 0, ev.kind_name(),
+                {"node", static_cast<std::int64_t>(ev.node.value)},
+                {"site_a", static_cast<std::int64_t>(ev.a)});
+  }
   switch (ev.kind) {
     case FaultEvent::Kind::crash: crash(ev.node, ev.lose_storage); break;
     case FaultEvent::Kind::restart: restart(ev.node); break;

@@ -1,5 +1,7 @@
 #include "mon/instrument.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace bs::mon {
 
 Instrument::Instrument(rpc::Node& node, NodeId monitoring_service,
@@ -9,12 +11,14 @@ Instrument::Instrument(rpc::Node& node, NodeId monitoring_service,
 void Instrument::emit(MetricEvent ev) {
   if (buffer_.size() >= options_.buffer_limit) {
     ++dropped_;
+    obs::count("mon.events_dropped");
     return;
   }
   ev.time = node_.cluster().sim().now();
   ev.source = node_.id();
   buffer_.push_back(ev);
   ++emitted_;
+  obs::count("mon.events_emitted");
 }
 
 void Instrument::add_gauge(MetricKind kind, GaugeFn fn, GaugeFn aux_fn) {
@@ -52,7 +56,11 @@ sim::Task<void> Instrument::send_batch(std::vector<MetricEvent> batch) {
   auto r = co_await node_.cluster().call<MonReportReq, MonReportResp>(
       node_, service_, std::move(req));
   ++batches_;
-  if (!r.ok()) ++failures_;
+  obs::count("mon.batches_sent");
+  if (!r.ok()) {
+    ++failures_;
+    obs::count("mon.batches_failed");
+  }
 }
 
 sim::Task<void> Instrument::gauge_loop() {

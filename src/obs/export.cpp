@@ -1,0 +1,346 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace bs::obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string escape_json(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+struct SpanInfo {
+  SimTime begin{0};
+  SimTime end{-1};
+  bool has_begin{false};
+  std::size_t lane{0};
+};
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ull;
+  }
+}
+
+void mix_str(std::uint64_t& h, const char* s) {
+  for (const char* p = s; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ull;
+  }
+  h ^= 0xFFu;  // terminator: "ab"+"c" != "a"+"bc"
+  h *= 0x100000001b3ull;
+}
+
+std::string fmt_g(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSink& sink) {
+  // Pass 1: span intervals. Spans still open at export time are closed at
+  // the sink's last timestamp (status "open") so B/E stays balanced; ends
+  // whose begin record was overwritten in the ring are dropped.
+  std::unordered_map<SpanId, SpanInfo> spans;
+  sink.for_each([&](const TraceRecord& r) {
+    if (r.kind == RecordKind::span_begin) {
+      SpanInfo si;
+      si.begin = r.time;
+      si.has_begin = true;
+      spans[r.id] = si;
+    } else if (r.kind == RecordKind::span_end) {
+      auto it = spans.find(r.id);
+      if (it != spans.end()) it->second.end = r.time;
+    }
+  });
+  std::vector<SpanId> open_ids;
+  for (auto& [id, si] : spans) {
+    if (si.end < si.begin) {
+      si.end = std::max(sink.last_time(), si.begin);
+      open_ids.push_back(id);
+    }
+  }
+  std::sort(open_ids.begin(), open_ids.end(), std::greater<>());
+
+  // Pass 2: lane-pack spans so no two spans on a tid overlap — each lane is
+  // then a strictly sequential, balanced B/E stream.
+  std::vector<std::pair<SimTime, SpanId>> order;
+  order.reserve(spans.size());
+  for (const auto& [id, si] : spans) order.emplace_back(si.begin, id);
+  std::sort(order.begin(), order.end());
+  std::vector<SimTime> lane_end;
+  for (const auto& [begin, id] : order) {
+    SpanInfo& si = spans[id];
+    std::size_t lane = lane_end.size();
+    for (std::size_t i = 0; i < lane_end.size(); ++i) {
+      if (lane_end[i] < begin) {
+        lane = i;
+        break;
+      }
+    }
+    if (lane == lane_end.size()) lane_end.push_back(si.end);
+    lane_end[lane] = si.end;
+    si.lane = lane + 1;  // tid 0 is the instant-event lane
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const TraceRecord& r, const char* ph, std::size_t tid) {
+    if (!first) out += ',';
+    first = false;
+    append_fmt(out, "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\"",
+               escape_json(r.name).c_str(), escape_json(r.cat).c_str(), ph);
+    append_fmt(out, ",\"ts\":%.3f,\"pid\":1,\"tid\":%zu",
+               static_cast<double>(r.time) / 1e3, tid);
+    if (ph[0] == 'i') out += ",\"s\":\"g\"";
+    out += ",\"args\":{";
+    bool farg = true;
+    if (r.status != nullptr && r.status[0] != '\0') {
+      append_fmt(out, "\"status\":\"%s\"", escape_json(r.status).c_str());
+      farg = false;
+    }
+    for (const TraceArg& a : r.args) {
+      if (a.key == nullptr) continue;
+      if (!farg) out += ',';
+      farg = false;
+      append_fmt(out, "\"%s\":%lld", escape_json(a.key).c_str(),
+                 static_cast<long long>(a.value));
+    }
+    if (r.parent != 0) {
+      if (!farg) out += ',';
+      append_fmt(out, "\"parent_span\":%llu",
+                 static_cast<unsigned long long>(r.parent));
+    }
+    out += "}}";
+  };
+
+  sink.for_each([&](const TraceRecord& r) {
+    switch (r.kind) {
+      case RecordKind::span_begin:
+        emit(r, "B", spans[r.id].lane);
+        break;
+      case RecordKind::span_end: {
+        auto it = spans.find(r.id);
+        if (it != spans.end() && it->second.has_begin) {
+          emit(r, "E", it->second.lane);
+        }
+        break;
+      }
+      case RecordKind::instant:
+        emit(r, "i", 0);
+        break;
+    }
+  });
+  // Balanced closes for spans still open at export time.
+  for (SpanId id : open_ids) {
+    const auto& os = sink.open().at(id);
+    TraceRecord r;
+    r.time = spans[id].end;
+    r.kind = RecordKind::span_end;
+    r.id = id;
+    r.parent = os.parent;
+    r.name = os.name;
+    r.cat = os.cat;
+    r.status = "open";
+    emit(r, "E", spans[id].lane);
+  }
+  out += "]}";
+  return out;
+}
+
+std::uint64_t trace_hash(const TraceSink& sink) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  sink.for_each([&](const TraceRecord& r) {
+    mix(h, static_cast<std::uint64_t>(r.time));
+    mix(h, static_cast<std::uint64_t>(r.kind));
+    mix(h, r.id);
+    mix(h, r.parent);
+    mix_str(h, r.name);
+    mix_str(h, r.cat);
+    mix_str(h, r.status);
+    for (const TraceArg& a : r.args) {
+      if (a.key == nullptr) continue;
+      mix_str(h, a.key);
+      mix(h, static_cast<std::uint64_t>(a.value));
+    }
+  });
+  return h;
+}
+
+std::string trace_digest(const TraceSink& sink) {
+  struct SpanAgg {
+    std::uint64_t n{0};
+    std::uint64_t aborted{0};
+    std::uint64_t errors{0};
+    std::int64_t dur_ns{0};
+  };
+  std::map<std::string, SpanAgg> span_aggs;
+  std::map<std::string, std::uint64_t> inst_aggs;
+  sink.for_each([&](const TraceRecord& r) {
+    const std::string key = std::string(r.name) + '|' + r.cat;
+    if (r.kind == RecordKind::span_end) {
+      SpanAgg& a = span_aggs[key];
+      ++a.n;
+      if (std::strcmp(r.status, "aborted") == 0) {
+        ++a.aborted;
+      } else if (std::strcmp(r.status, "ok") != 0) {
+        ++a.errors;
+      }
+      if (r.args[0].key != nullptr) a.dur_ns += r.args[0].value;
+    } else if (r.kind == RecordKind::instant) {
+      ++inst_aggs[key];
+    }
+  });
+  std::map<std::string, std::uint64_t> open_aggs;
+  for (const auto& [id, os] : sink.open()) {
+    ++open_aggs[std::string(os.name) + '|' + os.cat];
+  }
+
+  std::string out = "# bs-trace-digest v1\n";
+  append_fmt(out,
+             "records=%zu dropped=%llu stray_ends=%llu open=%zu last_ns=%lld\n",
+             sink.size(), static_cast<unsigned long long>(sink.dropped()),
+             static_cast<unsigned long long>(sink.stray_ends()),
+             sink.open_spans(), static_cast<long long>(sink.last_time()));
+  append_fmt(out, "stream=%016llx\n",
+             static_cast<unsigned long long>(trace_hash(sink)));
+  for (const auto& [key, a] : span_aggs) {
+    append_fmt(out, "span %s n=%llu aborted=%llu err=%llu dur_ns=%lld\n",
+               key.c_str(), static_cast<unsigned long long>(a.n),
+               static_cast<unsigned long long>(a.aborted),
+               static_cast<unsigned long long>(a.errors),
+               static_cast<long long>(a.dur_ns));
+  }
+  for (const auto& [key, n] : inst_aggs) {
+    append_fmt(out, "inst %s n=%llu\n", key.c_str(),
+               static_cast<unsigned long long>(n));
+  }
+  for (const auto& [key, n] : open_aggs) {
+    append_fmt(out, "open %s n=%llu\n", key.c_str(),
+               static_cast<unsigned long long>(n));
+  }
+  return out;
+}
+
+std::string metrics_digest(const MetricsRegistry& reg, SimTime now) {
+  std::string out;
+  append_fmt(out, "# bs-metrics v1 now_ns=%lld\n", static_cast<long long>(now));
+  reg.for_each([&](const MetricsRegistry::Entry& e) {
+    switch (e.kind) {
+      case MetricsRegistry::Kind::counter:
+        append_fmt(out, "ctr %s %llu\n", e.name.c_str(),
+                   static_cast<unsigned long long>(e.counter.value()));
+        break;
+      case MetricsRegistry::Kind::gauge:
+        append_fmt(out, "gge %s last=%s avg=%s n=%llu\n", e.name.c_str(),
+                   fmt_g(e.gauge.value()).c_str(),
+                   fmt_g(e.gauge.average(now)).c_str(),
+                   static_cast<unsigned long long>(e.gauge.samples()));
+        break;
+      case MetricsRegistry::Kind::histogram:
+        append_fmt(out, "hst %s count=%llu mean=%s p50=%s p99=%s max=%s\n",
+                   e.name.c_str(),
+                   static_cast<unsigned long long>(e.hist->count()),
+                   fmt_g(e.hist->mean()).c_str(),
+                   fmt_g(e.hist->quantile(0.50)).c_str(),
+                   fmt_g(e.hist->quantile(0.99)).c_str(),
+                   fmt_g(e.hist->max()).c_str());
+        break;
+    }
+  });
+  return out;
+}
+
+std::string metrics_csv(const MetricsRegistry& reg, SimTime now) {
+  std::string out = "name,kind,field,value\n";
+  reg.for_each([&](const MetricsRegistry::Entry& e) {
+    switch (e.kind) {
+      case MetricsRegistry::Kind::counter:
+        append_fmt(out, "%s,counter,value,%llu\n", e.name.c_str(),
+                   static_cast<unsigned long long>(e.counter.value()));
+        break;
+      case MetricsRegistry::Kind::gauge:
+        append_fmt(out, "%s,gauge,last,%s\n", e.name.c_str(),
+                   fmt_g(e.gauge.value()).c_str());
+        append_fmt(out, "%s,gauge,avg,%s\n", e.name.c_str(),
+                   fmt_g(e.gauge.average(now)).c_str());
+        break;
+      case MetricsRegistry::Kind::histogram:
+        append_fmt(out, "%s,histogram,count,%llu\n", e.name.c_str(),
+                   static_cast<unsigned long long>(e.hist->count()));
+        append_fmt(out, "%s,histogram,mean,%s\n", e.name.c_str(),
+                   fmt_g(e.hist->mean()).c_str());
+        append_fmt(out, "%s,histogram,p50,%s\n", e.name.c_str(),
+                   fmt_g(e.hist->quantile(0.50)).c_str());
+        append_fmt(out, "%s,histogram,p99,%s\n", e.name.c_str(),
+                   fmt_g(e.hist->quantile(0.99)).c_str());
+        break;
+    }
+  });
+  return out;
+}
+
+void SampleLog::sample(const MetricsRegistry& reg, SimTime now) {
+  reg.for_each([&](const MetricsRegistry::Entry& e) {
+    switch (e.kind) {
+      case MetricsRegistry::Kind::counter:
+        series_[e.name].append(now, static_cast<double>(e.counter.value()));
+        break;
+      case MetricsRegistry::Kind::gauge:
+        series_[e.name].append(now, e.gauge.value());
+        break;
+      case MetricsRegistry::Kind::histogram:
+        break;  // summarized by metrics_digest/csv instead
+    }
+  });
+}
+
+const TimeSeries* SampleLog::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+std::string SampleLog::csv() const {
+  std::string out = "time_s,name,value\n";
+  for (const auto& [name, ts] : series_) {
+    for (const Sample& s : ts.samples()) {
+      append_fmt(out, "%.6f,%s,%s\n", simtime::to_seconds(s.time),
+                 name.c_str(), fmt_g(s.value).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace bs::obs

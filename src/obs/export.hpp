@@ -1,0 +1,66 @@
+// Deterministic observability plane, part 3: exporters.
+//
+//  * chrome_trace_json — Chrome trace_event JSON (loadable in
+//    chrome://tracing and Perfetto). Spans are lane-packed onto synthetic
+//    tids so every tid carries a strictly nested, balanced B/E sequence
+//    even though sim coroutines overlap freely; spans still open at export
+//    time are closed with status "open" so the stream stays balanced.
+//  * trace_digest — compact deterministic text: per-(name|cat) span and
+//    instant aggregates plus a 64-bit FNV hash over every record field.
+//    Two runs are bit-identical iff their digests match; golden tests pin
+//    this format.
+//  * metrics_digest / metrics_csv — registry contents in insertion order.
+//  * SampleLog — periodic registry sampling into TimeSeries + CSV, the
+//    bridge into bs::viz charts.
+//
+// Determinism rules: records carry sim time only (no wall clocks), ids are
+// sequential per sink, exports iterate ring / insertion order, doubles are
+// printed with fixed %.6g formatting.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/timeseries.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bs::obs {
+
+/// Chrome trace_event JSON object {"traceEvents": [...]}; `ts` is sim time
+/// in microseconds (monotone non-decreasing in stream order).
+[[nodiscard]] std::string chrome_trace_json(const TraceSink& sink);
+
+/// Compact deterministic text digest of the trace (see header comment).
+[[nodiscard]] std::string trace_digest(const TraceSink& sink);
+
+/// 64-bit FNV-1a over every record field, the raw determinism fingerprint.
+[[nodiscard]] std::uint64_t trace_hash(const TraceSink& sink);
+
+/// Registry contents as deterministic text lines (`ctr|gge|hst name ...`).
+[[nodiscard]] std::string metrics_digest(const MetricsRegistry& reg,
+                                         SimTime now);
+
+/// Registry contents as CSV (`name,kind,field,value` rows).
+[[nodiscard]] std::string metrics_csv(const MetricsRegistry& reg,
+                                      SimTime now);
+
+/// Periodically samples counters/gauges into per-metric TimeSeries for the
+/// visualization tool, and exports them as `time_s,name,value` CSV.
+class SampleLog {
+ public:
+  /// Appends one sample per counter/gauge currently in the registry.
+  void sample(const MetricsRegistry& reg, SimTime now);
+
+  [[nodiscard]] const std::map<std::string, TimeSeries>& series() const {
+    return series_;
+  }
+  [[nodiscard]] const TimeSeries* find(const std::string& name) const;
+
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;  // ordered => deterministic
+};
+
+}  // namespace bs::obs

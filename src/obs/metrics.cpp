@@ -1,0 +1,81 @@
+#include "obs/metrics.hpp"
+
+namespace bs::obs {
+
+#ifndef BS_OBS_DISABLED
+namespace detail {
+MetricsRegistry* g_metrics = nullptr;
+}
+void set_metrics(MetricsRegistry* m) { detail::g_metrics = m; }
+#endif
+
+void Gauge::set(double v, SimTime now) {
+  if (samples_ == 0) {
+    first_ = last_ = now;
+  } else if (now > last_) {
+    weighted_ += value_ * static_cast<double>(now - last_);
+    last_ = now;
+  }
+  // A set() at (or before) the previous timestamp replaces the value
+  // without accruing weight: zero-length intervals carry no mass.
+  value_ = v;
+  ++samples_;
+}
+
+double Gauge::average(SimTime now) const {
+  if (samples_ == 0) return 0.0;
+  const SimTime end = std::max(now, last_);
+  const double total =
+      weighted_ + value_ * static_cast<double>(end - last_);
+  const SimTime span = end - first_;
+  return span > 0 ? total / static_cast<double>(span) : value_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               Kind kind) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return *it->second;
+  auto e = std::make_unique<Entry>();
+  e->kind = kind;
+  e->name = std::string(name);
+  Entry* raw = e.get();
+  order_.push_back(std::move(e));
+  index_.emplace(raw->name, raw);
+  return *raw;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return entry(name, Kind::counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return entry(name, Kind::gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t bins) {
+  Entry& e = entry(name, Kind::histogram);
+  if (!e.hist) e.hist = std::make_unique<Histogram>(lo, hi, bins);
+  return *e.hist;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it != index_.end() && it->second->kind == Kind::counter
+             ? &it->second->counter
+             : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it != index_.end() && it->second->kind == Kind::gauge
+             ? &it->second->gauge
+             : nullptr;
+}
+
+void MetricsRegistry::reset() {
+  order_.clear();
+  index_.clear();
+}
+
+}  // namespace bs::obs

@@ -1,0 +1,131 @@
+// Deterministic observability plane, part 2: a process-wide metrics
+// registry. Counters, sim-time-weighted gauges and histograms are created
+// lazily by name; iteration order is insertion order, so exports are
+// deterministic. Modules (rpc, blob, mon, fault, core) register into the
+// installed registry through the cheap helpers at the bottom — each helper
+// is a single global-pointer null check when no registry is installed, and
+// a compile-time no-op with BS_TRACE=OFF.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace bs::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Last-value gauge that also tracks its sim-time-weighted average: each
+/// set() weights the previous value by the sim time it was held. A gauge
+/// observed over a zero-length interval averages to its current value.
+class Gauge {
+ public:
+  void set(double v, SimTime now);
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  /// Time-weighted mean over [first_set, max(now, last_set)].
+  [[nodiscard]] double average(SimTime now) const;
+
+ private:
+  double value_{0.0};
+  SimTime first_{0};
+  SimTime last_{0};
+  double weighted_{0.0};
+  std::uint64_t samples_{0};
+};
+
+/// Named-metric registry. Lookup is by exact name; the shape parameters of
+/// a histogram are fixed by its first creation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, double lo = 0.0,
+                       double hi = 1000.0, std::size_t bins = 100);
+
+  enum class Kind : std::uint8_t { counter, gauge, histogram };
+  struct Entry {
+    Kind kind{Kind::counter};
+    std::string name;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  /// Visits entries in insertion order (deterministic export order).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& e : order_) fn(*e);
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+
+  void reset();
+
+ private:
+  Entry& entry(std::string_view name, Kind kind);
+
+  std::vector<std::unique_ptr<Entry>> order_;
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+// ---------------------------------------------------------------- global hook
+
+#ifdef BS_OBS_DISABLED
+constexpr MetricsRegistry* metrics() { return nullptr; }
+inline void set_metrics(MetricsRegistry*) {}
+#else
+namespace detail {
+extern MetricsRegistry* g_metrics;
+}
+inline MetricsRegistry* metrics() { return detail::g_metrics; }
+void set_metrics(MetricsRegistry* m);
+#endif
+
+/// RAII installer for the global registry.
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry& m) { set_metrics(&m); }
+  ~ScopedMetrics() { set_metrics(nullptr); }
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+};
+
+// ------------------------------------------------------- instrumentation API
+
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (auto* m = metrics()) m->counter(name).inc(n);
+}
+
+inline void gauge_set(const char* name, double v, SimTime now) {
+  if (auto* m = metrics()) m->gauge(name).set(v, now);
+}
+
+inline void observe(const char* name, double v, double lo = 0.0,
+                    double hi = 1000.0, std::size_t bins = 100) {
+  if (auto* m = metrics()) m->histogram(name, lo, hi, bins).add(v);
+}
+
+}  // namespace bs::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+
 namespace bs::rpc {
 
 Node::Node(Cluster& cluster, NodeId id, net::SiteId site,
@@ -21,12 +23,23 @@ void Node::crash(const CrashOptions& opts) {
   if (!up_) return;
   up_ = false;
   ++incarnation_;
+  obs::count("node.crashes");
+  if (auto* ts = obs::sink()) {
+    ts->instant("node.crash", "node", 0, opts.lose_storage ? "wiped" : "",
+                {"node", static_cast<std::int64_t>(id_.value)},
+                {"incarnation", static_cast<std::int64_t>(incarnation_)});
+  }
   for (auto& l : crash_listeners_) l(opts);
 }
 
 void Node::restart() {
   if (up_) return;
   up_ = true;
+  obs::count("node.restarts");
+  if (auto* ts = obs::sink()) {
+    ts->instant("node.restart", "node", 0, "",
+                {"node", static_cast<std::int64_t>(id_.value)});
+  }
   for (auto& l : restart_listeners_) l();
 }
 
@@ -85,15 +98,38 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_erased(
     detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
     CallOptions opts) {
   const RetryPolicy policy = opts.retry ? *opts.retry : default_retry_;
+  obs::TraceSink* ts = obs::sink();
+  obs::Span call_span;
+  if (ts) {
+    call_span = ts->span(name, "rpc", opts.parent_span,
+                         {"bytes", static_cast<std::int64_t>(req_bytes)},
+                         {"dst", static_cast<std::int64_t>(dst.value)});
+  }
   for (std::uint32_t attempt = 1;; ++attempt) {
+    CallOptions att_opts = opts;
+    obs::Span att;
+    if (ts) {
+      att = ts->span("rpc.attempt", "rpc", call_span.id(),
+                     {"attempt", attempt});
+      att_opts.parent_span = att.id();
+    }
     auto r = co_await call_attempt(src, dst, type, name, req, req_bytes,
-                                   payload_to_disk, opts);
+                                   payload_to_disk, att_opts);
+    if (ts) att.end(errc_name(r.code()));
     if (r.ok() || attempt >= policy.max_attempts ||
         !RetryPolicy::retryable(r.error().code)) {
+      if (ts) call_span.end(errc_name(r.code()));
       co_return r;
     }
     ++calls_retried_;
-    co_await sim_.delay(policy.backoff(attempt, retry_rng_));
+    obs::count("rpc.calls_retried");
+    const SimDuration backoff = policy.backoff(attempt, retry_rng_);
+    if (ts) {
+      ts->instant("rpc.retry", "rpc", call_span.id(),
+                  errc_name(r.error().code), {"attempt", attempt},
+                  {"backoff_ns", backoff});
+    }
+    co_await sim_.delay(backoff);
   }
 }
 
@@ -102,6 +138,7 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
     detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
     const CallOptions& opts) {
   ++calls_started_;
+  obs::count("rpc.calls_started");
   auto state = std::make_shared<CallState>(sim_);
   sim_.spawn(call_body(state, &src, node(dst), type, name, std::move(req),
                        req_bytes, payload_to_disk, opts));
@@ -111,6 +148,7 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
         state->settled = true;
         state->result = Error{Errc::timeout, "rpc timeout"};
         ++timeouts_;
+        obs::count("rpc.timeouts");
         state->done.set();
       }
     });
@@ -149,12 +187,18 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   auto src_alive = [&] { return src->up() && src->incarnation() == src_inc; };
   auto dst_alive = [&] { return dst->up() && dst->incarnation() == dst_inc; };
 
+  obs::TraceSink* ts = obs::sink();
   SimDuration latency = topology_.latency(src->site(), dst->site());
   if (link_fault_) {
     const LinkFault lf = link_fault_(src->site(), dst->site());
     if (lf.drop) {
       // Request lost on the wire: never settles, the timeout watcher fires.
       ++messages_dropped_;
+      obs::count("rpc.messages_dropped");
+      if (ts) {
+        ts->instant("rpc.drop", "rpc", opts.parent_span, "request",
+                    {"dst", static_cast<std::int64_t>(dst->id().value)});
+      }
       co_return;
     }
     latency += lf.extra_latency;
@@ -163,6 +207,7 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   env.client = opts.client;
   env.src_node = src->id();
   env.sent_at = sim_.now();
+  env.parent_span = opts.parent_span;
 
   co_await sim_.delay(latency);
   co_await transmit(*src, *dst, req_bytes,
@@ -183,10 +228,28 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   if (dst->admission_) {
     if (auto admit = dst->admission_(env, name); !admit.ok()) {
       info.outcome = admit.error().code;
+      obs::count("rpc.admission_rejects");
+      if (ts) {
+        ts->instant("rpc.reject", "rpc", opts.parent_span,
+                    errc_name(admit.error().code),
+                    {"dst", static_cast<std::int64_t>(dst->id().value)},
+                    {"client", static_cast<std::int64_t>(opts.client.value)});
+      }
       if (dst->observer_) dst->observer_(info);
       settle(admit.error());
       co_return;
     }
+  }
+
+  // The serve span covers queue wait + service on the destination. It is a
+  // root of its own span tree (server work can legitimately outlive a
+  // timed-out client attempt); the `cause` arg links it to the attempt.
+  obs::Span serve;
+  if (ts) {
+    serve = ts->span(name, "rpc.serve", 0,
+                     {"dst", static_cast<std::int64_t>(dst->id().value)},
+                     {"cause", static_cast<std::int64_t>(opts.parent_span)});
+    env.parent_span = serve.id();
   }
 
   // Service queue: bounded concurrency + fixed per-request overhead. A
@@ -194,6 +257,12 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   // self-protection experiments exercise.
   if (dst->service_sem_->waiting() >= dst->spec().service_queue_limit) {
     info.outcome = Errc::unavailable;
+    obs::count("rpc.load_shed");
+    if (ts) {
+      ts->instant("rpc.shed", "rpc", serve.id(), "queue overloaded",
+                  {"dst", static_cast<std::int64_t>(dst->id().value)});
+      serve.end(errc_name(Errc::unavailable));
+    }
     if (dst->observer_) dst->observer_(info);
     settle(Error{Errc::unavailable, "service queue overloaded"});
     co_return;
@@ -205,6 +274,7 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
     // dead (or reincarnated) node, so its request is lost. The slot is still
     // handed on so the queue drains deterministically.
     dst->service_sem_->release();
+    serve.end("aborted");
     settle(Error{Errc::unavailable, "destination crashed"});
     co_return;
   }
@@ -214,6 +284,7 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   co_await sim_.delay(dst->spec().service_overhead);
   if (!dst_alive()) {
     dst->service_sem_->release();
+    serve.end("aborted");
     settle(Error{Errc::unavailable, "destination crashed"});
     co_return;
   }
@@ -222,6 +293,7 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   dst->service_sem_->release();
   if (!dst_alive()) {
     // Handler finished on a node that crashed mid-service: result lost.
+    serve.end("aborted");
     settle(Error{Errc::unavailable, "destination crashed"});
     co_return;
   }
@@ -230,6 +302,14 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   info.service_time = sim_.now() - service_start;
   info.outcome = resp.status.ok() ? Errc::ok : resp.status.error().code;
   info.response_bytes = resp.wire_size;
+  serve.end(errc_name(info.outcome));
+  obs::count("rpc.requests_served");
+  if (auto* m = obs::metrics()) {
+    m->histogram("rpc.queue_wait_ms", 0.0, 10000.0, 200)
+        .add(simtime::to_millis(info.queue_wait));
+    m->histogram("rpc.service_ms", 0.0, 10000.0, 200)
+        .add(simtime::to_millis(info.service_time));
+  }
   if (dst->observer_) dst->observer_(info);
 
   if (!resp.status.ok()) {
@@ -244,6 +324,11 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
     const LinkFault lf = link_fault_(dst->site(), src->site());
     if (lf.drop) {
       ++messages_dropped_;
+      obs::count("rpc.messages_dropped");
+      if (ts) {
+        ts->instant("rpc.drop", "rpc", opts.parent_span, "response",
+                    {"dst", static_cast<std::int64_t>(dst->id().value)});
+      }
       co_return;  // response lost; the caller's timeout fires
     }
     resp_latency += lf.extra_latency;

@@ -31,6 +31,7 @@
 #include "common/types.hpp"
 #include "net/flow.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -44,6 +45,10 @@ struct Envelope {
   ClientId client{};      ///< authenticated caller identity (may be invalid)
   NodeId src_node{};
   SimTime sent_at{0};
+  /// Trace span enclosing the server-side work (the serve span once the
+  /// request is admitted); handlers parent their downstream calls on it so
+  /// a client write shows its nested provider/metadata/manager activity.
+  obs::SpanId parent_span{0};
 };
 
 /// Retry policy: exponential backoff with jitter, deterministic because the
@@ -73,6 +78,8 @@ struct CallOptions {
   ClientId client{};
   /// Per-call override; when absent the cluster default applies.
   std::optional<RetryPolicy> retry{};
+  /// Trace span this call nests under (0 = root).
+  obs::SpanId parent_span{0};
 };
 
 /// How a node crashes. Fail-stop: in-flight RPCs touching the node (either

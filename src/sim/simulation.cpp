@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace bs::sim {
 
@@ -42,5 +43,12 @@ void Simulation::run_until(SimTime t) {
 void Simulation::install_log_clock() {
   Logger::instance().set_time_source([this] { return now(); });
 }
+
+void Simulation::attach_trace(obs::TraceSink& sink) {
+  sink.set_clock([this] { return now(); });
+  obs::set_sink(&sink);
+}
+
+void Simulation::detach_trace() { obs::set_sink(nullptr); }
 
 }  // namespace bs::sim

@@ -19,6 +19,10 @@
 #include "common/types.hpp"
 #include "sim/task.hpp"
 
+namespace bs::obs {
+class TraceSink;
+}
+
 namespace bs::sim {
 
 /// Move-only type-erased callable with inline storage for small targets.
@@ -176,6 +180,14 @@ class Simulation {
 
   /// Installs this simulation's clock as the logger time source.
   void install_log_clock();
+
+  /// Binds `sink` to this simulation's clock and installs it as the
+  /// process-wide trace sink (a no-op install under BS_TRACE=OFF). Pair
+  /// with detach_trace() — or use obs::ScopedTrace — when the simulation
+  /// outlives the sink.
+  void attach_trace(obs::TraceSink& sink);
+  /// Uninstalls the process-wide trace sink.
+  static void detach_trace();
 
  private:
   struct ResumeThunk {

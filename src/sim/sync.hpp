@@ -154,7 +154,7 @@ class Mailbox {
         return std::move(*slot);
       }
     };
-    return Awaiter{this};
+    return Awaiter{this, std::nullopt};
   }
 
  private:

@@ -1,0 +1,47 @@
+#include "viz/metrics_panel.hpp"
+
+#include <cstdio>
+
+namespace bs::viz {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string metrics_table(const obs::MetricsRegistry& registry, SimTime now) {
+  std::vector<std::vector<std::string>> rows;
+  registry.for_each([&](const obs::MetricsRegistry::Entry& e) {
+    switch (e.kind) {
+      case obs::MetricsRegistry::Kind::counter:
+        rows.push_back({e.name, "counter",
+                        std::to_string(e.counter.value()), "", ""});
+        break;
+      case obs::MetricsRegistry::Kind::gauge:
+        rows.push_back({e.name, "gauge", num(e.gauge.value()),
+                        num(e.gauge.average(now)),
+                        std::to_string(e.gauge.samples())});
+        break;
+      case obs::MetricsRegistry::Kind::histogram:
+        rows.push_back({e.name, "histogram",
+                        std::to_string(e.hist->count()),
+                        num(e.hist->mean()), num(e.hist->quantile(0.99))});
+        break;
+    }
+  });
+  return table({"metric", "kind", "value", "avg/mean", "n/p99"}, rows);
+}
+
+std::string sample_chart(const obs::SampleLog& log, const std::string& name,
+                         SimTime from, SimTime to, ChartOptions options) {
+  const TimeSeries* ts = log.find(name);
+  if (ts == nullptr) return {};
+  return series_chart(name, *ts, from, to, options);
+}
+
+}  // namespace bs::viz

@@ -1,0 +1,25 @@
+// Renders the observability plane's metrics registry and sampled series
+// with the §IV-A chart primitives, so the process-wide counters/gauges/
+// histograms feed the same dashboard as the introspection layer.
+#pragma once
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "viz/chart.hpp"
+
+namespace bs::viz {
+
+/// Fixed-width table of every registered metric (insertion order):
+/// counters show their value, gauges their last sample and sim-time-weighted
+/// average, histograms count/mean/p99.
+std::string metrics_table(const obs::MetricsRegistry& registry, SimTime now);
+
+/// Line chart of one sampled series from a SampleLog over [from, to);
+/// empty string when the series does not exist.
+std::string sample_chart(const obs::SampleLog& log, const std::string& name,
+                         SimTime from, SimTime to,
+                         ChartOptions options = ChartOptions());
+
+}  // namespace bs::viz

@@ -190,7 +190,7 @@ TEST_P(MetaPropertyTest, RandomWriteSequencesMatchReference) {
     auto nodes =
         meta_ops::build_nodes(blob, w, leaves, model.history, root);
     for (auto& [key, node] : nodes) {
-      test::run_task(sim, store.put(key, node));
+      ASSERT_TRUE(test::run_task(sim, store.put(key, node)).ok());
     }
     model.history.push_back(w);
   }

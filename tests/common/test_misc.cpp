@@ -113,6 +113,30 @@ TEST(TimeSeries, ResampleFillsGaps) {
   EXPECT_DOUBLE_EQ(r[9], 7);
 }
 
+TEST(TimeSeries, EmptySeriesEdges) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.value_at(simtime::seconds(5), -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(ts.mean(simtime::seconds(0), simtime::seconds(10), 3.0),
+                   3.0);
+  EXPECT_TRUE(ts.range(simtime::seconds(0), simtime::seconds(10)).empty());
+  auto r = ts.resample(simtime::seconds(0), simtime::seconds(4),
+                       simtime::seconds(1), /*initial=*/1.5);
+  ASSERT_EQ(r.size(), 4u);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 1.5);  // initial carried throughout
+}
+
+TEST(TimeSeries, HalfOpenRangeAndEmptyMeanWindow) {
+  TimeSeries ts;
+  ts.append(simtime::seconds(1), 10);
+  ts.append(simtime::seconds(2), 20);
+  // range() is [from, to): the sample exactly at `to` is excluded...
+  EXPECT_EQ(ts.range(simtime::seconds(1), simtime::seconds(2)).size(), 1u);
+  // ...and a window strictly between samples has no mass.
+  EXPECT_DOUBLE_EQ(
+      ts.mean(simtime::seconds(1.2), simtime::seconds(1.8), -1.0), -1.0);
+}
+
 TEST(TokenBucket, ConsumesAndRefills) {
   TokenBucket tb(10.0, 5.0);  // 10 tokens/s, burst 5
   SimTime t = 0;

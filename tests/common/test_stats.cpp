@@ -80,6 +80,62 @@ TEST(Histogram, OverflowUnderflowTracked) {
   EXPECT_GE(h.quantile(1.0), 1.0);   // overflow reported at hi
 }
 
+TEST(Histogram, EmptyQuantilesAndMoments) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Histogram, SingleSamplePercentiles) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.0);
+  // With one sample every percentile lands in its bin (width 1 here).
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GT(h.quantile(q), 3.0 - 1e-9) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 4.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(Histogram, AllSamplesOutOfRange) {
+  Histogram lo_h(0.0, 1.0, 4);
+  lo_h.add(-3.0);
+  lo_h.add(-7.0);
+  EXPECT_DOUBLE_EQ(lo_h.quantile(0.5), 0.0);  // all underflow → lo
+  Histogram hi_h(0.0, 1.0, 4);
+  hi_h.add(9.0);
+  EXPECT_DOUBLE_EQ(hi_h.quantile(0.5), 1.0);  // all overflow → hi
+  // The exact moments still come from the running stats, not the bins.
+  EXPECT_DOUBLE_EQ(lo_h.mean(), -5.0);
+  EXPECT_DOUBLE_EQ(hi_h.max(), 9.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  h.add(50.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  for (std::uint64_t b : h.bins()) EXPECT_EQ(b, 0u);
+}
+
+TEST(RunningStats, SingleSampleVarianceIsZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
 TEST(Histogram, SummaryNonEmpty) {
   Histogram h(0.0, 10.0, 10);
   h.add(3.0);

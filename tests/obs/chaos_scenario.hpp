@@ -1,0 +1,119 @@
+// The fixed-seed scenario the golden-trace and trace-property tests share:
+// a 3-site deployment replaying a seeded chaos schedule (crashes, a
+// partition, link degradation, a disk slowdown) under a concurrent append
+// workload plus an E-C1-style DoS timeline — one flood client hammering the
+// version manager with small stat requests at a fixed rate so admission /
+// queue-shed paths show up in the trace. Everything is derived from the
+// seed and the simulation clock; two runs are bit-identical.
+#pragma once
+
+#include <vector>
+
+#include "blob/deployment.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plane.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace bs::test {
+
+/// Uninstalls the process-wide obs hooks on every exit path.
+struct ObsGuard {
+  ObsGuard(sim::Simulation& sim, obs::TraceSink& sink,
+           obs::MetricsRegistry& reg) {
+    sim.attach_trace(sink);
+    obs::set_metrics(&reg);
+  }
+  ~ObsGuard() {
+    sim::Simulation::detach_trace();
+    obs::set_metrics(nullptr);
+  }
+  ObsGuard(const ObsGuard&) = delete;
+  ObsGuard& operator=(const ObsGuard&) = delete;
+};
+
+/// Runs the scenario with `sink`/`reg` installed, returning the sim-time
+/// the run ended at. The trace lands in `sink`, the counters in `reg`.
+inline SimTime run_traced_chaos(std::uint64_t seed, obs::TraceSink& sink,
+                                obs::MetricsRegistry& reg) {
+  sim::Simulation sim;
+  ObsGuard guard(sim, sink, reg);
+
+  blob::DeploymentConfig cfg;
+  cfg.sites = 3;
+  cfg.data_providers = 6;
+  cfg.metadata_providers = 2;
+  cfg.provider_capacity = 4ull * units::GB;
+  cfg.fault_seed = seed ^ 0xF00Dull;
+  cfg.vm_options.write_lease = simtime::seconds(30);
+  cfg.vm_options.sweep_interval = simtime::seconds(5);
+  blob::Deployment dep(sim, cfg);
+
+  blob::ClientConfig ccfg;
+  const int n_clients = 3;
+  std::vector<blob::BlobClient*> clients;
+  for (int i = 0; i < n_clients; ++i) clients.push_back(dep.add_client(ccfg));
+
+  auto blob = run_task(sim, clients[0]->create(4 * units::MB,
+                                               /*replication=*/2));
+  if (!blob.ok()) return sim.now();
+
+  fault::FaultPlane plane(dep.cluster(), seed * 31 + 7);
+  fault::ScheduleOptions so;
+  so.horizon = simtime::minutes(3);
+  so.quiesce_fraction = 0.7;
+  for (auto& p : dep.providers()) so.crashable.push_back(p->id());
+  so.crashes = 2;
+  so.max_wipe_crashes = 1;
+  so.site_count = cfg.sites;
+  so.partitions = 1;
+  so.degrades = 1;
+  so.disk_slowdowns = 1;
+  plane.schedule_all(fault::random_schedule(seed * 13 + 5, so));
+
+  // Append workload racing the fault schedule.
+  struct Op {
+    SimTime at{0};
+    std::uint64_t bytes{0};
+    std::uint64_t content{0};
+  };
+  Rng wl(seed ^ 0xC0FFEEull);
+  std::vector<Op> ops(static_cast<std::size_t>(n_clients) * 3);
+  for (auto& op : ops) {
+    op.at = simtime::millis(wl.uniform(0, 100000));
+    op.bytes = (1 + wl.next_below(2)) * 4 * units::MB;
+    op.content = wl.next_u64();
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    sim.spawn([](sim::Simulation& s, blob::BlobClient& cl, BlobId b,
+                 Op op) -> sim::Task<void> {
+      co_await s.delay_until(op.at);
+      (void)co_await cl.append(
+          b, blob::Payload::synthetic(op.bytes, op.content));
+    }(sim, *clients[i % n_clients], blob.value(), ops[i]));
+  }
+
+  // DoS timeline: a flood client fires a burst of small stat requests every
+  // 250 ms between t=30s and t=90s — enough concurrent load to exercise
+  // the version manager's service queue (and shed paths when it saturates).
+  blob::BlobClient* flood = dep.add_client(ccfg);
+  sim.spawn([](sim::Simulation& s, blob::BlobClient& cl,
+               BlobId b) -> sim::Task<void> {
+    co_await s.delay_until(simtime::seconds(30));
+    while (s.now() < simtime::seconds(90)) {
+      for (int i = 0; i < 8; ++i) {
+        s.spawn([](blob::BlobClient& c, BlobId bb) -> sim::Task<void> {
+          (void)co_await c.stat(bb);
+        }(cl, b));
+      }
+      co_await s.delay(simtime::millis(250));
+    }
+  }(sim, *flood, blob.value()));
+
+  sim.run_until(simtime::minutes(4));
+  return sim.now();
+}
+
+}  // namespace bs::test

@@ -1,0 +1,113 @@
+// Shared helpers for the observability-plane test suite: span
+// reconstruction from a TraceSink's record stream and a structural
+// validator for the Chrome trace_event export.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace bs::test {
+
+/// One reconstructed span: begin/end pair matched by id.
+struct SpanRec {
+  obs::SpanId id{0};
+  obs::SpanId parent{0};
+  SimTime begin{0};
+  SimTime end{0};
+  std::string name;
+  std::string cat;
+  std::string status;
+  std::int64_t arg0{0};  ///< begin-record args[0].value
+  bool closed{false};
+  std::size_t begins{0};  ///< number of begin records seen for this id
+  std::size_t ends{0};    ///< number of end records seen for this id
+};
+
+/// Rebuilds spans from the ring, oldest-first. Instants are ignored.
+inline std::map<obs::SpanId, SpanRec> collect_spans(
+    const obs::TraceSink& sink) {
+  std::map<obs::SpanId, SpanRec> out;
+  sink.for_each([&](const obs::TraceRecord& r) {
+    if (r.kind == obs::RecordKind::instant) return;
+    SpanRec& s = out[r.id];
+    s.id = r.id;
+    if (r.kind == obs::RecordKind::span_begin) {
+      ++s.begins;
+      s.parent = r.parent;
+      s.begin = r.time;
+      s.name = r.name;
+      s.cat = r.cat;
+      if (r.args[0].key != nullptr) s.arg0 = r.args[0].value;
+    } else {
+      ++s.ends;
+      s.end = r.time;
+      s.status = r.status;
+      s.closed = true;
+    }
+  });
+  return out;
+}
+
+/// Structural check of the Chrome trace_event export without a JSON
+/// library: walks the event array, extracting ph/ts/tid per event, and
+/// verifies (a) stream-order timestamps are monotone non-decreasing,
+/// (b) every tid's B/E sequence is balanced (never E below depth 0, all
+/// depths return to 0). Returns an empty string on success, else the
+/// first violation.
+inline std::string validate_chrome_trace(const std::string& json) {
+  std::map<long, long> depth;  // tid -> open B count
+  double last_ts = -1.0;
+  std::size_t events = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"name\"", pos)) != std::string::npos) {
+    const std::size_t end = json.find('}', pos);
+    if (end == std::string::npos) return "unterminated event object";
+    // The first '}' closes the nested args object, but ph/ts/tid all
+    // precede "args" in this exporter, so [pos, end) still contains them;
+    // resuming after it lands before the next event's "{\"name\"".
+    const std::string ev = json.substr(pos, end - pos + 1);
+    auto field = [&](const char* key) -> std::string {
+      const std::string needle = std::string("\"") + key + "\":";
+      const std::size_t at = ev.find(needle);
+      if (at == std::string::npos) return {};
+      std::size_t v = at + needle.size();
+      std::size_t stop = v;
+      while (stop < ev.size() && ev[stop] != ',' && ev[stop] != '}') ++stop;
+      return ev.substr(v, stop - v);
+    };
+    const std::string ph = field("ph");
+    const std::string ts = field("ts");
+    const std::string tid = field("tid");
+    if (ph.empty() || ts.empty() || tid.empty()) {
+      return "event missing ph/ts/tid: " + ev;
+    }
+    const double t = std::strtod(ts.c_str(), nullptr);
+    if (t < last_ts) return "timestamps not monotone at event " + ev;
+    last_ts = t;
+    const long lane = std::strtol(tid.c_str(), nullptr, 10);
+    if (ph == "\"B\"") {
+      ++depth[lane];
+    } else if (ph == "\"E\"") {
+      if (depth[lane] <= 0) return "E without B on tid " + tid;
+      --depth[lane];
+    } else if (ph != "\"i\"") {
+      return "unexpected phase " + ph;
+    }
+    ++events;
+    pos = end + 1;
+  }
+  if (events == 0) return "no events found";
+  for (const auto& [lane, d] : depth) {
+    if (d != 0) {
+      return "unbalanced B/E on tid " + std::to_string(lane);
+    }
+  }
+  return {};
+}
+
+}  // namespace bs::test

@@ -1,0 +1,240 @@
+// Unit tests for the observability plane's building blocks: the TraceSink
+// ring, Span RAII semantics, the metrics registry (counters, sim-time-
+// weighted gauges, histograms), and the exporters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs_test_util.hpp"
+
+namespace bs::obs {
+namespace {
+
+TEST(TraceSink, SpanLifecycleAndClock) {
+  TraceSink sink;
+  SimTime now = 0;
+  sink.set_clock([&] { return now; });
+
+  now = 100;
+  Span s = sink.span("op", "test", 0, {"k", 7});
+  EXPECT_TRUE(s.active());
+  EXPECT_NE(s.id(), 0u);
+  EXPECT_EQ(sink.open_spans(), 1u);
+  now = 250;
+  s.end("ok");
+  EXPECT_FALSE(s.active());
+  EXPECT_EQ(sink.open_spans(), 0u);
+
+  ASSERT_EQ(sink.size(), 2u);
+  std::vector<TraceRecord> recs;
+  sink.for_each([&](const TraceRecord& r) { recs.push_back(r); });
+  EXPECT_EQ(recs[0].kind, RecordKind::span_begin);
+  EXPECT_EQ(recs[0].time, 100);
+  EXPECT_EQ(std::string(recs[0].args[0].key), "k");
+  EXPECT_EQ(recs[0].args[0].value, 7);
+  EXPECT_EQ(recs[1].kind, RecordKind::span_end);
+  EXPECT_EQ(recs[1].time, 250);
+  EXPECT_EQ(std::string(recs[1].status), "ok");
+  // End records carry the duration as their first arg.
+  EXPECT_EQ(std::string(recs[1].args[0].key), "dur_ns");
+  EXPECT_EQ(recs[1].args[0].value, 150);
+  EXPECT_EQ(sink.last_time(), 250);
+}
+
+TEST(TraceSink, DroppedSpanIsClosedAborted) {
+  TraceSink sink;
+  {
+    Span s = sink.span("op", "test");
+    (void)s;  // destroyed without end()
+  }
+  std::string status;
+  sink.for_each([&](const TraceRecord& r) {
+    if (r.kind == RecordKind::span_end) status = r.status;
+  });
+  EXPECT_EQ(status, "aborted");
+}
+
+TEST(TraceSink, MoveTransfersOwnershipSingleEnd) {
+  TraceSink sink;
+  Span a = sink.span("op", "test");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.id(), 0u);
+  b.end("ok");
+  b.end("ok");  // second end is a no-op on an inactive handle
+  std::size_t ends = 0;
+  sink.for_each([&](const TraceRecord& r) {
+    if (r.kind == RecordKind::span_end) ++ends;
+  });
+  EXPECT_EQ(ends, 1u);
+  EXPECT_EQ(sink.stray_ends(), 0u);
+}
+
+TEST(TraceSink, StrayEndsAreCountedNotRecorded) {
+  TraceSink sink;
+  sink.end_span(1234, "ok");
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.stray_ends(), 1u);
+}
+
+TEST(TraceSink, RingOverwritesOldestAndCountsDrops) {
+  TraceSink sink(TraceSinkOptions{.capacity = 4});
+  for (int i = 0; i < 6; ++i) sink.instant("i", "test");
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(TraceSink, ClearResetsEverything) {
+  TraceSink sink;
+  Span s = sink.span("op", "test");
+  sink.instant("i", "test");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.open_spans(), 0u);
+  s.end("ok");  // refers to a cleared span: counted stray, not recorded
+  EXPECT_EQ(sink.stray_ends(), 1u);
+}
+
+TEST(Metrics, CounterGaugeHistogramLazyCreation) {
+  MetricsRegistry reg;
+  reg.counter("a").inc(3);
+  reg.counter("a").inc();
+  EXPECT_EQ(reg.counter("a").value(), 4u);
+  reg.gauge("g").set(2.5, 10);
+  reg.histogram("h", 0.0, 10.0, 10).add(3.0);
+  EXPECT_EQ(reg.size(), 3u);
+  ASSERT_NE(reg.find_counter("a"), nullptr);
+  EXPECT_EQ(reg.find_counter("a")->value(), 4u);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  ASSERT_NE(reg.find_gauge("g"), nullptr);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Metrics, GaugeTimeWeightedAverage) {
+  Gauge g;
+  g.set(10.0, 100);  // held 10.0 over [100, 200)
+  g.set(20.0, 200);  // held 20.0 over [200, 400)
+  EXPECT_DOUBLE_EQ(g.value(), 20.0);
+  EXPECT_EQ(g.samples(), 2u);
+  // (10*100 + 20*200) / 300
+  EXPECT_DOUBLE_EQ(g.average(400), 5000.0 / 300.0);
+}
+
+TEST(Metrics, GaugeZeroLengthIntervalAveragesToCurrentValue) {
+  Gauge g;
+  g.set(5.0, 100);
+  // Same-instant resample: replaces the value, accrues no weight.
+  g.set(9.0, 100);
+  EXPECT_DOUBLE_EQ(g.average(100), 9.0);
+  // Querying before any time elapsed also yields the current value.
+  Gauge h;
+  h.set(3.0, 50);
+  EXPECT_DOUBLE_EQ(h.average(50), 3.0);
+  // An unset gauge averages to zero rather than dividing by zero.
+  Gauge empty;
+  EXPECT_DOUBLE_EQ(empty.average(1000), 0.0);
+}
+
+TEST(Metrics, DigestAndCsvAreDeterministicInsertionOrder) {
+  MetricsRegistry reg;
+  reg.counter("z.second");
+  reg.counter("a.first").inc(9);
+  reg.gauge("mid").set(1.5, 10);
+  const std::string d1 = metrics_digest(reg, 20);
+  const std::string d2 = metrics_digest(reg, 20);
+  EXPECT_EQ(d1, d2);
+  // Insertion order, not lexicographic: z.second precedes a.first.
+  EXPECT_LT(d1.find("z.second"), d1.find("a.first"));
+  const std::string csv = metrics_csv(reg, 20);
+  EXPECT_NE(csv.find("a.first,counter,value,9"), std::string::npos);
+  EXPECT_NE(csv.find("mid,gauge,last,1.5"), std::string::npos);
+}
+
+TEST(Metrics, GlobalHelpersNoOpWithoutRegistry) {
+  set_metrics(nullptr);
+  count("nobody.listening");  // must not crash
+  gauge_set("nobody", 1.0, 0);
+  observe("nobody", 1.0);
+  MetricsRegistry reg;
+  {
+    ScopedMetrics scope(reg);
+    count("somebody", 2);
+  }
+  if (kEnabled) {
+    ASSERT_NE(reg.find_counter("somebody"), nullptr);
+    EXPECT_EQ(reg.find_counter("somebody")->value(), 2u);
+  }
+  EXPECT_EQ(metrics(), nullptr);  // scope uninstalled
+}
+
+TEST(SampleLogTest, SamplesCountersAndGaugesIntoSeries) {
+  MetricsRegistry reg;
+  SampleLog log;
+  reg.counter("c").inc(1);
+  reg.gauge("g").set(4.0, 100);
+  log.sample(reg, 100);
+  reg.counter("c").inc(2);
+  log.sample(reg, 200);
+  ASSERT_NE(log.find("c"), nullptr);
+  ASSERT_EQ(log.find("c")->samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(log.find("c")->samples()[1].value, 3.0);
+  EXPECT_EQ(log.find("absent"), nullptr);
+  const std::string csv = log.csv();
+  EXPECT_NE(csv.find("time_s,name,value"), std::string::npos);
+  EXPECT_NE(csv.find(",c,"), std::string::npos);
+}
+
+TEST(Exporters, ChromeJsonBalancedForOverlappingAndOpenSpans) {
+  TraceSink sink;
+  SimTime now = 0;
+  sink.set_clock([&] { return now; });
+
+  // Two overlapping spans (forces two lanes), one instant, one span left
+  // open at export time (closed synthetically with status "open").
+  now = 10;
+  Span a = sink.span("a", "t");
+  now = 20;
+  Span b = sink.span("b", "t");
+  sink.instant("tick", "t");
+  now = 30;
+  a.end("ok");
+  now = 40;
+  Span c = sink.span("c", "t");
+  now = 50;
+  b.end("ok");
+  // c stays open.
+  const std::string json = chrome_trace_json(sink);
+  EXPECT_EQ(bs::test::validate_chrome_trace(json), "");
+  EXPECT_NE(json.find("\"status\":\"open\""), std::string::npos);
+  c.end("ok");
+}
+
+TEST(Exporters, TraceDigestAggregatesAndHashStability) {
+  TraceSink sink;
+  SimTime now = 0;
+  sink.set_clock([&] { return now; });
+  now = 5;
+  {
+    Span s = sink.span("op", "t");
+    now = 9;
+  }  // aborted
+  Span s2 = sink.span("op", "t");
+  now = 12;
+  s2.end("timeout");
+  sink.instant("evt", "t");
+
+  const std::string d = trace_digest(sink);
+  EXPECT_NE(d.find("# bs-trace-digest v1"), std::string::npos);
+  EXPECT_NE(d.find("span op|t n=2 aborted=1 err=1"), std::string::npos);
+  EXPECT_NE(d.find("inst evt|t n=1"), std::string::npos);
+  EXPECT_EQ(d, trace_digest(sink));
+  EXPECT_EQ(trace_hash(sink), trace_hash(sink));
+}
+
+}  // namespace
+}  // namespace bs::obs

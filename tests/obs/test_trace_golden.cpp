@@ -1,0 +1,91 @@
+// Golden-trace test (ISSUE 3, satellite 1): the fixed-seed chaos + DoS
+// scenario must produce a byte-identical trace digest (a) across two runs
+// in the same process and (b) against the digest checked into the repo.
+// Refresh the goldens after an intentional behavior change with
+//   BS_UPDATE_GOLDEN=1 ctest -R Golden
+// and review the diff like any other code change: it is the observable
+// behavior of the whole stack under faults, compressed to a page.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos_scenario.hpp"
+#include "obs/export.hpp"
+#include "obs_test_util.hpp"
+
+#ifndef BS_OBS_GOLDEN_DIR
+#define BS_OBS_GOLDEN_DIR "tests/obs/golden"
+#endif
+
+namespace bs {
+namespace {
+
+std::string golden_path(const char* name) {
+  return std::string(BS_OBS_GOLDEN_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool update_goldens() {
+  const char* v = std::getenv("BS_UPDATE_GOLDEN");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+TEST(TraceGolden, ChaosDigestMatchesCheckedInGolden) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with BS_TRACE=OFF";
+
+  obs::TraceSink sink_a;
+  obs::MetricsRegistry reg_a;
+  const SimTime end_a = test::run_traced_chaos(2026, sink_a, reg_a);
+  const std::string trace_a = obs::trace_digest(sink_a);
+  const std::string metrics_a = obs::metrics_digest(reg_a, end_a);
+
+  // (a) In-process replay determinism, byte for byte.
+  obs::TraceSink sink_b;
+  obs::MetricsRegistry reg_b;
+  const SimTime end_b = test::run_traced_chaos(2026, sink_b, reg_b);
+  ASSERT_EQ(end_a, end_b);
+  ASSERT_EQ(trace_a, obs::trace_digest(sink_b));
+  ASSERT_EQ(metrics_a, obs::metrics_digest(reg_b, end_b));
+
+  const std::string trace_path = golden_path("chaos_trace_digest.txt");
+  const std::string metrics_path = golden_path("chaos_metrics_digest.txt");
+  if (update_goldens()) {
+    std::ofstream(trace_path, std::ios::binary) << trace_a;
+    std::ofstream(metrics_path, std::ios::binary) << metrics_a;
+    GTEST_SKIP() << "goldens refreshed at " << BS_OBS_GOLDEN_DIR;
+  }
+
+  // (b) Byte-identical to the checked-in goldens.
+  const std::string want_trace = read_file(trace_path);
+  ASSERT_FALSE(want_trace.empty())
+      << "missing golden " << trace_path
+      << " — run once with BS_UPDATE_GOLDEN=1";
+  EXPECT_EQ(trace_a, want_trace);
+  const std::string want_metrics = read_file(metrics_path);
+  ASSERT_FALSE(want_metrics.empty()) << "missing golden " << metrics_path;
+  EXPECT_EQ(metrics_a, want_metrics);
+}
+
+TEST(TraceGolden, ChromeExportOfGoldenScenarioIsValidJson) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with BS_TRACE=OFF";
+  obs::TraceSink sink;
+  obs::MetricsRegistry reg;
+  test::run_traced_chaos(2026, sink, reg);
+  const std::string json = obs::chrome_trace_json(sink);
+  ASSERT_GT(json.size(), 2u);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(test::validate_chrome_trace(json), "");
+}
+
+}  // namespace
+}  // namespace bs

@@ -1,0 +1,239 @@
+// Property tests for the observability plane (ISSUE 3, satellite 2):
+//   * every span closes exactly once — no double ends, no leaks;
+//   * children nest inside their parents' sim-time intervals;
+//   * RPC retry attempts appear as sibling spans carrying attempt indices;
+//   * spans interrupted by a crash are closed with status "aborted";
+//   * the Chrome trace export is structurally valid (monotone timestamps,
+//     balanced B/E per tid) even for traces with open spans at the cutoff;
+//   * replaying a seed yields a bit-identical trace stream.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "obs_test_util.hpp"
+#include "chaos_scenario.hpp"
+#include "rpc/rpc.hpp"
+#include "test_util.hpp"
+
+namespace bs {
+namespace {
+
+struct EchoReq {
+  static constexpr const char* kName = "test.echo";
+  int value{0};
+  std::uint64_t wire_size() const { return 32; }
+};
+struct EchoResp {
+  int value{0};
+  std::uint64_t wire_size() const { return 32; }
+};
+struct SlowReq {
+  static constexpr const char* kName = "test.slow";
+  std::uint64_t wire_size() const { return 16; }
+};
+struct SlowResp {
+  std::uint64_t wire_size() const { return 16; }
+};
+
+/// Bare echo cluster: no background loops, so draining the simulation
+/// leaves no open spans — the strictest close-exactly-once environment.
+class TraceProps : public ::testing::Test {
+ protected:
+  TraceProps() : cluster_(sim_, net::Topology::grid5000()) {
+    sim_.attach_trace(sink_);
+    server_ = cluster_.add_node(0);
+    client_ = cluster_.add_node(1);
+    server_->serve<EchoReq, EchoResp>(
+        [](const EchoReq& req,
+           const rpc::Envelope&) -> sim::Task<Result<EchoResp>> {
+          co_return EchoResp{req.value * 2};
+        });
+    server_->serve<SlowReq, SlowResp>(
+        [this](const SlowReq&,
+               const rpc::Envelope&) -> sim::Task<Result<SlowResp>> {
+          co_await sim_.delay(simtime::seconds(60));
+          co_return SlowResp{};
+        });
+  }
+  ~TraceProps() override { sim::Simulation::detach_trace(); }
+
+  void SetUp() override {
+    if (!obs::kEnabled) GTEST_SKIP() << "built with BS_TRACE=OFF";
+  }
+
+  sim::Simulation sim_;
+  obs::TraceSink sink_;
+  rpc::Cluster cluster_;
+  rpc::Node* server_{nullptr};
+  rpc::Node* client_{nullptr};
+};
+
+TEST_F(TraceProps, EverySpanClosesExactlyOnce) {
+  for (int i = 0; i < 5; ++i) {
+    auto r = test::run_task(
+        sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                               EchoReq{i}));
+    ASSERT_TRUE(r.ok());
+  }
+  sim_.run();  // drain stragglers
+
+  const auto spans = test::collect_spans(sink_);
+  ASSERT_FALSE(spans.empty());
+  for (const auto& [id, s] : spans) {
+    EXPECT_EQ(s.begins, 1u) << "span " << id << " (" << s.name << ")";
+    EXPECT_EQ(s.ends, 1u) << "span " << id << " (" << s.name << ")";
+    EXPECT_TRUE(s.closed) << "span " << id << " (" << s.name << ")";
+  }
+  EXPECT_EQ(sink_.open_spans(), 0u);
+  EXPECT_EQ(sink_.stray_ends(), 0u);
+  EXPECT_EQ(sink_.dropped(), 0u);
+}
+
+TEST_F(TraceProps, ChildrenNestInsideParentIntervals) {
+  for (int i = 0; i < 3; ++i) {
+    (void)test::run_task(
+        sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                               EchoReq{i}));
+  }
+  sim_.run();
+
+  const auto spans = test::collect_spans(sink_);
+  std::size_t children = 0;
+  for (const auto& [id, s] : spans) {
+    if (s.parent == 0) continue;
+    auto pit = spans.find(s.parent);
+    ASSERT_NE(pit, spans.end()) << "dangling parent of span " << id;
+    const test::SpanRec& p = pit->second;
+    ++children;
+    EXPECT_GE(s.begin, p.begin) << s.name << " begins before parent "
+                                << p.name;
+    EXPECT_LE(s.end, p.end) << s.name << " outlives parent " << p.name;
+  }
+  EXPECT_GT(children, 0u);
+}
+
+TEST_F(TraceProps, RetryAttemptsAreSiblingSpansWithIndices) {
+  // Drop the first two request transmissions; the third attempt succeeds.
+  int drops_left = 2;
+  cluster_.set_link_fault_fn(
+      [&](net::SiteId from, net::SiteId) -> rpc::Cluster::LinkFault {
+        rpc::Cluster::LinkFault f;
+        if (from == client_->site() && drops_left > 0) {
+          --drops_left;
+          f.drop = true;
+        }
+        return f;
+      });
+  rpc::CallOptions opts;
+  opts.timeout = simtime::seconds(1);
+  opts.retry = rpc::RetryPolicy{.max_attempts = 3};
+  auto r = test::run_task(
+      sim_, cluster_.call<EchoReq, EchoResp>(*client_, server_->id(),
+                                             EchoReq{7}, opts));
+  ASSERT_TRUE(r.ok());
+  sim_.run();
+
+  const auto spans = test::collect_spans(sink_);
+  obs::SpanId call_id = 0;
+  for (const auto& [id, s] : spans) {
+    if (s.name == "test.echo" && s.cat == "rpc") call_id = id;
+  }
+  ASSERT_NE(call_id, 0u);
+  EXPECT_EQ(spans.at(call_id).status, "ok");
+
+  std::vector<const test::SpanRec*> attempts;
+  for (const auto& [id, s] : spans) {
+    if (s.name == "rpc.attempt") attempts.push_back(&s);
+  }
+  ASSERT_EQ(attempts.size(), 3u);
+  std::set<std::int64_t> indices;
+  for (const test::SpanRec* a : attempts) {
+    EXPECT_EQ(a->parent, call_id) << "attempts must be call-span siblings";
+    indices.insert(a->arg0);
+  }
+  EXPECT_EQ(indices, (std::set<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(attempts.back()->status, "ok");
+  EXPECT_EQ(attempts.front()->status, "timeout");
+
+  // The retries also leave instants linked to the call span.
+  std::size_t retries = 0;
+  sink_.for_each([&](const obs::TraceRecord& rec) {
+    if (rec.kind == obs::RecordKind::instant &&
+        std::string(rec.name) == "rpc.retry") {
+      ++retries;
+      EXPECT_EQ(rec.parent, call_id);
+    }
+  });
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST_F(TraceProps, CrashInterruptedServeSpanIsAborted) {
+  sim_.schedule_at(simtime::seconds(5),
+                   [this] { server_->crash(rpc::CrashOptions{}); });
+  rpc::CallOptions opts;
+  opts.timeout = simtime::seconds(30);
+  auto r = test::run_task(
+      sim_, cluster_.call<SlowReq, SlowResp>(*client_, server_->id(),
+                                             SlowReq{}, opts));
+  EXPECT_FALSE(r.ok());
+  sim_.run();  // the stranded handler resumes at t=60s into a dead node
+
+  const auto spans = test::collect_spans(sink_);
+  bool found = false;
+  for (const auto& [id, s] : spans) {
+    if (s.cat != "rpc.serve") continue;
+    found = true;
+    EXPECT_EQ(s.status, "aborted") << "serve span survived the crash";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(sink_.open_spans(), 0u);
+}
+
+TEST(TraceChaosProps, ChaosTraceIsValidNestedAndDeterministic) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with BS_TRACE=OFF";
+  obs::TraceSink sink_a;
+  obs::MetricsRegistry reg_a;
+  test::run_traced_chaos(42, sink_a, reg_a);
+  ASSERT_GT(sink_a.size(), 0u);
+
+  // Chrome export: structurally valid despite spans open at the cutoff.
+  const std::string err = test::validate_chrome_trace(
+      obs::chrome_trace_json(sink_a));
+  EXPECT_EQ(err, "");
+
+  // Closed spans nest inside closed parents even under faults.
+  const auto spans = test::collect_spans(sink_a);
+  for (const auto& [id, s] : spans) {
+    if (!s.closed || s.parent == 0) continue;
+    auto pit = spans.find(s.parent);
+    if (pit == spans.end() || !pit->second.closed) continue;
+    EXPECT_GE(s.begin, pit->second.begin) << s.name;
+    EXPECT_LE(s.end, pit->second.end)
+        << s.name << " outlives parent " << pit->second.name;
+  }
+
+  // Faults showed up in the trace, and serve-side aborts were recorded.
+  std::size_t faults = 0;
+  sink_a.for_each([&](const obs::TraceRecord& r) {
+    if (r.kind == obs::RecordKind::instant &&
+        std::string(r.cat) == "fault") {
+      ++faults;
+    }
+  });
+  EXPECT_GT(faults, 0u);
+
+  // Replay determinism: bit-identical stream hash and digests.
+  obs::TraceSink sink_b;
+  obs::MetricsRegistry reg_b;
+  const SimTime end_b = test::run_traced_chaos(42, sink_b, reg_b);
+  EXPECT_EQ(obs::trace_hash(sink_a), obs::trace_hash(sink_b));
+  EXPECT_EQ(obs::trace_digest(sink_a), obs::trace_digest(sink_b));
+  EXPECT_EQ(obs::metrics_digest(reg_a, end_b),
+            obs::metrics_digest(reg_b, end_b));
+}
+
+}  // namespace
+}  // namespace bs

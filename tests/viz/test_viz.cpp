@@ -1,7 +1,10 @@
-// Chart primitive tests.
+// Chart primitive + metrics panel tests.
 #include <gtest/gtest.h>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "viz/chart.hpp"
+#include "viz/metrics_panel.hpp"
 
 namespace bs::viz {
 namespace {
@@ -63,6 +66,34 @@ TEST(Chart, FormatSi) {
   EXPECT_EQ(format_si(2.5e6), "2.50M");
   EXPECT_EQ(format_si(3.25e9), "3.25G");
   EXPECT_EQ(format_si(12.0), "12.00");
+}
+
+TEST(MetricsPanel, TableRendersAllMetricKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("rpc.calls").inc(12);
+  reg.gauge("providers.alive").set(6.0, simtime::seconds(1));
+  reg.histogram("latency_ms", 0.0, 100.0, 10).add(7.0);
+  const auto out = metrics_table(reg, simtime::seconds(2));
+  EXPECT_NE(out.find("| metric"), std::string::npos);
+  EXPECT_NE(out.find("rpc.calls"), std::string::npos);
+  EXPECT_NE(out.find("counter"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  EXPECT_NE(out.find("providers.alive"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+  EXPECT_NE(out.find("latency_ms"), std::string::npos);
+  EXPECT_NE(out.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsPanel, SampleChartPlotsLoggedSeries) {
+  obs::MetricsRegistry reg;
+  obs::SampleLog log;
+  for (int i = 0; i < 20; ++i) {
+    reg.counter("events").inc(3);
+    log.sample(reg, simtime::seconds(i));
+  }
+  const auto out = sample_chart(log, "events", 0, simtime::seconds(20));
+  EXPECT_NE(out.find("== events =="), std::string::npos);
+  EXPECT_EQ(sample_chart(log, "missing", 0, simtime::seconds(20)), "");
 }
 
 }  // namespace
