@@ -147,6 +147,8 @@ sim::Task<Result<WriteReceipt>> BlobClient::append(BlobId blob,
                     ClientOpInfo::Op::append);
 }
 
+// bslint: allow(coro-ref-param): see client.hpp — plan outlives the
+// awaited WaitGroup
 sim::Task<Result<void>> BlobClient::put_chunk_replicated(
     WritePlan& plan, std::size_t chunk_idx) {
   auto& cluster = node_.cluster();
@@ -203,6 +205,8 @@ sim::Task<Result<void>> BlobClient::put_chunk_replicated(
   co_return ok_result();
 }
 
+// bslint: allow(coro-ref-param): see client.hpp — nodes outlive the
+// awaited call
 sim::Task<Result<void>> BlobClient::put_metadata(
     const std::vector<std::pair<NodeKey, TreeNode>>& nodes,
     obs::SpanId parent) {
@@ -300,6 +304,8 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
     plan.chunk_payloads.push_back(std::move(p));
   }
 
+  // bslint: allow(coro-lambda-capture): the lambda lives in this frame
+  // and every invocation is co_awaited before the frame unwinds
   auto abort_write = [&]() -> sim::Task<void> {
     AbortWriteReq ab;
     ab.blob = blob;
@@ -397,6 +403,8 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
 
 // ------------------------------------------------------------------ reads
 
+// bslint: allow(coro-ref-param): see client.hpp — leaf outlives the
+// awaited WaitGroup
 sim::Task<Result<ChunkRead>> BlobClient::fetch_chunk(
     const meta_ops::LeafRef& leaf, std::uint64_t chunk_size,
     std::uint64_t read_lo, std::uint64_t read_hi, obs::SpanId parent) {

@@ -144,12 +144,19 @@ class BlobClient {
                                              Payload data,
                                              ClientOpInfo::Op op);
   /// Stores one chunk on `replication` providers, re-allocating around
-  /// failures. On success fills `desc.replicas`.
+  /// failures. On success fills `desc.replicas`. The WritePlan is an
+  /// in/out param owned by write_impl's frame, which joins the WaitGroup
+  /// these run under before the plan dies.
+  // bslint: allow(coro-ref-param): plan outlives the awaited WaitGroup
   sim::Task<Result<void>> put_chunk_replicated(WritePlan& plan,
                                                std::size_t chunk_idx);
+  // bslint: allow(coro-ref-param): nodes owned by write_impl's frame,
+  // which co_awaits this call in one full-expression
   sim::Task<Result<void>> put_metadata(
       const std::vector<std::pair<NodeKey, TreeNode>>& nodes,
       obs::SpanId parent);
+  // bslint: allow(coro-ref-param): leaf owned by read()'s frame, which
+  // joins the fetch WaitGroup before the leaf vector dies
   sim::Task<Result<ChunkRead>> fetch_chunk(const meta_ops::LeafRef& leaf,
                                            std::uint64_t chunk_size,
                                            std::uint64_t read_lo,

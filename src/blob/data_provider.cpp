@@ -41,6 +41,8 @@ void DataProvider::register_handlers() {
       [this](const RemoveBlobChunksReq& req, const rpc::Envelope&)
           -> sim::Task<Result<RemoveBlobChunksResp>> {
         RemoveBlobChunksResp resp;
+        // bslint: allow(det-unordered-iter): erase sweep accumulating
+        // order-insensitive sums; visit order never escapes
         for (auto it = chunks_.begin(); it != chunks_.end();) {
           if (it->first.blob == req.blob) {
             resp.bytes_freed += it->second.size;
@@ -78,6 +80,7 @@ void DataProvider::register_handlers() {
 std::vector<ChunkKey> DataProvider::chunk_keys() const {
   std::vector<ChunkKey> keys;
   keys.reserve(chunks_.size());
+  // bslint: allow(det-unordered-iter): snapshot is sorted before returning
   for (const auto& [k, v] : chunks_) keys.push_back(k);
   std::sort(keys.begin(), keys.end());
   return keys;
@@ -105,8 +108,8 @@ void DataProvider::notify_access(const ChunkKey& key, std::uint64_t bytes,
   access_observer_(ev);
 }
 
-sim::Task<Result<PutChunkResp>> DataProvider::handle_put(
-    const PutChunkReq& req, ClientId client) {
+sim::Task<Result<PutChunkResp>> DataProvider::handle_put(PutChunkReq req,
+                                                         ClientId client) {
   auto it = chunks_.find(req.key);
   if (it != chunks_.end()) {
     // Chunks are immutable: a re-put (retry, abort-repair) is idempotent.
@@ -124,8 +127,8 @@ sim::Task<Result<PutChunkResp>> DataProvider::handle_put(
   co_return PutChunkResp{};
 }
 
-sim::Task<Result<GetChunkResp>> DataProvider::handle_get(
-    const GetChunkReq& req, ClientId client) {
+sim::Task<Result<GetChunkResp>> DataProvider::handle_get(GetChunkReq req,
+                                                         ClientId client) {
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) {
     co_return Error{Errc::not_found, "chunk not stored here"};
@@ -155,7 +158,7 @@ sim::Task<Result<GetChunkResp>> DataProvider::handle_get(
 }
 
 sim::Task<Result<RemoveChunkResp>> DataProvider::handle_remove(
-    const RemoveChunkReq& req) {
+    RemoveChunkReq req) {
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) co_return RemoveChunkResp{false};
   used_ -= it->second.size;
@@ -166,7 +169,7 @@ sim::Task<Result<RemoveChunkResp>> DataProvider::handle_remove(
 }
 
 sim::Task<Result<ReplicateChunkResp>> DataProvider::handle_replicate(
-    const ReplicateChunkReq& req) {
+    ReplicateChunkReq req) {
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) {
     co_return Error{Errc::not_found, "chunk not stored here"};

@@ -88,13 +88,14 @@ class DataProvider {
   void notify_access(const ChunkKey& key, std::uint64_t bytes, bool write,
                      ClientId client);
 
-  sim::Task<Result<PutChunkResp>> handle_put(const PutChunkReq& req,
-                                             ClientId client);
-  sim::Task<Result<GetChunkResp>> handle_get(const GetChunkReq& req,
-                                             ClientId client);
-  sim::Task<Result<RemoveChunkResp>> handle_remove(const RemoveChunkReq& req);
-  sim::Task<Result<ReplicateChunkResp>> handle_replicate(
-      const ReplicateChunkReq& req);
+  // Requests are taken by value: a coroutine copies value parameters into
+  // its frame, so the handler stays safe however the caller's lifetime ends
+  // (bslint coro-ref-param). The structs are small; Payload shares the
+  // backing bytes.
+  sim::Task<Result<PutChunkResp>> handle_put(PutChunkReq req, ClientId client);
+  sim::Task<Result<GetChunkResp>> handle_get(GetChunkReq req, ClientId client);
+  sim::Task<Result<RemoveChunkResp>> handle_remove(RemoveChunkReq req);
+  sim::Task<Result<ReplicateChunkResp>> handle_replicate(ReplicateChunkReq req);
 
   rpc::Node& node_;
   Options options_;

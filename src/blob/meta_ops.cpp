@@ -115,6 +115,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>> node_ranges(
   return out;
 }
 
+// bslint: allow(coro-ref-param): see meta_ops.hpp — awaited immediately
 sim::Task<Result<std::vector<LeafRef>>> collect(
     sim::Simulation& sim, MetadataStore& store, BlobId blob,
     Version root_version, std::uint64_t root_chunks, std::uint64_t lo,
@@ -168,8 +169,11 @@ sim::Task<Result<std::vector<LeafRef>>> collect(
           emit_holes(child_lo, half);
           return;
         }
-        next.push_back(
-            {NodeKey{blob, child_version, child_lo, half}, Errc::internal});
+        // Built in place (emplace + assign) rather than pushed as a
+        // temporary: GCC 12 issues a spurious -Wmaybe-uninitialized for
+        // the variant inside the moved-from temporary's Result.
+        next.emplace_back();
+        next.back().key = NodeKey{blob, child_version, child_lo, half};
       };
       descend(l_lo, n.left_version);
       descend(r_lo, n.right_version);

@@ -53,6 +53,8 @@ struct LeafRef {
 /// Walks the tree of published version `root_version` (root coverage
 /// `root_chunks`) and resolves all leaves intersecting chunk range
 /// [lo, lo+count), in chunk order. Levels are fetched in parallel.
+// bslint: allow(coro-ref-param): sim and store outlive the read; every
+// caller co_awaits collect() in a single full-expression
 sim::Task<Result<std::vector<LeafRef>>> collect(
     sim::Simulation& sim, MetadataStore& store, BlobId blob,
     Version root_version, std::uint64_t root_chunks, std::uint64_t lo,

@@ -2,7 +2,7 @@
 
 namespace bs::blob {
 
-sim::Task<Result<TreeNode>> InMemoryMetadataStore::get(const NodeKey& key) {
+sim::Task<Result<TreeNode>> InMemoryMetadataStore::get(NodeKey key) {
   auto it = nodes_.find(key);
   if (it == nodes_.end()) {
     co_return Error{Errc::not_found, "metadata node not found"};
@@ -10,7 +10,7 @@ sim::Task<Result<TreeNode>> InMemoryMetadataStore::get(const NodeKey& key) {
   co_return it->second;
 }
 
-sim::Task<Result<void>> InMemoryMetadataStore::put(const NodeKey& key,
+sim::Task<Result<void>> InMemoryMetadataStore::put(NodeKey key,
                                                    TreeNode node) {
   nodes_[key] = std::move(node);
   co_return ok_result();

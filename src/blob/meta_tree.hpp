@@ -58,15 +58,18 @@ struct TreeNode {
 class MetadataStore {
  public:
   virtual ~MetadataStore() = default;
-  virtual sim::Task<Result<TreeNode>> get(const NodeKey& key) = 0;
-  virtual sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) = 0;
+  // NodeKey is taken by value throughout: key parameters are copied into
+  // the coroutine frame, which keeps every implementation safe to suspend
+  // regardless of the caller's lifetime (bslint coro-ref-param).
+  virtual sim::Task<Result<TreeNode>> get(NodeKey key) = 0;
+  virtual sim::Task<Result<void>> put(NodeKey key, TreeNode node) = 0;
 };
 
 /// Purely local store for unit tests and single-node deployments.
 class InMemoryMetadataStore final : public MetadataStore {
  public:
-  sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
-  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;
+  sim::Task<Result<TreeNode>> get(NodeKey key) override;
+  sim::Task<Result<void>> put(NodeKey key, TreeNode node) override;
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 

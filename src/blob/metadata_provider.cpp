@@ -52,16 +52,16 @@ NodeId RemoteMetadataStore::provider_for(const NodeKey& key) const {
   return providers_[key.hash() % providers_.size()];
 }
 
-sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key) {
+sim::Task<Result<TreeNode>> RemoteMetadataStore::get(NodeKey key) {
   return get(key, obs::SpanId{0});
 }
 
-sim::Task<Result<void>> RemoteMetadataStore::put(const NodeKey& key,
+sim::Task<Result<void>> RemoteMetadataStore::put(NodeKey key,
                                                  TreeNode node) {
   return put(key, std::move(node), obs::SpanId{0});
 }
 
-sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key,
+sim::Task<Result<TreeNode>> RemoteMetadataStore::get(NodeKey key,
                                                      obs::SpanId parent) {
   MetaGetReq req;
   req.key = key;
@@ -73,7 +73,7 @@ sim::Task<Result<TreeNode>> RemoteMetadataStore::get(const NodeKey& key,
   co_return std::move(r.value().node);
 }
 
-sim::Task<Result<void>> RemoteMetadataStore::put(const NodeKey& key,
+sim::Task<Result<void>> RemoteMetadataStore::put(NodeKey key,
                                                  TreeNode node,
                                                  obs::SpanId parent) {
   MetaPutReq req;

@@ -40,12 +40,12 @@ class RemoteMetadataStore final : public MetadataStore {
                       ClientId as_client, SimDuration timeout,
                       std::optional<rpc::RetryPolicy> retry = {});
 
-  sim::Task<Result<TreeNode>> get(const NodeKey& key) override;
-  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node) override;
+  sim::Task<Result<TreeNode>> get(NodeKey key) override;
+  sim::Task<Result<void>> put(NodeKey key, TreeNode node) override;
 
   /// Traced variants: the underlying RPC spans nest under `parent`.
-  sim::Task<Result<TreeNode>> get(const NodeKey& key, obs::SpanId parent);
-  sim::Task<Result<void>> put(const NodeKey& key, TreeNode node,
+  sim::Task<Result<TreeNode>> get(NodeKey key, obs::SpanId parent);
+  sim::Task<Result<void>> put(NodeKey key, TreeNode node,
                               obs::SpanId parent);
 
   [[nodiscard]] NodeId provider_for(const NodeKey& key) const;

@@ -280,7 +280,7 @@ void VersionManager::register_handlers() {
 }
 
 sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
-    const StartWriteReq& req, ClientId writer) {
+    StartWriteReq req, ClientId writer) {
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;
@@ -325,7 +325,7 @@ sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
 }
 
 sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
-    const CommitWriteReq& req) {
+    CommitWriteReq req) {
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;
@@ -390,7 +390,7 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
 }
 
 sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
-    const AbortWriteReq& req) {
+    AbortWriteReq req) {
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;

@@ -102,10 +102,12 @@ class VersionManager {
   };
 
   void register_handlers();
-  sim::Task<Result<StartWriteResp>> handle_start(const StartWriteReq& req,
+  // Requests by value: copied into the coroutine frame, so the handlers
+  // outlive any caller (bslint coro-ref-param). All three are small structs.
+  sim::Task<Result<StartWriteResp>> handle_start(StartWriteReq req,
                                                  ClientId writer);
-  sim::Task<Result<CommitWriteResp>> handle_commit(const CommitWriteReq& req);
-  sim::Task<Result<AbortWriteResp>> handle_abort(const AbortWriteReq& req);
+  sim::Task<Result<CommitWriteResp>> handle_commit(CommitWriteReq req);
+  sim::Task<Result<AbortWriteResp>> handle_abort(AbortWriteReq req);
 
   /// Walks the pending queue in version order, settling decisions.
   void try_publish(BlobState& b);

@@ -1,6 +1,9 @@
 // Host-side thread pool. The simulation itself is single-threaded and
 // deterministic; the pool parallelizes *independent* simulation runs (e.g.
 // parameter sweeps in the benchmark harness) across host cores.
+//
+// bslint: allow-file(det-thread): deliberately host-parallel — never used
+// inside a simulation; each pooled task owns a whole Simulation instance
 #pragma once
 
 #include <condition_variable>

@@ -17,8 +17,7 @@ rpc::CallOptions Executor::opts() const {
   return o;
 }
 
-sim::Task<Result<blob::TreeNode>> Executor::leaf_of(
-    const blob::ChunkKey& key) {
+sim::Task<Result<blob::TreeNode>> Executor::leaf_of(blob::ChunkKey key) {
   blob::RemoteMetadataStore store(
       *ctx_.node, ctx_.deployment->endpoints().metadata_providers,
       ClientId{0}, simtime::seconds(30));
@@ -26,7 +25,7 @@ sim::Task<Result<blob::TreeNode>> Executor::leaf_of(
       blob::NodeKey{key.blob, key.version, key.index, 1});
 }
 
-sim::Task<Result<void>> Executor::put_leaf(const blob::ChunkKey& key,
+sim::Task<Result<void>> Executor::put_leaf(blob::ChunkKey key,
                                            blob::TreeNode node) {
   blob::RemoteMetadataStore store(
       *ctx_.node, ctx_.deployment->endpoints().metadata_providers,
@@ -35,7 +34,7 @@ sim::Task<Result<void>> Executor::put_leaf(const blob::ChunkKey& key,
       blob::NodeKey{key.blob, key.version, key.index, 1}, std::move(node));
 }
 
-sim::Task<Result<void>> Executor::execute(const AdaptAction& action) {
+sim::Task<Result<void>> Executor::execute(AdaptAction action) {
   Result<void> result = ok_result();
   switch (action.type) {
     case AdaptAction::Type::add_provider:
@@ -89,7 +88,7 @@ sim::Task<Result<void>> Executor::add_provider() {
   co_return ok_result();
 }
 
-sim::Task<Result<void>> Executor::migrate_chunk(const blob::ChunkKey& key,
+sim::Task<Result<void>> Executor::migrate_chunk(blob::ChunkKey key,
                                                 NodeId from) {
   auto leaf = co_await leaf_of(key);
   if (!leaf.ok()) co_return leaf.error();
@@ -169,7 +168,7 @@ sim::Task<Result<void>> Executor::drain_provider(NodeId provider) {
   co_return ok_result();
 }
 
-sim::Task<Result<void>> Executor::repair_chunk(const blob::ChunkKey& key,
+sim::Task<Result<void>> Executor::repair_chunk(blob::ChunkKey key,
                                                std::uint32_t replication,
                                                NodeId /*exclude*/) {
   auto leaf = co_await leaf_of(key);

@@ -19,7 +19,11 @@ class Executor {
  public:
   Executor(AgentContext& ctx) : ctx_(ctx) {}
 
-  sim::Task<Result<void>> execute(const AdaptAction& action);
+  // Actions and chunk keys are taken by value: copied into the coroutine
+  // frame so executor coroutines never dangle on a caller's temporary
+  // (bslint coro-ref-param). These are rare control-plane ops; the copies
+  // are immaterial.
+  sim::Task<Result<void>> execute(AdaptAction action);
 
   /// Invoked after a new provider boots (monitoring + security wiring).
   void set_provider_added_hook(
@@ -33,16 +37,14 @@ class Executor {
  private:
   sim::Task<Result<void>> add_provider();
   sim::Task<Result<void>> drain_provider(NodeId provider);
-  sim::Task<Result<void>> repair_chunk(const blob::ChunkKey& key,
+  sim::Task<Result<void>> repair_chunk(blob::ChunkKey key,
                                        std::uint32_t replication,
                                        NodeId exclude = NodeId{});
-  sim::Task<Result<void>> migrate_chunk(const blob::ChunkKey& key,
-                                        NodeId from);
+  sim::Task<Result<void>> migrate_chunk(blob::ChunkKey key, NodeId from);
   sim::Task<Result<void>> trim_blob(BlobId blob, blob::Version keep_from);
   sim::Task<Result<void>> delete_blob(BlobId blob);
-  sim::Task<Result<blob::TreeNode>> leaf_of(const blob::ChunkKey& key);
-  sim::Task<Result<void>> put_leaf(const blob::ChunkKey& key,
-                                   blob::TreeNode node);
+  sim::Task<Result<blob::TreeNode>> leaf_of(blob::ChunkKey key);
+  sim::Task<Result<void>> put_leaf(blob::ChunkKey key, blob::TreeNode node);
   rpc::CallOptions opts() const;
 
   AgentContext& ctx_;

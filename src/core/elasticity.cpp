@@ -27,6 +27,7 @@ std::size_t ElasticityModule::desired_providers(
                     options_.max_providers);
 }
 
+// bslint: allow(coro-ref-param): see module.hpp lifetime contract
 sim::Task<std::vector<AdaptAction>> ElasticityModule::analyze(
     const KnowledgeBase& knowledge, AgentContext& ctx) {
   std::vector<AdaptAction> out;

@@ -28,6 +28,8 @@ class ElasticityModule final : public SelfModule {
 
   const char* name() const override { return "self_configuration"; }
 
+  // bslint: allow(coro-ref-param): knowledge and ctx live as long as
+  // the agent; the control loop co_awaits analyze() in one expression
   sim::Task<std::vector<AdaptAction>> analyze(const KnowledgeBase& knowledge,
                                               AgentContext& ctx) override;
 

@@ -33,7 +33,11 @@ class SelfModule {
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Analyze + Plan: inspect the knowledge (and optionally the live system
-  /// through ctx) and propose actions for this control period.
+  /// through ctx) and propose actions for this control period. Reference
+  /// parameters are safe here by contract: both objects are owned by the
+  /// agent and outlive every control period, and the loop co_awaits
+  /// analyze() within a single full-expression.
+  // bslint: allow(coro-ref-param): see the lifetime contract above
   virtual sim::Task<std::vector<AdaptAction>> analyze(
       const KnowledgeBase& knowledge, AgentContext& ctx) = 0;
 };

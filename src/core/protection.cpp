@@ -4,6 +4,7 @@
 
 namespace bs::core {
 
+// bslint: allow(coro-ref-param): see module.hpp lifetime contract
 sim::Task<std::vector<AdaptAction>> ProtectionModule::analyze(
     const KnowledgeBase& knowledge, AgentContext& ctx) {
   std::vector<AdaptAction> out;

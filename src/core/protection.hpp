@@ -21,6 +21,8 @@ class ProtectionModule final : public SelfModule {
 
   const char* name() const override { return "self_protection"; }
 
+  // bslint: allow(coro-ref-param): knowledge and ctx live as long as
+  // the agent; the control loop co_awaits analyze() in one expression
   sim::Task<std::vector<AdaptAction>> analyze(const KnowledgeBase& knowledge,
                                               AgentContext& ctx) override;
 

@@ -5,6 +5,7 @@
 
 namespace bs::core {
 
+// bslint: allow(coro-ref-param): see module.hpp lifetime contract
 sim::Task<std::vector<AdaptAction>> RemovalModule::analyze(
     const KnowledgeBase& knowledge, AgentContext& ctx) {
   std::vector<AdaptAction> out;

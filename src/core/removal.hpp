@@ -25,6 +25,8 @@ class RemovalModule final : public SelfModule {
 
   const char* name() const override { return "self_optimization.removal"; }
 
+  // bslint: allow(coro-ref-param): knowledge and ctx live as long as
+  // the agent; the control loop co_awaits analyze() in one expression
   sim::Task<std::vector<AdaptAction>> analyze(const KnowledgeBase& knowledge,
                                               AgentContext& ctx) override;
 

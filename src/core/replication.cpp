@@ -12,6 +12,7 @@ std::uint32_t ReplicationModule::desired_replication(
   return std::min(options_.max_replication, base + bonus);
 }
 
+// bslint: allow(coro-ref-param): see module.hpp lifetime contract
 sim::Task<std::vector<AdaptAction>> ReplicationModule::analyze(
     const KnowledgeBase& knowledge, AgentContext& ctx) {
   std::vector<AdaptAction> out;

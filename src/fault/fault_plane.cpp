@@ -106,7 +106,11 @@ void FaultPlane::clear() {
   links_.clear();
   std::vector<std::uint64_t> ids;
   ids.reserve(slowed_.size());
+  // bslint: allow(det-unordered-iter): snapshot is sorted before use
   for (const auto& [id, factor] : slowed_) ids.push_back(id);
+  // Restore in id order: each restore is a FlowScheduler capacity change,
+  // so the order is part of the deterministic event schedule.
+  std::sort(ids.begin(), ids.end());
   for (std::uint64_t id : ids) restore_disk(NodeId{id});
 }
 

@@ -5,7 +5,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "mon/event.hpp"
@@ -38,7 +38,9 @@ class ClientActivityFilter final : public DataFilter {
     double meta_ops{0}, control_ops{0};
     double latency_sum{0}, latency_n{0};
   };
-  std::unordered_map<std::uint64_t, Acc> clients_;
+  // std::map: flush() iterates these into Record batches, so iteration
+  // order is observable downstream — keep it deterministic.
+  std::map<std::uint64_t, Acc> clients_;
 };
 
 /// Per-provider storage gauges (used bytes, capacity, chunk count) plus
@@ -55,7 +57,7 @@ class ProviderStorageFilter final : public DataFilter {
     double stored_bytes{0};
     bool seen_gauge{false};
   };
-  std::unordered_map<std::uint64_t, Acc> providers_;
+  std::map<std::uint64_t, Acc> providers_;
   SimTime last_flush_{0};
 };
 
@@ -71,7 +73,7 @@ class NodeLoadFilter final : public DataFilter {
     double cpu{0}, mem{0};
     bool seen{false};
   };
-  std::unordered_map<std::uint64_t, Acc> nodes_;
+  std::map<std::uint64_t, Acc> nodes_;
 };
 
 /// Per-blob access patterns + system-wide publish counter.
@@ -85,7 +87,7 @@ class BlobAccessFilter final : public DataFilter {
   struct Acc {
     double read_bytes{0}, write_bytes{0}, publishes{0};
   };
-  std::unordered_map<std::uint64_t, Acc> blobs_;
+  std::map<std::uint64_t, Acc> blobs_;
   double publish_count_{0};
 };
 

@@ -6,7 +6,7 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <map>
 
 #include "blob/deployment.hpp"
 #include "common/rng.hpp"
@@ -72,7 +72,9 @@ class MonitoringLayer {
   Rng rng_{0x4D04E};
   std::vector<std::unique_ptr<MonitoringService>> services_;
   std::vector<std::unique_ptr<MonStorageServer>> storage_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Instrument>> instruments_;
+  // std::map: start() walks this to kick off per-instrument publish loops,
+  // so iteration order shapes the event schedule — keep it deterministic.
+  std::map<std::uint64_t, std::unique_ptr<Instrument>> instruments_;
   bool started_{false};
 };
 

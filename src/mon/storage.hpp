@@ -6,7 +6,7 @@
 // cache is full, records are dropped and counted.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "common/ring_buffer.hpp"
 #include "common/timeseries.hpp"
@@ -48,7 +48,9 @@ class MonStorageServer {
   rpc::Node& node_;
   MonStorageOptions options_;
   RingBuffer<Record> cache_;
-  std::unordered_map<RecordKey, TimeSeries> series_;
+  // std::map: the MonListSeries RPC iterates this into its response, so
+  // iteration order reaches the wire — keep it deterministic.
+  std::map<RecordKey, TimeSeries> series_;
   bool running_{false};
   std::uint64_t stored_{0};
   std::uint64_t dropped_{0};

@@ -421,6 +421,8 @@ void FlowScheduler::rebuild_eta_heap() {
   // Exact rebuild from the live flows (each stores its current ETA):
   // O(active) with no hash lookups, and leaves zero stale entries.
   eta_heap_.clear();
+  // bslint: allow(det-unordered-iter): heap order is a strict total order
+  // on (eta, id), so pop order is independent of build order
   for (auto& [id, f] : active_) {
     if (f->eta < simtime::kInfinite) {
       eta_heap_.push_back(EtaEntry{f->eta, id, f->rate_epoch});
@@ -449,6 +451,8 @@ void FlowScheduler::recompute_rates_global() {
   scratch_flows_.clear();
   scratch_resources_.clear();
   const std::uint64_t epoch = ++mark_epoch_;
+  // bslint: allow(det-unordered-iter): max-min fixpoint and settle are
+  // order-insensitive; completions are sorted by id before resuming
   for (auto& [id, f] : active_) {
     f->prev_rate = f->rate;
     scratch_flows_.push_back(f.get());
@@ -471,6 +475,7 @@ void FlowScheduler::recompute_rates_global() {
 void FlowScheduler::schedule_next_completion() {
   ++generation_;
   SimTime min_eta = simtime::kInfinite;
+  // bslint: allow(det-unordered-iter): pure min over all flows
   for (auto& [id, f] : active_) min_eta = std::min(min_eta, f->eta);
   if (min_eta >= simtime::kInfinite) return;
   const std::uint64_t gen = generation_;
@@ -484,6 +489,8 @@ void FlowScheduler::on_completion_event(std::uint64_t generation) {
   // event (any change bumps generation_), so the stored values are current.
   auto& due = scratch_due_;
   due.clear();
+  // bslint: allow(det-unordered-iter): due set is stable_partitioned and
+  // sorted by flow id before completions resume waiters
   for (auto& [id, f] : active_) {
     if (f->eta <= now) due.push_back(f.get());
   }
@@ -521,6 +528,8 @@ void FlowScheduler::on_completion_event(std::uint64_t generation) {
     recompute_rates_global();  // clobbers comp/res scratch; not needed below
     // Defensive: a due survivor whose rate came back unchanged kept a
     // stale (<= now) ETA; refresh it from its post-settle remaining.
+    // bslint: allow(det-unordered-iter): per-flow ETA refresh; updates are
+    // independent and feed the strict-total-order heap
     for (auto& [id, f] : active_) {
       if (f->mark == due_mark && f->rate == f->prev_rate && f->rate > 0) {
         update_eta(*f);
@@ -528,6 +537,8 @@ void FlowScheduler::on_completion_event(std::uint64_t generation) {
     }
   } else {
     // No completion at all: every due flow is the defensive case.
+    // bslint: allow(det-unordered-iter): per-flow ETA refresh; updates are
+    // independent and feed the strict-total-order heap
     for (auto& [id, f] : active_) {
       if (f->mark == due_mark && f->rate > 0) update_eta(*f);
     }
@@ -539,6 +550,7 @@ std::vector<FlowScheduler::FlowInfo> FlowScheduler::active_flows_snapshot()
     const {
   std::vector<FlowInfo> out;
   out.reserve(active_.size());
+  // bslint: allow(det-unordered-iter): snapshot is sorted before returning
   for (const auto& [id, f] : active_) {
     FlowInfo info{id, f->rate, f->remaining, {}};
     info.resources.reserve(f->links.size());

@@ -86,6 +86,8 @@ std::string chrome_trace_json(const TraceSink& sink) {
     }
   });
   std::vector<SpanId> open_ids;
+  // bslint: allow(det-unordered-iter): mutation is per-span; open_ids is
+  // sorted below before it shapes output
   for (auto& [id, si] : spans) {
     if (si.end < si.begin) {
       si.end = std::max(sink.last_time(), si.begin);
@@ -98,6 +100,7 @@ std::string chrome_trace_json(const TraceSink& sink) {
   // then a strictly sequential, balanced B/E stream.
   std::vector<std::pair<SimTime, SpanId>> order;
   order.reserve(spans.size());
+  // bslint: allow(det-unordered-iter): snapshot is sorted before lane-packing
   for (const auto& [id, si] : spans) order.emplace_back(si.begin, id);
   std::sort(order.begin(), order.end());
   std::vector<SimTime> lane_end;
@@ -224,6 +227,7 @@ std::string trace_digest(const TraceSink& sink) {
     }
   });
   std::map<std::string, std::uint64_t> open_aggs;
+  // bslint: allow(det-unordered-iter): counts aggregate into an ordered map
   for (const auto& [id, os] : sink.open()) {
     ++open_aggs[std::string(os.name) + '|' + os.cat];
   }

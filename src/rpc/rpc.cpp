@@ -77,6 +77,7 @@ Node* Cluster::node(NodeId id) {
   return nodes_[id.value].get();
 }
 
+// bslint: allow(coro-ref-param): see rpc.hpp — cluster-owned nodes
 sim::Task<void> Cluster::transmit(Node& a, Node& b, std::uint64_t bytes,
                                   net::Resource* extra) {
   if (bytes == 0) co_return;
@@ -93,6 +94,7 @@ sim::Task<void> Cluster::transmit(Node& a, Node& b, std::uint64_t bytes,
   }
 }
 
+// bslint: allow(coro-ref-param): see rpc.hpp — cluster-owned node
 sim::Task<Result<detail::AnyPtr>> Cluster::call_erased(
     Node& src, NodeId dst, std::type_index type, const char* name,
     detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
@@ -133,10 +135,11 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_erased(
   }
 }
 
+// bslint: allow(coro-ref-param): see rpc.hpp — cluster-owned node
 sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
     Node& src, NodeId dst, std::type_index type, const char* name,
     detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
-    const CallOptions& opts) {
+    CallOptions opts) {
   ++calls_started_;
   obs::count("rpc.calls_started");
   auto state = std::make_shared<CallState>(sim_);

@@ -263,6 +263,8 @@ class Cluster {
   /// `timeout` when opts.timeout elapses first, or whatever the admission
   /// hook / handler returns.
   template <class Req, class Resp>
+  // bslint: allow(coro-ref-param): src is cluster-owned and lives for the
+  // whole simulation; the request moves into a shared_ptr immediately
   sim::Task<Result<Resp>> call(Node& src, NodeId dst, Req req,
                                CallOptions opts = {}) {
     auto any = std::make_shared<Req>(std::move(req));
@@ -315,16 +317,19 @@ class Cluster {
   };
 
   /// Retry loop around `call_attempt`, driven by the effective RetryPolicy.
+  // bslint: allow(coro-ref-param): src is cluster-owned for the whole sim
   sim::Task<Result<detail::AnyPtr>> call_erased(
       Node& src, NodeId dst, std::type_index type, const char* name,
       detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
       CallOptions opts);
 
   /// One attempt: spawns the call body and races it against the timeout.
+  /// Options are by value (coroutine-frame copy, bslint coro-ref-param).
+  // bslint: allow(coro-ref-param): src is cluster-owned for the whole sim
   sim::Task<Result<detail::AnyPtr>> call_attempt(
       Node& src, NodeId dst, std::type_index type, const char* name,
       detail::AnyPtr req, std::uint64_t req_bytes, bool payload_to_disk,
-      const CallOptions& opts);
+      CallOptions opts);
 
   sim::Task<void> call_body(std::shared_ptr<CallState> state, Node* src,
                             Node* dst, std::type_index type, const char* name,
@@ -333,6 +338,8 @@ class Cluster {
 
   /// Models moving `bytes` from a to b (no-op for zero bytes). `extra` is an
   /// additional resource (e.g. destination disk) included in the flow.
+  // bslint: allow(coro-ref-param): both nodes are cluster-owned; only the
+  // cluster spawns transmits, and never across a node teardown
   sim::Task<void> transmit(Node& a, Node& b, std::uint64_t bytes,
                            net::Resource* extra);
 

@@ -4,6 +4,8 @@
 
 namespace bs::workload {
 
+// bslint: allow(coro-ref-param): the harness owns every BlobClient for
+// the full run and joins all workload tasks before teardown
 sim::Task<void> Writer::run(blob::BlobClient& client, BlobId blob,
                             WriterOptions options, ClientRunStats* stats,
                             ThroughputTracker* tracker) {
@@ -45,6 +47,8 @@ sim::Task<void> Writer::run(blob::BlobClient& client, BlobId blob,
   if (stats != nullptr) stats->finished = sim.now();
 }
 
+// bslint: allow(coro-ref-param): the harness owns every BlobClient for
+// the full run and joins all workload tasks before teardown
 sim::Task<void> Reader::run(blob::BlobClient& client, BlobId blob,
                             ReaderOptions options, ClientRunStats* stats,
                             ThroughputTracker* tracker) {
@@ -101,6 +105,7 @@ sim::Task<void> Reader::run(blob::BlobClient& client, BlobId blob,
   if (stats != nullptr) stats->finished = sim.now();
 }
 
+// bslint: allow(coro-ref-param): see clients.hpp — cluster-owned node
 sim::Task<void> DosAttacker::run(rpc::Node& node, ClientId id,
                                  std::vector<NodeId> targets,
                                  AttackerOptions options,

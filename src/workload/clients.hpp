@@ -22,6 +22,8 @@ struct WriterOptions {
 /// ops after a backoff.
 class Writer {
  public:
+  // bslint: allow(coro-ref-param): the harness owns every BlobClient for
+  // the full run and joins all workload tasks before teardown
   static sim::Task<void> run(blob::BlobClient& client, BlobId blob,
                              WriterOptions options, ClientRunStats* stats,
                              ThroughputTracker* tracker = nullptr);
@@ -41,6 +43,8 @@ struct ReaderOptions {
 /// Honest reader: reads op_bytes ranges (random or sequential) of a blob.
 class Reader {
  public:
+  // bslint: allow(coro-ref-param): the harness owns every BlobClient for
+  // the full run and joins all workload tasks before teardown
   static sim::Task<void> run(blob::BlobClient& client, BlobId blob,
                              ReaderOptions options, ClientRunStats* stats,
                              ThroughputTracker* tracker = nullptr);
@@ -70,6 +74,8 @@ struct AttackerStats {
 /// matching an attacker that bypasses the normal write protocol.
 class DosAttacker {
  public:
+  // bslint: allow(coro-ref-param): the attacker's node is cluster-owned
+  // for the full run; the harness joins attackers before teardown
   static sim::Task<void> run(rpc::Node& node, ClientId id,
                              std::vector<NodeId> targets,
                              AttackerOptions options, AttackerStats* stats);

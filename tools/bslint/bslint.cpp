@@ -1,0 +1,1159 @@
+#include "bslint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace bs::lint {
+
+namespace {
+
+// ------------------------------------------------------------------- rules
+
+constexpr const char* kSortedSnapshotHint =
+    "iterate a sorted key snapshot or use std::map/std::set when order can "
+    "reach traces, digests, RPC responses or event scheduling";
+
+const std::vector<RuleDesc>& rule_table() {
+  static const std::vector<RuleDesc> kRules = {
+      {"det-wallclock", 'D',
+       "wall-clock time source in simulated code",
+       "derive every timestamp from sim.now() / SimTime; wall clocks make "
+       "replays diverge"},
+      {"det-random", 'D',
+       "non-seeded randomness source",
+       "draw from the seeded bs::Rng (split() for per-actor streams); "
+       "std::random_device / rand() are unreplayable"},
+      {"det-thread", 'D',
+       "host threading primitive in sim-facing code",
+       "the simulation is single-threaded by design; move host-parallel "
+       "code out of src/ or allow-file with a rationale"},
+      {"det-unordered-iter", 'D',
+       "iteration over an unordered container",
+       kSortedSnapshotHint},
+      {"coro-ref-param", 'C',
+       "reference/view parameter on a Task-returning coroutine",
+       "coroutine parameters are copied into the frame only if by-value; a "
+       "reference/string_view/span dangles when the caller's full-expression "
+       "ends before the final co_await — pass by value or allow() with the "
+       "lifetime argument"},
+      {"coro-lambda-capture", 'C',
+       "by-reference or [this] capture on a lambda coroutine",
+       "captures live in the lambda object, not the coroutine frame; if the "
+       "lambda dies while suspended the capture dangles — capture by value, "
+       "pass state as parameters, or keep the lambda alive (e.g. stored "
+       "handler) and allow() with that rationale"},
+      {"coro-view-temp", 'C',
+       "string_view bound to a call result inside a coroutine",
+       "string_view does not extend temporary lifetime; materialize a "
+       "std::string (or bind to a stable lvalue) before suspending"},
+      {"obs-unguarded", 'O',
+       "unguarded dereference of the observability hook",
+       "use `if (auto* ts = obs::sink()) { ... }` (same for obs::metrics()) "
+       "so BS_TRACE=OFF folds the plane out and the enabled path is one "
+       "predicted branch"},
+      {"hyg-iostream", 'H',
+       "<iostream> outside viz/, examples/ or tools/",
+       "library code reports through Result/log/obs; stream I/O belongs to "
+       "the rendering and tooling layers"},
+      {"hyg-using-namespace", 'H',
+       "using-directive at header scope",
+       "headers must not inject namespaces into every includer; qualify or "
+       "move the directive into a .cpp"},
+      {"hyg-bare-allow", 'H',
+       "suppression without a rationale",
+       "write `// bslint: allow(rule): why this is safe` — the rationale is "
+       "the reviewable artifact"},
+      {"hyg-bad-allow", 'H',
+       "suppression naming an unknown rule",
+       "check `bslint --list-rules` for valid ids"},
+  };
+  return kRules;
+}
+
+// --------------------------------------------------------------- tokenizer
+
+enum class Tk : std::uint8_t { ident, punct, num, str, chr, pp };
+
+struct Tok {
+  Tk kind;
+  std::string text;
+  int line;
+};
+
+struct Suppression {
+  std::set<std::string> line_rules;  // filled per line below
+};
+
+struct LexOut {
+  std::vector<Tok> toks;
+  // lines carrying at least one code token (not comment/blank)
+  std::set<int> code_lines;
+  // line -> rules allowed on that line and the next code line
+  std::map<int, std::set<std::string>> allow;
+  std::set<std::string> allow_file;
+  // parse problems found in suppression comments: (line, rule-id, bad?)
+  std::vector<Finding> comment_findings;
+  // raw #include targets: (line, header-name, angled?)
+  struct Include {
+    int line;
+    std::string name;
+    bool angled;
+  };
+  std::vector<Include> includes;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void trim(std::string& s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.erase(s.begin());
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+}
+
+/// Parses a `bslint:` suppression comment body. Grammar:
+///   bslint: allow(rule[, rule...])[: rationale]
+///   bslint: allow-file(rule[, rule...])[: rationale]
+void parse_suppression(const std::string& path, std::string body, int line,
+                       LexOut& out) {
+  const auto pos = body.find("bslint:");
+  if (pos == std::string::npos) return;
+  body.erase(0, pos + 7);
+  trim(body);
+  bool file_scope = false;
+  if (body.rfind("allow-file", 0) == 0) {
+    file_scope = true;
+    body.erase(0, 10);
+  } else if (body.rfind("allow", 0) == 0) {
+    body.erase(0, 5);
+  } else {
+    out.comment_findings.push_back(
+        {path, line, "hyg-bad-allow",
+         "malformed bslint comment (expected allow(...) or allow-file(...))"});
+    return;
+  }
+  trim(body);
+  if (body.empty() || body.front() != '(') {
+    out.comment_findings.push_back(
+        {path, line, "hyg-bad-allow", "missing rule list after allow"});
+    return;
+  }
+  const auto close = body.find(')');
+  if (close == std::string::npos) {
+    out.comment_findings.push_back(
+        {path, line, "hyg-bad-allow", "unterminated rule list"});
+    return;
+  }
+  std::string list = body.substr(1, close - 1);
+  std::string rest = body.substr(close + 1);
+  trim(rest);
+  // Split the rule list on commas.
+  std::vector<std::string> ids;
+  std::string cur;
+  for (char c : list) {
+    if (c == ',') {
+      ids.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  ids.push_back(cur);
+  bool any_valid = false;
+  for (std::string& id : ids) {
+    trim(id);
+    if (id.empty()) continue;
+    if (!rule_known(id)) {
+      out.comment_findings.push_back(
+          {path, line, "hyg-bad-allow", "unknown rule '" + id + "'"});
+      continue;
+    }
+    any_valid = true;
+    if (file_scope) {
+      out.allow_file.insert(id);
+    } else {
+      out.allow[line].insert(id);
+    }
+  }
+  if (ids.size() == 1 && ids.front().empty()) {
+    out.comment_findings.push_back(
+        {path, line, "hyg-bad-allow", "empty rule list"});
+    return;
+  }
+  // Rationale: non-empty text after `): `.
+  std::string rationale = rest;
+  if (!rationale.empty() && rationale.front() == ':') rationale.erase(0, 1);
+  trim(rationale);
+  if (any_valid && rationale.empty()) {
+    out.comment_findings.push_back(
+        {path, line, "hyg-bare-allow", "suppression has no rationale"});
+  }
+}
+
+LexOut lex(const std::string& path, std::string_view src) {
+  LexOut out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      std::size_t e = i;
+      while (e < n && src[e] != '\n') ++e;
+      parse_suppression(path, std::string(src.substr(i + 2, e - i - 2)), line,
+                        out);
+      i = e;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t e = i + 2;
+      const int start_line = line;
+      while (e + 1 < n && !(src[e] == '*' && src[e + 1] == '/')) {
+        if (src[e] == '\n') ++line;
+        ++e;
+      }
+      parse_suppression(path, std::string(src.substr(i + 2, e - i - 2)),
+                        start_line, out);
+      i = e + 2;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor logical line (with \-continuations). Not tokenized as
+      // code; include targets are extracted for the header rules.
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i++];
+      }
+      const int pp_line = line;
+      std::size_t p = 1;
+      while (p < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[p]))) {
+        ++p;
+      }
+      if (text.compare(p, 7, "include") == 0) {
+        p += 7;
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p]))) {
+          ++p;
+        }
+        if (p < text.size() && (text[p] == '<' || text[p] == '"')) {
+          const bool angled = text[p] == '<';
+          const char closer = angled ? '>' : '"';
+          const auto e = text.find(closer, p + 1);
+          if (e != std::string::npos) {
+            out.includes.push_back(
+                {pp_line, text.substr(p + 1, e - p - 1), angled});
+          }
+        }
+      }
+      out.code_lines.insert(pp_line);
+      out.toks.push_back({Tk::pp, std::move(text), pp_line});
+      at_line_start = true;  // the newline is still pending
+      continue;
+    }
+    at_line_start = false;
+    if (c == 'R' && peek(1) == '"') {
+      // Raw string literal R"delim( ... )delim"
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && src[d] != '(') delim += src[d++];
+      const std::string closer = ")" + delim + "\"";
+      const auto e = src.find(closer, d);
+      const std::size_t stop = e == std::string_view::npos
+                                   ? n
+                                   : e + closer.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.toks.push_back({Tk::str, "", line});
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      std::size_t e = i + 1;
+      while (e < n && src[e] != q) {
+        if (src[e] == '\\') ++e;
+        if (src[e] == '\n') ++line;  // unterminated tolerance
+        ++e;
+      }
+      out.toks.push_back({q == '"' ? Tk::str : Tk::chr, "", line});
+      i = e + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t e = i;
+      while (e < n && ident_char(src[e])) ++e;
+      out.toks.push_back({Tk::ident, std::string(src.substr(i, e - i)), line});
+      i = e;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t e = i;
+      while (e < n && (ident_char(src[e]) || src[e] == '.' ||
+                       ((src[e] == '+' || src[e] == '-') && e > i &&
+                        (src[e - 1] == 'e' || src[e - 1] == 'E')))) {
+        ++e;
+      }
+      out.toks.push_back({Tk::num, std::string(src.substr(i, e - i)), line});
+      i = e;
+      continue;
+    }
+    // Punctuation; only the pairs the rules care about are fused.
+    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>') ||
+        (c == '&' && peek(1) == '&')) {
+      out.toks.push_back({Tk::punct, std::string(src.substr(i, 2)), line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({Tk::punct, std::string(1, c), line});
+    ++i;
+  }
+  for (const Tok& t : out.toks) out.code_lines.insert(t.line);
+  return out;
+}
+
+// ------------------------------------------------------------ token helpers
+
+/// Index of the matching closer for the opener at `open` (e.g. '(' -> ')').
+/// Returns toks.size() when unbalanced.
+std::size_t match_forward(const std::vector<Tok>& t, std::size_t open,
+                          const char* o, const char* c) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Tk::punct) continue;
+    if (t[i].text == o) ++depth;
+    if (t[i].text == c && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+/// Matches template angle brackets starting at `open` (which must be `<`).
+/// Treats `(`/`)` nesting opaquely; `;` and `{` abort (not a template list).
+std::size_t match_angles(const std::vector<Tok>& t, std::size_t open) {
+  int depth = 0;
+  int parens = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != Tk::punct) continue;
+    const std::string& s = t[i].text;
+    if (s == "(") ++parens;
+    if (s == ")") --parens;
+    if (parens > 0) continue;
+    if (s == "<") ++depth;
+    if (s == ">" && --depth == 0) return i;
+    if (s == ";" || s == "{") break;
+  }
+  return t.size();
+}
+
+bool is_punct(const Tok& t, const char* s) {
+  return t.kind == Tk::punct && t.text == s;
+}
+bool is_ident(const Tok& t, const char* s) {
+  return t.kind == Tk::ident && t.text == s;
+}
+
+// ----------------------------------------------------------- path predicates
+
+bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+
+struct Scope {
+  bool in_src;
+  bool in_tests;
+  bool in_bench;
+  bool is_header;
+};
+
+Scope scope_of(std::string_view path) {
+  Scope s{};
+  s.in_src = starts_with(path, "src/");
+  s.in_tests = starts_with(path, "tests/");
+  s.in_bench = starts_with(path, "bench/");
+  s.is_header = path.size() > 4 && (path.substr(path.size() - 4) == ".hpp" ||
+                                    path.substr(path.size() - 2) == ".h");
+  return s;
+}
+
+// ---------------------------------------------------------------- harvesting
+
+constexpr const char* kUnorderedTypes[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+bool is_unordered_type(const Tok& t) {
+  if (t.kind != Tk::ident) return false;
+  for (const char* u : kUnorderedTypes) {
+    if (t.text == u) return true;
+  }
+  return false;
+}
+
+/// Collects identifiers declared with an unordered container type:
+///   std::unordered_map<K, V> name ...   (members, locals, parameters)
+void harvest_unordered(const std::vector<Tok>& t, std::set<std::string>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_unordered_type(t[i])) continue;
+    std::size_t j = i + 1;
+    if (j >= t.size() || !is_punct(t[j], "<")) continue;
+    j = match_angles(t, j);
+    if (j >= t.size()) continue;
+    ++j;  // past '>'
+    while (j < t.size() &&
+           (is_punct(t[j], "&") || is_punct(t[j], "*") ||
+            is_punct(t[j], "&&") || is_ident(t[j], "const"))) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Tk::ident) out.insert(t[j].text);
+  }
+}
+
+// ------------------------------------------------------------- the scanner
+
+class Scanner {
+ public:
+  Scanner(std::string_view path, std::string_view text, IncludeResolver* inc)
+      : path_(path), scope_(scope_of(path)), inc_(inc),
+        lex_(lex(path_, text)) {}
+
+  std::vector<Finding> scan(ScanStats* stats) {
+    harvest();
+    check_includes();
+    check_idents();
+    check_unordered_loops();
+    check_task_functions();
+    check_lambdas();
+    check_view_temps();
+    check_obs_guards();
+    check_using_namespace();
+    for (const Finding& f : lex_.comment_findings) report_raw(f);
+    std::sort(findings_.begin(), findings_.end(), finding_less);
+    findings_.erase(std::unique(findings_.begin(), findings_.end()),
+                    findings_.end());
+    if (stats != nullptr) stats->suppressed += suppressed_;
+    return std::move(findings_);
+  }
+
+ private:
+  void report(int line, const char* rule, std::string message) {
+    report_raw({path_, line, rule, std::move(message)});
+  }
+
+  void report_raw(Finding f) {
+    if (lex_.allow_file.count(f.rule) != 0u) {
+      ++suppressed_;
+      return;
+    }
+    // An allow() comment covers its own line and the next *code* line, so
+    // it can trail the offending line, sit right above it, or sit above it
+    // at the end of a multi-line comment block.
+    auto allowed_at = [&](int l) {
+      auto it = lex_.allow.find(l);
+      return it != lex_.allow.end() && it->second.count(f.rule) != 0u;
+    };
+    int l = f.line;
+    if (allowed_at(l)) {
+      ++suppressed_;
+      return;
+    }
+    --l;  // walk up through comment/blank lines, then one code line
+    while (l > 0 && lex_.code_lines.count(l) == 0u) {
+      if (allowed_at(l)) {
+        ++suppressed_;
+        return;
+      }
+      --l;
+    }
+    if (l > 0 && allowed_at(l)) {
+      ++suppressed_;
+      return;
+    }
+    findings_.push_back(std::move(f));
+  }
+
+  // Unordered-declared identifiers: this file plus its project includes.
+  void harvest() {
+    harvest_unordered(lex_.toks, unordered_);
+    if (inc_ == nullptr) return;
+    for (const auto& in : lex_.includes) {
+      if (in.angled) continue;  // system headers: out of project scope
+      if (const auto* ids = inc_->unordered_idents(in.name)) {
+        unordered_.insert(ids->begin(), ids->end());
+      }
+    }
+  }
+
+  void check_includes() {
+    static const std::set<std::string> kThreadHeaders = {
+        "thread", "mutex", "shared_mutex", "atomic", "condition_variable",
+        "future", "stop_token", "semaphore", "barrier", "latch"};
+    static const std::set<std::string> kClockHeaders = {"chrono", "ctime",
+                                                        "sys/time.h"};
+    for (const auto& in : lex_.includes) {
+      if (!in.angled) continue;
+      if (scope_.in_src && kThreadHeaders.count(in.name) != 0u) {
+        report(in.line, "det-thread", "#include <" + in.name + ">");
+      }
+      if ((scope_.in_src || scope_.in_tests || scope_.in_bench) &&
+          kClockHeaders.count(in.name) != 0u) {
+        report(in.line, "det-wallclock", "#include <" + in.name + ">");
+      }
+      if ((scope_.in_src || scope_.in_tests || scope_.in_bench) &&
+          in.name == "random") {
+        report(in.line, "det-random", "#include <random>");
+      }
+      const bool iostream_ok = starts_with(path_, "src/viz/") ||
+                               starts_with(path_, "examples/") ||
+                               starts_with(path_, "tools/");
+      if (in.name == "iostream" && !iostream_ok) {
+        report(in.line, "hyg-iostream", "#include <iostream>");
+      }
+    }
+  }
+
+  void check_idents() {
+    if (!scope_.in_src && !scope_.in_tests && !scope_.in_bench) return;
+    static const std::map<std::string, const char*> kBannedIdents = {
+        {"system_clock", "det-wallclock"},
+        {"steady_clock", "det-wallclock"},
+        {"high_resolution_clock", "det-wallclock"},
+        {"gettimeofday", "det-wallclock"},
+        {"clock_gettime", "det-wallclock"},
+        {"timespec_get", "det-wallclock"},
+        {"localtime", "det-wallclock"},
+        {"gmtime", "det-wallclock"},
+        {"mktime", "det-wallclock"},
+        {"random_device", "det-random"},
+        {"mt19937", "det-random"},
+        {"mt19937_64", "det-random"},
+        {"minstd_rand", "det-random"},
+        {"default_random_engine", "det-random"},
+        {"srand", "det-random"},
+        {"random_shuffle", "det-random"},
+    };
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tk::ident) continue;
+      auto it = kBannedIdents.find(t[i].text);
+      if (it != kBannedIdents.end()) {
+        report(t[i].line, it->second, "use of '" + t[i].text + "'");
+        continue;
+      }
+      if (scope_.in_src && is_ident(t[i], "this_thread")) {
+        report(t[i].line, "det-thread", "use of std::this_thread");
+        continue;
+      }
+      // `time(...)`/`rand()` only when clearly the C library call: either
+      // std::-qualified or a bare call (not a member / project function).
+      if ((t[i].text == "time" || t[i].text == "rand") && i + 1 < t.size() &&
+          is_punct(t[i + 1], "(")) {
+        const bool member =
+            i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
+        const bool std_qualified =
+            i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
+        const bool other_qualified = i > 0 && is_punct(t[i - 1], "::");
+        const bool nullary_or_null =
+            i + 2 < t.size() &&
+            (is_punct(t[i + 2], ")") || is_ident(t[i + 2], "nullptr") ||
+             is_ident(t[i + 2], "NULL") ||
+             (t[i + 2].kind == Tk::num && t[i + 2].text == "0"));
+        if (std_qualified || (!member && !other_qualified && nullary_or_null)) {
+          report(t[i].line,
+                 t[i].text == "time" ? "det-wallclock" : "det-random",
+                 "call to '" + t[i].text + "()'");
+        }
+      }
+    }
+  }
+
+  void check_unordered_loops() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_ident(t[i], "for") || !is_punct(t[i + 1], "(")) continue;
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (t[j].kind == Tk::ident && unordered_.count(t[j].text) != 0u) {
+          report(t[i].line, "det-unordered-iter",
+                 "loop over unordered container '" + t[j].text + "'");
+          break;
+        }
+      }
+    }
+  }
+
+  /// Returns the index just past a `sim::Task<...>` (or `Task<...>`) type
+  /// starting at i, or i if the tokens don't spell one.
+  std::size_t skip_task_type(std::size_t i) const {
+    const auto& t = lex_.toks;
+    std::size_t j = i;
+    if (j + 1 < t.size() && is_ident(t[j], "sim") && is_punct(t[j + 1], "::")) {
+      j += 2;
+    }
+    if (j >= t.size() || !is_ident(t[j], "Task")) return i;
+    if (j + 1 >= t.size() || !is_punct(t[j + 1], "<")) return i;
+    const std::size_t close = match_angles(t, j + 1);
+    return close >= t.size() ? i : close + 1;
+  }
+
+  /// Reports coro-ref-param findings for the parameter list [open, close].
+  /// Findings are attributed to `name_line` (the declarator) so one allow()
+  /// above the signature covers a multi-line parameter list.
+  void check_param_list(std::size_t open, std::size_t close,
+                        const std::string& name, int name_line) {
+    const auto& t = lex_.toks;
+    // Handler idiom: the RPC dispatch wrapper owns the request shared_ptr
+    // and the Envelope for the entire co_await of the handler, so handler
+    // signatures (any function taking an rpc::Envelope) are exempt.
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (is_ident(t[j], "Envelope")) return;
+    }
+    // One report per distinct diagnostic per declarator: a signature with
+    // three reference parameters is one finding (and one suppression).
+    std::set<std::string> messages;
+    int angle = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (is_punct(t[j], "<")) ++angle;
+      if (is_punct(t[j], ">")) --angle;
+      if (angle > 0) continue;
+      if (is_punct(t[j], "&") || is_punct(t[j], "&&")) {
+        messages.insert("coroutine '" + name +
+                        "' takes a reference parameter");
+      } else if (is_ident(t[j], "string_view") ||
+                 (is_ident(t[j], "span") && j + 1 < close &&
+                  is_punct(t[j + 1], "<"))) {
+        messages.insert("coroutine '" + name + "' takes a view parameter (" +
+                        t[j].text + ")");
+      }
+    }
+    for (const std::string& m : messages) {
+      report(name_line, "coro-ref-param", m);
+    }
+  }
+
+  void check_task_functions() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_ident(t[i], "Task")) continue;
+      if (i > 0 && is_punct(t[i - 1], "::") &&
+          !(i >= 2 && is_ident(t[i - 2], "sim"))) {
+        continue;  // qualified by something other than sim::
+      }
+      const std::size_t start = (i >= 2 && is_ident(t[i - 2], "sim")) ? i - 2
+                                                                      : i;
+      if (start > 0 && is_punct(t[start - 1], "->")) continue;  // lambda ret
+      const std::size_t after = skip_task_type(start);
+      if (after == start) continue;
+      // Declarator: qualified name chain, then '('. Anything else (a Task
+      // variable, a template argument, a using-alias) is skipped.
+      std::size_t j = after;
+      std::string name;
+      int name_line = 0;
+      while (j < t.size() &&
+             (t[j].kind == Tk::ident || is_punct(t[j], "::"))) {
+        if (t[j].kind == Tk::ident) {
+          name = t[j].text;
+          name_line = t[j].line;
+        }
+        ++j;
+      }
+      if (name.empty() || j >= t.size() || !is_punct(t[j], "(")) continue;
+      const std::size_t close = match_forward(t, j, "(", ")");
+      if (close >= t.size()) continue;
+      check_param_list(j, close, name, name_line);
+    }
+  }
+
+  /// True when the capture-open bracket at `i` belongs to a lambda passed
+  /// directly to Node::serve<...>(...) — stored for the node's lifetime, so
+  /// by-ref/this captures cannot outlive the coroutine.
+  bool is_serve_argument(std::size_t i) const {
+    const auto& t = lex_.toks;
+    if (i == 0 || !is_punct(t[i - 1], "(")) return false;
+    std::size_t j = i - 2;
+    if (j < t.size() && is_punct(t[j], ">")) {
+      // walk back over the template argument list
+      int depth = 0;
+      while (j > 0) {
+        if (is_punct(t[j], ">")) ++depth;
+        if (is_punct(t[j], "<") && --depth == 0) {
+          --j;
+          break;
+        }
+        --j;
+      }
+    }
+    return j < t.size() && is_ident(t[j], "serve");
+  }
+
+  void check_lambdas() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_punct(t[i], "[")) continue;
+      // Rule out subscripts and [[attributes]].
+      if (i > 0 && (t[i - 1].kind == Tk::ident || is_punct(t[i - 1], ")") ||
+                    is_punct(t[i - 1], "]"))) {
+        continue;
+      }
+      if (i + 1 < t.size() && is_punct(t[i + 1], "[")) continue;
+      const std::size_t close = match_forward(t, i, "[", "]");
+      if (close >= t.size()) continue;
+      bool ref_capture = false;
+      std::string what;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (is_punct(t[j], "&") || is_punct(t[j], "&&")) {
+          ref_capture = true;
+          what = "by-reference";
+          break;
+        }
+        if (is_ident(t[j], "this") && !(j > i + 1 && is_punct(t[j - 1], "*"))) {
+          ref_capture = true;
+          what = "[this]";
+          break;
+        }
+      }
+      if (!ref_capture) continue;
+      // Lambda body: optional (params), specifiers, -> type, then {.
+      std::size_t j = close + 1;
+      if (j < t.size() && is_punct(t[j], "(")) {
+        j = match_forward(t, j, "(", ")");
+        if (j >= t.size()) continue;
+        ++j;
+      }
+      while (j < t.size() && !is_punct(t[j], "{") && !is_punct(t[j], ";") &&
+             !is_punct(t[j], ")") && !is_punct(t[j], ",")) {
+        ++j;
+      }
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;
+      const std::size_t body_close = match_forward(t, j, "{", "}");
+      bool coroutine = false;
+      for (std::size_t k = j + 1; k < body_close && k < t.size(); ++k) {
+        if (is_ident(t[k], "co_await") || is_ident(t[k], "co_return") ||
+            is_ident(t[k], "co_yield")) {
+          coroutine = true;
+          break;
+        }
+      }
+      if (!coroutine) continue;
+      if (is_serve_argument(i)) continue;
+      report(t[i].line, "coro-lambda-capture",
+             "lambda coroutine captures " + what);
+    }
+  }
+
+  void check_view_temps() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    // Enclosing-function map: for each token, the body range of the nearest
+    // function-shaped brace block (opened right after ')' or a specifier).
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_punct(t[i], "{") || i == 0) continue;
+      std::size_t p = i - 1;
+      while (p > 0 &&
+             (is_ident(t[p], "override") || is_ident(t[p], "noexcept") ||
+              is_ident(t[p], "const") || is_ident(t[p], "mutable") ||
+              is_ident(t[p], "final"))) {
+        --p;
+      }
+      if (!is_punct(t[p], ")")) continue;
+      const std::size_t close = match_forward(t, i, "{", "}");
+      if (close < t.size()) bodies.emplace_back(i, close);
+    }
+    for (const auto& [open, close] : bodies) {
+      std::vector<std::size_t> awaits;
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (is_ident(t[k], "co_await")) awaits.push_back(k);
+      }
+      if (awaits.empty()) continue;
+      for (std::size_t k = open + 1; k + 2 < close; ++k) {
+        if (!is_ident(t[k], "string_view") || t[k + 1].kind != Tk::ident ||
+            !is_punct(t[k + 2], "=")) {
+          continue;
+        }
+        // Initializer must end with a call: ... ) ;
+        std::size_t e = k + 3;
+        int depth = 0;
+        while (e < close && (depth > 0 || !is_punct(t[e], ";"))) {
+          if (is_punct(t[e], "(")) ++depth;
+          if (is_punct(t[e], ")")) --depth;
+          ++e;
+        }
+        if (e >= close || e == 0 || !is_punct(t[e - 1], ")")) continue;
+        report(t[k].line, "coro-view-temp",
+               "string_view '" + t[k + 1].text +
+                   "' bound to a call result in a coroutine");
+      }
+    }
+  }
+
+  void check_obs_guards() {
+    if (starts_with(path_, "src/obs/")) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i + 5 < t.size(); ++i) {
+      if (!is_ident(t[i], "obs") || !is_punct(t[i + 1], "::")) continue;
+      if (!is_ident(t[i + 2], "sink") && !is_ident(t[i + 2], "metrics")) {
+        continue;
+      }
+      if (is_punct(t[i + 3], "(") && is_punct(t[i + 4], ")") &&
+          is_punct(t[i + 5], "->")) {
+        report(t[i].line, "obs-unguarded",
+               "obs::" + t[i + 2].text + "() dereferenced without a guard");
+      }
+    }
+  }
+
+  void check_using_namespace() {
+    if (!scope_.is_header) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (is_ident(t[i], "using") && is_ident(t[i + 1], "namespace")) {
+        report(t[i].line, "hyg-using-namespace",
+               "using-directive in a header");
+      }
+    }
+  }
+
+  std::string path_;
+  Scope scope_;
+  IncludeResolver* inc_;
+  LexOut lex_;
+  std::set<std::string> unordered_;
+  std::vector<Finding> findings_;
+  int suppressed_{0};
+};
+
+bool read_file(const std::filesystem::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- public
+
+const std::vector<RuleDesc>& rules() { return rule_table(); }
+
+bool rule_known(std::string_view id) { return rule_desc(id) != nullptr; }
+
+const RuleDesc* rule_desc(std::string_view id) {
+  for (const RuleDesc& r : rule_table()) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+bool finding_less(const Finding& a, const Finding& b) {
+  if (a.path != b.path) return a.path < b.path;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  return a.message < b.message;
+}
+
+IncludeResolver::IncludeResolver(std::string root) : root_(std::move(root)) {}
+
+const std::set<std::string>* IncludeResolver::unordered_idents(
+    const std::string& include) {
+  auto it = cache_.find(include);
+  if (it != cache_.end()) return &it->second;
+  if (in_flight_.count(include) != 0u) return nullptr;  // include cycle
+  namespace fs = std::filesystem;
+  fs::path resolved;
+  for (const char* base : {"src", "", "tests", "bench"}) {
+    fs::path cand = fs::path(root_) / base / include;
+    if (fs::exists(cand)) {
+      resolved = cand;
+      break;
+    }
+  }
+  if (resolved.empty()) return nullptr;
+  std::string text;
+  if (!read_file(resolved, &text)) return nullptr;
+  in_flight_.insert(include);
+  LexOut lexed = lex(include, text);
+  std::set<std::string> ids;
+  harvest_unordered(lexed.toks, ids);
+  for (const auto& in : lexed.includes) {
+    if (in.angled) continue;
+    if (const auto* nested = unordered_idents(in.name)) {
+      ids.insert(nested->begin(), nested->end());
+    }
+  }
+  in_flight_.erase(include);
+  return &cache_.emplace(include, std::move(ids)).first->second;
+}
+
+std::vector<Finding> scan_source(std::string_view path, std::string_view text,
+                                 ScanStats* stats, IncludeResolver* includes) {
+  Scanner s(path, text, includes);
+  return s.scan(stats);
+}
+
+bool run(const RunOptions& opts, RunResult* result, std::string* error) {
+  namespace fs = std::filesystem;
+  const fs::path root(opts.root);
+  if (!fs::exists(root)) {
+    *error = "root does not exist: " + opts.root;
+    return false;
+  }
+  // Collect files deterministically: explicit files first, directory walks
+  // in lexicographic order.
+  std::vector<std::string> files;
+  for (const std::string& p : opts.paths) {
+    const fs::path abs = root / p;
+    if (fs::is_directory(abs)) {
+      std::vector<std::string> dir_files;
+      for (auto it = fs::recursive_directory_iterator(abs);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          dir_files.push_back(
+              fs::relative(it->path(), root).generic_string());
+        }
+      }
+      std::sort(dir_files.begin(), dir_files.end());
+      files.insert(files.end(), dir_files.begin(), dir_files.end());
+    } else if (fs::is_regular_file(abs)) {
+      files.push_back(fs::path(p).generic_string());
+    } else {
+      *error = "no such file or directory: " + p;
+      return false;
+    }
+  }
+
+  IncludeResolver resolver(root.string());
+  std::vector<Finding> all;
+  for (const std::string& f : files) {
+    std::string text;
+    if (!read_file(root / f, &text)) {
+      *error = "cannot read: " + f;
+      return false;
+    }
+    ScanStats stats;
+    auto found = scan_source(f, text, &stats, &resolver);
+    result->suppressed += stats.suppressed;
+    all.insert(all.end(), found.begin(), found.end());
+    ++result->files_scanned;
+  }
+  std::sort(all.begin(), all.end(), finding_less);
+
+  // Baseline split.
+  std::set<std::string> baseline_keys;
+  if (!opts.baseline_path.empty() && !opts.fix_baseline) {
+    std::string text;
+    if (read_file(root / opts.baseline_path, &text)) {
+      std::vector<std::string> bad;
+      for (const Finding& b : parse_baseline(text, &bad)) {
+        baseline_keys.insert(b.path + ":" + std::to_string(b.line) + ":" +
+                             b.rule);
+      }
+      for (std::string& b : bad) result->stale.push_back(std::move(b));
+    }
+  }
+  std::set<std::string> live_keys;
+  for (Finding& f : all) {
+    const std::string key =
+        f.path + ":" + std::to_string(f.line) + ":" + f.rule;
+    live_keys.insert(key);
+    if (baseline_keys.count(key) != 0u) {
+      result->baselined.push_back(std::move(f));
+    } else {
+      result->fresh.push_back(std::move(f));
+    }
+  }
+  for (const std::string& key : baseline_keys) {
+    if (live_keys.count(key) == 0u) result->stale.push_back(key);
+  }
+
+  if (opts.fix_baseline && !opts.baseline_path.empty()) {
+    std::vector<Finding> everything = result->fresh;
+    everything.insert(everything.end(), result->baselined.begin(),
+                      result->baselined.end());
+    std::ofstream out(root / opts.baseline_path, std::ios::binary);
+    if (!out) {
+      *error = "cannot write baseline: " + opts.baseline_path;
+      return false;
+    }
+    out << format_baseline(std::move(everything));
+  }
+  return true;
+}
+
+std::string format_baseline(std::vector<Finding> findings) {
+  std::sort(findings.begin(), findings.end(), finding_less);
+  std::string out =
+      "# bslint baseline v1 — grandfathered findings (path:line:rule).\n"
+      "# Regenerate with `bslint --fix-baseline`; entries are sorted so the\n"
+      "# file never produces noisy diffs. Prefer fixing or inline allow()\n"
+      "# comments with a rationale over baselining new findings.\n";
+  for (const Finding& f : findings) {
+    out += f.path + ":" + std::to_string(f.line) + ":" + f.rule + "\n";
+  }
+  return out;
+}
+
+std::vector<Finding> parse_baseline(std::string_view text,
+                                    std::vector<std::string>* bad) {
+  std::vector<Finding> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t e = text.find('\n', pos);
+    if (e == std::string_view::npos) e = text.size();
+    std::string line(text.substr(pos, e - pos));
+    pos = e + 1;
+    trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    // path:line:rule — split on the *last* two colons (paths may not
+    // contain colons in this repo, but be precise anyway).
+    const auto c2 = line.rfind(':');
+    const auto c1 = c2 == std::string::npos ? std::string::npos
+                                            : line.rfind(':', c2 - 1);
+    bool ok = c1 != std::string::npos && c1 > 0 && c2 > c1 + 1;
+    Finding f;
+    if (ok) {
+      f.path = line.substr(0, c1);
+      f.rule = line.substr(c2 + 1);
+      try {
+        f.line = std::stoi(line.substr(c1 + 1, c2 - c1 - 1));
+      } catch (...) {
+        ok = false;
+      }
+      if (!rule_known(f.rule)) ok = false;
+    }
+    if (ok) {
+      out.push_back(std::move(f));
+    } else if (bad != nullptr) {
+      bad->push_back("unparseable baseline line: " + line);
+    }
+  }
+  return out;
+}
+
+int lint_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  RunOptions opts;
+  bool quiet = false;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        err << "bslint: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--root") {
+      const char* v = need_value("--root");
+      if (v == nullptr) return 2;
+      opts.root = v;
+    } else if (a == "--baseline") {
+      const char* v = need_value("--baseline");
+      if (v == nullptr) return 2;
+      opts.baseline_path = v;
+    } else if (a == "--fix-baseline") {
+      opts.fix_baseline = true;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--help" || a == "-h") {
+      out << "usage: bslint [--root DIR] [--baseline FILE] [--fix-baseline]\n"
+             "              [--list-rules] [--quiet] PATH...\n"
+             "Paths are files or directories relative to --root.\n"
+             "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n";
+      return 0;
+    } else if (!a.empty() && a.front() == '-') {
+      err << "bslint: unknown flag " << a << "\n";
+      return 2;
+    } else {
+      opts.paths.emplace_back(a);
+    }
+  }
+  if (list_rules) {
+    for (const RuleDesc& r : rules()) {
+      out << r.family << "  " << r.id << "  — " << r.summary << "\n";
+    }
+    return 0;
+  }
+  if (opts.paths.empty()) {
+    err << "bslint: no paths given (try --help)\n";
+    return 2;
+  }
+  if (opts.fix_baseline && opts.baseline_path.empty()) {
+    err << "bslint: --fix-baseline needs --baseline FILE\n";
+    return 2;
+  }
+  RunResult res;
+  std::string error;
+  if (!run(opts, &res, &error)) {
+    err << "bslint: " << error << "\n";
+    return 2;
+  }
+  if (!quiet) {
+    for (const Finding& f : res.fresh) {
+      out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
+          << "\n";
+      if (const RuleDesc* r = rule_desc(f.rule)) {
+        out << "    hint: " << r->hint << "\n";
+      }
+    }
+    for (const std::string& s : res.stale) {
+      out << "note: stale baseline entry: " << s << "\n";
+    }
+  }
+  if (opts.fix_baseline) {
+    out << "bslint: baseline rewritten ("
+        << res.fresh.size() + res.baselined.size() << " entries)\n";
+    return 0;
+  }
+  out << "bslint: " << res.fresh.size() << " finding(s), "
+      << res.baselined.size() << " baselined, " << res.suppressed
+      << " suppressed, " << res.files_scanned << " file(s)\n";
+  return res.fresh.empty() ? 0 : 1;
+}
+
+}  // namespace bs::lint

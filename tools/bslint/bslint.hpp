@@ -1,0 +1,131 @@
+// bslint — project-specific static analysis for the deterministic simulation
+// substrate. A token-level scanner (no libclang; builds wherever the project
+// does) enforcing four rule families over src/, tests/ and bench/:
+//
+//   D (determinism)       det-wallclock, det-random, det-thread,
+//                         det-unordered-iter
+//   C (coroutine safety)  coro-ref-param, coro-lambda-capture, coro-view-temp
+//   O (observability)     obs-unguarded
+//   H (hygiene)           hyg-iostream, hyg-using-namespace, hyg-bare-allow,
+//                         hyg-bad-allow
+//
+// Findings are suppressed per line with
+//   // bslint: allow(rule-a, rule-b): rationale
+// (the comment covers its own line and the next *code* line — intervening
+// comment and blank lines are skipped), or per file with
+//   // bslint: allow-file(rule): rationale
+// A suppression without a rationale — or naming an unknown rule — is itself
+// a finding, so etiquette is machine-checked. Grandfathered findings live in
+// a checked-in baseline (path:line:rule, sorted); `--fix-baseline`
+// regenerates it deterministically so churn never produces noisy diffs.
+//
+// The scanner is deliberately token-level: it trades soundness for zero
+// build-time dependencies. Known blind spots (range-for over a *function
+// call* returning an unordered container, macro bodies, aliased container
+// types) are documented in DESIGN.md; the curated .clang-tidy config covers
+// the type-aware half of the same invariants where clang is available.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bs::lint {
+
+/// One shipped rule. `family` is D, C, O or H.
+struct RuleDesc {
+  const char* id;
+  char family;
+  const char* summary;
+  const char* hint;
+};
+
+/// Catalog of every shipped rule, in stable display order.
+const std::vector<RuleDesc>& rules();
+bool rule_known(std::string_view id);
+const RuleDesc* rule_desc(std::string_view id);
+
+struct Finding {
+  std::string path;  ///< root-relative, forward slashes
+  int line{0};       ///< 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// Deterministic ordering used for reports and the baseline file.
+bool finding_less(const Finding& a, const Finding& b);
+
+struct ScanStats {
+  int suppressed{0};  ///< findings silenced by allow()/allow-file()
+};
+
+/// Memoized loader that resolves project-quoted `#include "x.hpp"` lines and
+/// harvests identifiers declared with an unordered container type, so a .cpp
+/// iterating a member declared in its header is still caught by
+/// det-unordered-iter.
+class IncludeResolver {
+ public:
+  /// `root` is the repo root; quoted includes resolve against root and
+  /// root/src (the project's include directory).
+  explicit IncludeResolver(std::string root);
+
+  /// Unordered-declared identifiers visible through `include` (recursively,
+  /// bounded depth). Returns nullptr when the file cannot be resolved.
+  const std::set<std::string>* unordered_idents(const std::string& include);
+
+ private:
+  std::string root_;
+  std::map<std::string, std::set<std::string>> cache_;
+  std::set<std::string> in_flight_;  // cycle guard
+};
+
+/// Scans one buffer. `path` must be root-relative (it selects rule scopes:
+/// e.g. det-thread only applies under src/). `includes` may be null (header
+/// harvesting is then limited to the buffer itself).
+std::vector<Finding> scan_source(std::string_view path, std::string_view text,
+                                 ScanStats* stats = nullptr,
+                                 IncludeResolver* includes = nullptr);
+
+// ---------------------------------------------------------------- full runs
+
+struct RunOptions {
+  std::string root{"."};
+  /// Files or directories, root-relative; directories are walked recursively
+  /// in sorted order for .cpp/.hpp/.h files.
+  std::vector<std::string> paths;
+  std::string baseline_path;  ///< root-relative; empty = no baseline
+  bool fix_baseline{false};
+};
+
+struct RunResult {
+  std::vector<Finding> fresh;      ///< findings not covered by the baseline
+  std::vector<Finding> baselined;  ///< grandfathered findings
+  std::vector<std::string> stale;  ///< baseline lines with no live finding
+  int suppressed{0};
+  int files_scanned{0};
+};
+
+/// Runs the scanner over opts.paths. Returns false (with *error set) on I/O
+/// or usage problems; analysis findings are NOT errors.
+bool run(const RunOptions& opts, RunResult* result, std::string* error);
+
+/// Canonical baseline serialization: header line + `path:line:rule`, sorted
+/// by (path, line, rule) — regeneration is churn-free by construction.
+std::string format_baseline(std::vector<Finding> findings);
+
+/// Parses a baseline file body. Unparseable lines are reported in *bad.
+std::vector<Finding> parse_baseline(std::string_view text,
+                                    std::vector<std::string>* bad);
+
+/// CLI entry point (main() delegates here; tests drive it directly).
+/// Exit codes: 0 clean / all findings baselined, 1 fresh findings,
+/// 2 usage or I/O error.
+int lint_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace bs::lint

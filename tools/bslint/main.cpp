@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "bslint.hpp"
+
+int main(int argc, char** argv) {
+  return bs::lint::lint_main(argc, argv, std::cout, std::cerr);
+}
