@@ -1,0 +1,74 @@
+// Global allocation probe for microbenches: replaces the global operator
+// new/delete with counting wrappers so a bench can assert steady-state
+// allocation behaviour (e.g. pooled coroutine frames => zero heap allocs
+// per spawned actor after warm-up). Include from exactly ONE translation
+// unit per binary — the replacement operators below are deliberately
+// non-inline, so a second inclusion fails the link instead of silently
+// double-counting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace bs::bench::alloc_probe {
+
+inline std::atomic<std::uint64_t> g_allocs{0};
+inline std::atomic<std::uint64_t> g_frees{0};
+
+/// Total calls into the replaced global operator new since program start.
+inline std::uint64_t allocations() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+inline std::uint64_t frees() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+}  // namespace bs::bench::alloc_probe
+
+void* operator new(std::size_t size) {
+  bs::bench::alloc_probe::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  bs::bench::alloc_probe::g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align),
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  bs::bench::alloc_probe::g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ::operator delete(p);
+}

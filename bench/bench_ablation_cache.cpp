@@ -45,6 +45,7 @@ Outcome run_burst(bool cache_enabled, std::size_t cache_capacity) {
                NodeId dst, Histogram& lat) -> sim::Task<void> {
     for (int b = 0; b < kBatches; ++b) {
       mon::MonStoreReq req;
+      std::vector<mon::Record> records;
       for (int i = 0; i < kPerBatch; ++i) {
         mon::Record r;
         r.key = {mon::Domain::provider,
@@ -52,8 +53,10 @@ Outcome run_burst(bool cache_enabled, std::size_t cache_capacity) {
                  mon::Metric::used_bytes};
         r.time = s.now();
         r.value = i;
-        req.records.push_back(r);
+        records.push_back(r);
       }
+      req.records = std::make_shared<const std::vector<mon::Record>>(
+          std::move(records));
       const SimTime t0 = s.now();
       rpc::CallOptions o;
       o.timeout = simtime::minutes(5);

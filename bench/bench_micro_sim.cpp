@@ -3,10 +3,12 @@
 // round trips. These bound how large an experiment the simulator can run.
 #include <benchmark/benchmark.h>
 
+#include "alloc_probe.hpp"
 #include "net/flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/sync.hpp"
 
 using namespace bs;
@@ -27,6 +29,54 @@ void BM_EventQueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(100000);
+
+// The same-time fast lane: every event lands at t <= now and is serviced
+// from the ring buffer without ever touching the heap. This is the shape of
+// schedule_resume / zero-delay wakeups — the most common event kind.
+void BM_SameTimeLane(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < batch; ++i) {
+      sim.schedule_at(0, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SameTimeLane)->Arg(1000)->Arg(100000);
+
+// Actor spawn/teardown cost with the frame pool warm. The probe counters
+// prove the steady state is allocation-free: after warm-up, every spawn's
+// frames (tracked root + task) come from the pool's free lists and the
+// whole iteration performs zero global operator new calls.
+void BM_ActorSpawn(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  auto actor = [](int& acc) -> sim::Task<void> {
+    ++acc;
+    co_return;
+  };
+  int acc = 0;
+  for (int i = 0; i < 64; ++i) sim.spawn(actor(acc));  // warm the pool
+  sim.run();
+  std::uint64_t allocs = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = bench::alloc_probe::allocations();
+    for (int i = 0; i < batch; ++i) sim.spawn(actor(acc));
+    sim.run();
+    allocs += bench::alloc_probe::allocations() - before;
+    ops += static_cast<std::uint64_t>(batch);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocs) / static_cast<double>(ops);
+}
+BENCHMARK(BM_ActorSpawn)->Arg(1000);
 
 void BM_CoroutinePingPong(benchmark::State& state) {
   for (auto _ : state) {
@@ -98,7 +148,7 @@ void BM_RpcRoundTrip(benchmark::State& state) {
   server->serve<PingReq, PingResp>(
       [](const PingReq&, const rpc::Envelope&)
           -> sim::Task<Result<PingResp>> { co_return PingResp{}; });
-  for (auto _ : state) {
+  auto one_call = [&] {
     bool done = false;
     sim.spawn([](rpc::Cluster& c, rpc::Node& n, NodeId to,
                  bool& flag) -> sim::Task<void> {
@@ -108,8 +158,22 @@ void BM_RpcRoundTrip(benchmark::State& state) {
     }(cluster, *client, server->id(), done));
     while (!done && sim.step()) {
     }
+  };
+  for (int i = 0; i < 16; ++i) one_call();  // warm the frame pool
+  const std::uint64_t frame_allocs_before =
+      sim::FramePool::instance().stats().heap_allocs;
+  for (auto _ : state) {
+    one_call();
   }
   state.SetItemsProcessed(state.iterations());
+  // Frame-pool discipline across the measured window: every coroutine frame
+  // the RPC path spawned (client task, call attempt, handler, timeout
+  // watcher chain) must come from the pool's free lists — zero frame-sized
+  // trips to the heap per op once the pool is warm.
+  state.counters["frame_heap_allocs_per_op"] =
+      static_cast<double>(sim::FramePool::instance().stats().heap_allocs -
+                          frame_allocs_before) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_RpcRoundTrip);
 

@@ -17,6 +17,23 @@ bs_add_bench(bench_micro_policy_engine bs_sec benchmark::benchmark)
 bs_add_bench(bench_micro_sim bs_rpc benchmark::benchmark)
 bs_add_bench(bench_micro_flow bs_net benchmark::benchmark)
 bs_add_bench(bench_micro_monitoring bs_mon bs_intro benchmark::benchmark)
+# Smoke lane for the google-benchmark micro benches: one pass with the
+# minimum measuring time so CI catches bit-rot (compile/link/assert/counter
+# regressions) without paying for statistically meaningful timings. Run via
+# `ctest --preset bench-smoke`. Note: the system benchmark library predates
+# the "Nx" iteration-count syntax, so this must stay a plain double.
+function(bs_add_bench_smoke name)
+  add_test(NAME bench-smoke.${name}
+           COMMAND ${name} --benchmark_min_time=0)
+  set_tests_properties(bench-smoke.${name} PROPERTIES LABELS "bench-smoke")
+endfunction()
+bs_add_bench_smoke(bench_micro_segment_tree)
+bs_add_bench_smoke(bench_micro_allocation)
+bs_add_bench_smoke(bench_micro_policy_engine)
+bs_add_bench_smoke(bench_micro_sim)
+bs_add_bench_smoke(bench_micro_flow)
+bs_add_bench_smoke(bench_micro_monitoring)
+
 bs_add_bench(bench_ablation_allocation bs_workload bs_viz)
 bs_add_bench(bench_ablation_cache bs_mon bs_viz bs_workload)
 bs_add_bench(bench_ablation_replication bs_core bs_mon bs_workload bs_viz)

@@ -4,12 +4,58 @@
 #   cmake -B build -S . && cmake --build build -j
 # The tier-1 test gate is the companion one-liner:
 #   ctest --test-dir build -L tier1 --output-on-failure -j
+#
+# Subcommand:
+#   run_benches.sh sim-kernel   — measure the simulator hot-path benches
+#     (event queue, same-time lane, actor spawn, RPC round trip) plus the
+#     e2e wall times and emit build/BENCH_sim_kernel.json. The committed
+#     repo-root BENCH_sim_kernel.json is the curated before/after snapshot;
+#     this regenerates the "after" side on the current tree.
 set -eu
 cd "$(dirname "$0")/.."
 if [ ! -d build/bench ]; then
   echo "build/bench not found — build the tree first" >&2
   exit 1
 fi
+
+if [ "${1:-}" = "sim-kernel" ]; then
+  out=build/BENCH_sim_kernel.json
+  micro=build/bench_micro_sim.json
+  ./build/bench/bench_micro_sim \
+    --benchmark_filter='BM_EventQueue|BM_SameTimeLane|BM_ActorSpawn|BM_RpcRoundTrip$' \
+    --benchmark_min_time=0.1 --benchmark_format=json > "$micro"
+  for b in bench_dos_throughput bench_detection_delay; do
+    start=$(date +%s%N)
+    ./build/bench/"$b" > /dev/null 2>&1
+    end=$(date +%s%N)
+    echo "$b $(( (end - start) / 1000000 ))" >> build/e2e_wall_ms.txt
+  done
+  python3 - "$micro" "$out" <<'PY'
+import json, sys
+micro = json.load(open(sys.argv[1]))
+e2e = {}
+for line in open("build/e2e_wall_ms.txt"):
+    name, ms = line.split()
+    e2e[name] = int(ms)  # last run wins
+doc = {
+    "description": "sim-kernel hot-path measurements on the current tree "
+                   "(see repo-root BENCH_sim_kernel.json for the curated "
+                   "before/after comparison)",
+    "micro": [
+        {k: b.get(k) for k in
+         ("name", "real_time", "time_unit", "items_per_second",
+          "allocs_per_op", "frame_heap_allocs_per_op") if k in b}
+        for b in micro.get("benchmarks", [])
+    ],
+    "e2e_wall_time_ms": e2e,
+}
+json.dump(doc, open(sys.argv[2], "w"), indent=2)
+print("wrote", sys.argv[2])
+PY
+  rm -f build/e2e_wall_ms.txt
+  exit 0
+fi
+
 for b in build/bench/*; do
   [ -x "$b" ] || continue
   echo "== $b"

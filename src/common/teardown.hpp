@@ -1,0 +1,35 @@
+// Frame-teardown guard. When a Simulation is destroyed with actors still
+// suspended, it destroys their coroutine frames to reclaim the memory; the
+// destructors of frame-local RAII objects (semaphore guards, trace spans)
+// would then fire against services, sinks and sync primitives that were
+// destroyed *before* the simulation (they are constructed after it and own
+// references into it). During that cascade — and only then — those
+// destructors must become no-ops: nothing that happens at teardown is
+// observable simulation behaviour. The flag lives here (not in sim/) so the
+// observability layer can consult it without depending on the simulator.
+#pragma once
+
+namespace bs {
+
+namespace detail {
+inline thread_local bool g_frame_teardown = false;
+}
+
+/// True while a Simulation destructor is destroying suspended actor frames.
+inline bool in_frame_teardown() { return detail::g_frame_teardown; }
+
+/// RAII setter used by ~Simulation around the frame-destruction cascade.
+class FrameTeardownScope {
+ public:
+  FrameTeardownScope() : prev_(detail::g_frame_teardown) {
+    detail::g_frame_teardown = true;
+  }
+  ~FrameTeardownScope() { detail::g_frame_teardown = prev_; }
+  FrameTeardownScope(const FrameTeardownScope&) = delete;
+  FrameTeardownScope& operator=(const FrameTeardownScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace bs

@@ -10,9 +10,9 @@ IntrospectionService::IntrospectionService(rpc::Node& node,
   node_.serve<mon::MonStoreReq, mon::MonStoreResp>(
       [this](const mon::MonStoreReq& req,
              const rpc::Envelope&) -> sim::Task<Result<mon::MonStoreResp>> {
-        for (const auto& r : req.records) ingest(r);
+        for (const auto& r : req.batch()) ingest(r);
         mon::MonStoreResp resp;
-        resp.accepted = req.records.size();
+        resp.accepted = req.batch().size();
         co_return resp;
       });
 }
@@ -31,12 +31,13 @@ sim::Task<void> IntrospectionService::prune_loop() {
     activity_.prune(sim.now());
     const SimTime cutoff = sim.now() - options_.retention;
     if (cutoff > 0) {
-      for (auto& [key, ts] : series_) {
+      // Per-series transform, no cross-series state: order-insensitive.
+      series_.for_each_unordered([&](const mon::RecordKey&, TimeSeries& ts) {
         auto keep = ts.range(cutoff, simtime::kInfinite);
         TimeSeries pruned;
         for (const auto& s : keep) pruned.append(s.time, s.value);
         ts = std::move(pruned);
-      }
+      });
     }
   }
 }
@@ -47,7 +48,7 @@ void IntrospectionService::ingest(const mon::Record& record) {
     activity_.ingest(record);
     return;
   }
-  auto& ts = series_[record.key];
+  TimeSeries& ts = series_.at(series_.intern(record.key));
   const SimTime t =
       ts.empty() ? record.time : std::max(record.time, ts.back().time);
   ts.append(t, record.value);
@@ -55,15 +56,11 @@ void IntrospectionService::ingest(const mon::Record& record) {
 
 const TimeSeries* IntrospectionService::series(
     const mon::RecordKey& key) const {
-  auto it = series_.find(key);
-  return it == series_.end() ? nullptr : &it->second;
+  return series_.find(key);
 }
 
 std::vector<mon::RecordKey> IntrospectionService::keys() const {
-  std::vector<mon::RecordKey> out;
-  out.reserve(series_.size());
-  for (const auto& [key, ts] : series_) out.push_back(key);
-  return out;
+  return series_.sorted_keys();
 }
 
 SystemSnapshot IntrospectionService::snapshot() const {
@@ -78,8 +75,11 @@ SystemSnapshot IntrospectionService::snapshot() const {
   std::map<std::uint64_t, SystemSnapshot::BlobInfo> blobs;
   RunningStats cpu_stats;
 
-  for (const auto& [key, ts] : series_) {
-    if (ts.empty()) continue;
+  // Sorted traversal: the floating-point accumulations below are evaluated
+  // in key order, matching the std::map iteration this store replaced.
+  series_.for_each_sorted([&](const mon::RecordKey& key,
+                              const TimeSeries& ts) {
+    if (ts.empty()) return;
     switch (key.domain) {
       case mon::Domain::provider: {
         auto& p = providers[key.id];
@@ -134,7 +134,7 @@ SystemSnapshot IntrospectionService::snapshot() const {
       default:
         break;
     }
-  }
+  });
 
   // Node CPU attribution onto providers.
   for (auto& [id, p] : providers) {

@@ -6,11 +6,10 @@
 // activity history, and whole-system snapshots for the autonomic engine.
 #pragma once
 
-#include <map>
-
 #include "common/stats.hpp"
 #include "intro/activity.hpp"
 #include "mon/messages.hpp"
+#include "mon/series_table.hpp"
 #include "rpc/rpc.hpp"
 
 namespace bs::intro {
@@ -97,7 +96,10 @@ class IntrospectionService {
   rpc::Node& node_;
   IntrospectionOptions options_;
   UserActivityHistory activity_;
-  std::map<mon::RecordKey, TimeSeries> series_;
+  // Interned store: hashed O(1) ingest; snapshot()/keys() traverse in
+  // sorted key order so aggregation and the viz layer see the order the
+  // std::map this replaces used to give them.
+  mon::SeriesTable series_;
   bool running_{false};
   std::uint64_t ingested_{0};
 };

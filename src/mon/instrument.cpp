@@ -50,9 +50,11 @@ sim::Task<void> Instrument::flush_loop() {
   }
 }
 
+// bslint: allow(perf-large-byvalue): consumed batch; every caller moves
 sim::Task<void> Instrument::send_batch(std::vector<MetricEvent> batch) {
   MonReportReq req;
-  req.events = std::move(batch);
+  req.events =
+      std::make_shared<const std::vector<MetricEvent>>(std::move(batch));
   auto r = co_await node_.cluster().call<MonReportReq, MonReportResp>(
       node_, service_, std::move(req));
   ++batches_;

@@ -47,6 +47,7 @@ class Instrument {
  private:
   sim::Task<void> flush_loop();
   sim::Task<void> gauge_loop();
+  // bslint: allow(perf-large-byvalue): consumed batch; every caller moves
   sim::Task<void> send_batch(std::vector<MetricEvent> batch);
 
   rpc::Node& node_;

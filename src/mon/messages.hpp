@@ -1,6 +1,14 @@
-// RPC messages of the monitoring layer.
+// RPC messages of the monitoring layer. Batch payloads are carried as
+// shared immutable vectors: the RPC layer moves envelopes between queues and
+// the monitoring service fans the same record batch out to several sinks, so
+// a by-value vector would be deep-copied per hop and per sink. A
+// shared_ptr<const ...> makes every hop a pointer bump while keeping the
+// payload immutable end to end (the simulated "wire" still charges
+// wire_size() for the full batch — sharing is a host-memory optimization,
+// not a modeled-network one).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/timeseries.hpp"
@@ -9,12 +17,24 @@
 
 namespace bs::mon {
 
+namespace detail {
+template <class T>
+const std::vector<T>& empty_batch() {
+  static const std::vector<T> empty;
+  return empty;
+}
+}  // namespace detail
+
 /// Instrumentation -> monitoring service: a batch of raw events.
 struct MonReportReq {
   static constexpr const char* kName = "mon.report";
-  std::vector<MetricEvent> events;
+  std::shared_ptr<const std::vector<MetricEvent>> events;
+  /// The batch (empty when no payload was attached).
+  [[nodiscard]] const std::vector<MetricEvent>& batch() const {
+    return events ? *events : detail::empty_batch<MetricEvent>();
+  }
   [[nodiscard]] std::uint64_t wire_size() const {
-    return 16 + 56 * events.size();
+    return 16 + 56 * batch().size();
   }
 };
 struct MonReportResp {
@@ -25,9 +45,13 @@ struct MonReportResp {
 /// records.
 struct MonStoreReq {
   static constexpr const char* kName = "mon.store";
-  std::vector<Record> records;
+  std::shared_ptr<const std::vector<Record>> records;
+  /// The batch (empty when no payload was attached).
+  [[nodiscard]] const std::vector<Record>& batch() const {
+    return records ? *records : detail::empty_batch<Record>();
+  }
   [[nodiscard]] std::uint64_t wire_size() const {
-    return 16 + 40 * records.size();
+    return 16 + 40 * batch().size();
   }
 };
 struct MonStoreResp {

@@ -8,8 +8,8 @@ MonitoringService::MonitoringService(rpc::Node& node,
   node_.serve<MonReportReq, MonReportResp>(
       [this](const MonReportReq& req,
              const rpc::Envelope&) -> sim::Task<Result<MonReportResp>> {
-        events_ += req.events.size();
-        for (const auto& ev : req.events) {
+        events_ += req.batch().size();
+        for (const auto& ev : req.batch()) {
           for (auto& f : filters_) f->ingest(ev);
         }
         co_return MonReportResp{};
@@ -41,6 +41,7 @@ sim::Task<void> MonitoringService::flush_loop() {
   }
 }
 
+// bslint: allow(perf-large-byvalue): sharded then shared; the one caller moves
 sim::Task<void> MonitoringService::dispatch(std::vector<Record> records) {
   auto& cluster = node_.cluster();
   // Partition across storage servers by series key.
@@ -53,17 +54,24 @@ sim::Task<void> MonitoringService::dispatch(std::vector<Record> records) {
     for (std::size_t i = 0; i < n; ++i) {
       if (shards[i].empty()) continue;
       MonStoreReq req;
-      req.records = std::move(shards[i]);
+      req.records = std::make_shared<const std::vector<Record>>(
+          std::move(shards[i]));
       (void)co_await cluster.call<MonStoreReq, MonStoreResp>(
           node_, options_.storage_servers[i], std::move(req));
     }
   }
-  // Full stream to every sink (introspection layer).
-  for (NodeId sink : options_.sinks) {
-    MonStoreReq req;
-    req.records = records;
-    (void)co_await cluster.call<MonStoreReq, MonStoreResp>(node_, sink,
-                                                           std::move(req));
+  // Full stream to every sink (introspection layer): one immutable batch
+  // shared across the whole fan-out, so each extra sink costs a pointer
+  // bump instead of a vector copy.
+  if (!options_.sinks.empty()) {
+    auto shared =
+        std::make_shared<const std::vector<Record>>(std::move(records));
+    for (NodeId sink : options_.sinks) {
+      MonStoreReq req;
+      req.records = shared;
+      (void)co_await cluster.call<MonStoreReq, MonStoreResp>(node_, sink,
+                                                             std::move(req));
+    }
   }
 }
 

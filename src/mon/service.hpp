@@ -33,6 +33,7 @@ class MonitoringService {
 
  private:
   sim::Task<void> flush_loop();
+  // bslint: allow(perf-large-byvalue): sharded then shared; the one caller moves
   sim::Task<void> dispatch(std::vector<Record> records);
 
   rpc::Node& node_;

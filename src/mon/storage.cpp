@@ -12,12 +12,12 @@ MonStorageServer::MonStorageServer(rpc::Node& node, MonStorageOptions options)
         MonStoreResp resp;
         if (!options_.cache_enabled) {
           // Ablation mode: synchronous disk write on the request path.
-          std::vector<Record> batch = req.records;
+          std::vector<Record> batch = req.batch();
           co_await write_to_disk(std::move(batch));
-          resp.accepted = req.records.size();
+          resp.accepted = req.batch().size();
           co_return resp;
         }
-        for (const auto& r : req.records) {
+        for (const auto& r : req.batch()) {
           if (cache_.push(r)) {
             ++resp.accepted;
           } else {
@@ -42,10 +42,10 @@ MonStorageServer::MonStorageServer(rpc::Node& node, MonStorageOptions options)
       [this](const MonListSeriesReq& req,
              const rpc::Envelope&) -> sim::Task<Result<MonListSeriesResp>> {
         MonListSeriesResp resp;
-        for (const auto& [key, ts] : series_) {
-          if (req.filter_domain && key.domain != req.domain) continue;
+        series_.for_each_sorted([&](const RecordKey& key, const TimeSeries&) {
+          if (req.filter_domain && key.domain != req.domain) return;
           resp.keys.push_back(key);
-        }
+        });
         co_return resp;
       });
 }
@@ -72,13 +72,14 @@ sim::Task<void> MonStorageServer::drain_loop() {
   }
 }
 
+// bslint: allow(perf-large-byvalue): consumed batch; every caller moves
 sim::Task<void> MonStorageServer::write_to_disk(std::vector<Record> batch) {
   const double bytes =
       options_.record_disk_bytes * static_cast<double>(batch.size());
   std::vector<net::Resource*> disk{node_.disk()};
   co_await node_.cluster().flows().transfer(bytes, std::move(disk));
   for (const auto& r : batch) {
-    auto& ts = series_[r.key];
+    TimeSeries& ts = series_.at(series_.intern(r.key));
     // Out-of-order samples across services: clamp into order.
     const SimTime t =
         ts.empty() ? r.time : std::max(r.time, ts.back().time);
@@ -88,16 +89,11 @@ sim::Task<void> MonStorageServer::write_to_disk(std::vector<Record> batch) {
 }
 
 const TimeSeries* MonStorageServer::series(const RecordKey& key) const {
-  auto it = series_.find(key);
-  return it == series_.end() ? nullptr : &it->second;
+  return series_.find(key);
 }
 
 std::vector<RecordKey> MonStorageServer::keys() const {
-  std::vector<RecordKey> out;
-  out.reserve(series_.size());
-  for (const auto& [key, ts] : series_) out.push_back(key);
-  std::sort(out.begin(), out.end());
-  return out;
+  return series_.sorted_keys();
 }
 
 }  // namespace bs::mon

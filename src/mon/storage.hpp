@@ -6,11 +6,10 @@
 // cache is full, records are dropped and counted.
 #pragma once
 
-#include <map>
-
 #include "common/ring_buffer.hpp"
 #include "common/timeseries.hpp"
 #include "mon/messages.hpp"
+#include "mon/series_table.hpp"
 #include "rpc/rpc.hpp"
 
 namespace bs::mon {
@@ -43,14 +42,15 @@ class MonStorageServer {
 
  private:
   sim::Task<void> drain_loop();
+  // bslint: allow(perf-large-byvalue): consumed batch; every caller moves
   sim::Task<void> write_to_disk(std::vector<Record> batch);
 
   rpc::Node& node_;
   MonStorageOptions options_;
   RingBuffer<Record> cache_;
-  // std::map: the MonListSeries RPC iterates this into its response, so
-  // iteration order reaches the wire — keep it deterministic.
-  std::map<RecordKey, TimeSeries> series_;
+  // Interned store: hashed O(1) appends; the MonListSeries RPC and keys()
+  // go through the table's sorted traversal so the wire order is unchanged.
+  SeriesTable series_;
   bool running_{false};
   std::uint64_t stored_{0};
   std::uint64_t dropped_{0};

@@ -73,6 +73,7 @@ double Resource::bytes_served() const {
   return bytes_served_;
 }
 
+// bslint: allow(perf-large-byvalue): tiny pointer list; every caller moves
 sim::Task<void> FlowScheduler::transfer(double bytes,
                                         std::vector<Resource*> resources) {
   if (bytes <= 0 || resources.empty()) co_return;
@@ -337,9 +338,12 @@ void FlowScheduler::arm_wakeup() {
   next_wakeup_ = top;
   // Superseded wakeups (a later refill armed an earlier time) fire as
   // zombies; the guard makes them O(1) instead of a full pop-scan.
-  sim_.schedule_at(top, [this, top] {
+  auto wakeup = [this, top] {
     if (top == next_wakeup_) on_wakeup();
-  });
+  };
+  static_assert(sim::InlineCallback::fits_inline<decltype(wakeup)>(),
+                "flow wakeup callback must not allocate");
+  sim_.schedule_at(top, std::move(wakeup));
 }
 
 void FlowScheduler::on_arrival_incremental(Flow* f) {
@@ -479,7 +483,10 @@ void FlowScheduler::schedule_next_completion() {
   for (auto& [id, f] : active_) min_eta = std::min(min_eta, f->eta);
   if (min_eta >= simtime::kInfinite) return;
   const std::uint64_t gen = generation_;
-  sim_.schedule_at(min_eta, [this, gen] { on_completion_event(gen); });
+  auto completion = [this, gen] { on_completion_event(gen); };
+  static_assert(sim::InlineCallback::fits_inline<decltype(completion)>(),
+                "flow completion callback must not allocate");
+  sim_.schedule_at(min_eta, std::move(completion));
 }
 
 void FlowScheduler::on_completion_event(std::uint64_t generation) {

@@ -131,6 +131,7 @@ class FlowScheduler {
   /// Awaitable transfer of `bytes` across `resources`; completes when the
   /// last byte has been delivered under fair sharing. Duplicate entries in
   /// `resources` are ignored (the flow crosses each resource once).
+  // bslint: allow(perf-large-byvalue): tiny pointer list; every caller moves
   sim::Task<void> transfer(double bytes, std::vector<Resource*> resources);
 
   [[nodiscard]] std::uint64_t completed_flows() const { return completed_; }

@@ -33,7 +33,7 @@ double Gauge::average(SimTime now) const {
 
 MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
                                                Kind kind) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return *it->second;
   auto e = std::make_unique<Entry>();
   e->kind = kind;
@@ -60,14 +60,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it != index_.end() && it->second->kind == Kind::counter
              ? &it->second->counter
              : nullptr;
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it != index_.end() && it->second->kind == Kind::gauge
              ? &it->second->gauge
              : nullptr;

@@ -85,10 +85,26 @@ class MetricsRegistry {
   void reset();
 
  private:
+  // Transparent hash/equality: lookups take the string_view as-is, so a
+  // counter bump from a `const char*` site never materializes a
+  // std::string (for names past SSO that was a heap allocation per bump).
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct NameEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
   Entry& entry(std::string_view name, Kind kind);
 
   std::vector<std::unique_ptr<Entry>> order_;
-  std::unordered_map<std::string, Entry*> index_;
+  std::unordered_map<std::string, Entry*, NameHash, NameEq> index_;
 };
 
 // ---------------------------------------------------------------- global hook

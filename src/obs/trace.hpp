@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/teardown.hpp"
 #include "common/types.hpp"
 
 namespace bs::obs {
@@ -67,7 +68,11 @@ class Span {
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
-  ~Span() { finish("aborted"); }
+  // Teardown guard: a span held by a frame destroyed in ~Simulation points
+  // at a sink the owner already destroyed; the abort record is unwritable.
+  ~Span() {
+    if (!in_frame_teardown()) finish("aborted");
+  }
 
   /// Closes the span with `status` (a string literal, e.g. errc_name()).
   void end(const char* status = "ok") { finish(status); }

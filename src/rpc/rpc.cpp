@@ -146,7 +146,7 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
   sim_.spawn(call_body(state, &src, node(dst), type, name, std::move(req),
                        req_bytes, payload_to_disk, opts));
   if (opts.timeout > 0 && opts.timeout < simtime::kInfinite) {
-    sim_.schedule_in(opts.timeout, [this, state] {
+    auto watcher = [this, state] {
       if (!state->settled) {
         state->settled = true;
         state->result = Error{Errc::timeout, "rpc timeout"};
@@ -154,7 +154,10 @@ sim::Task<Result<detail::AnyPtr>> Cluster::call_attempt(
         obs::count("rpc.timeouts");
         state->done.set();
       }
-    });
+    };
+    static_assert(sim::InlineCallback::fits_inline<decltype(watcher)>(),
+                  "per-call timeout watcher must not allocate");
+    sim_.schedule_in(opts.timeout, std::move(watcher));
   }
   co_await state->done.wait();
   co_return state->result;

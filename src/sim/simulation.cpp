@@ -1,6 +1,5 @@
 #include "sim/simulation.hpp"
 
-#include <algorithm>
 #include <cassert>
 
 #include "common/log.hpp"
@@ -8,21 +7,123 @@
 
 namespace bs::sim {
 
+// ---------------------------------------------------------------- event queue
+//
+// Two lanes, one total order. Every event gets a sequence number from the
+// shared counter at schedule time; the heap orders by (time, seq) and the
+// ring is FIFO (so seq-ordered) at time == now_. step() merges the lanes by
+// comparing the heap root against the ring head under the same (time, seq)
+// key, which reproduces exactly the pop order of a single binary heap.
+
 void Simulation::schedule_at(SimTime t, Callback cb) {
   assert(t >= now_ && "cannot schedule events in the past");
-  heap_.push_back(Event{t, seq_++, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (t <= now_) {
+    ring_push(seq_++, std::move(cb));
+    return;
+  }
+  heap_push(t, seq_++, std::move(cb));
+}
+
+void Simulation::heap_push(SimTime t, std::uint64_t seq, Callback cb) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(cb));
+  }
+  heap_.push_back(HeapEntry{t, seq, slot});
+  sift_up(heap_.size() - 1);
+}
+
+Simulation::Callback Simulation::heap_pop(SimTime* t) {
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  *t = top.time;
+  Callback cb = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  return cb;
+}
+
+void Simulation::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::ring_push(std::uint64_t seq, Callback cb) {
+  if (ring_size_ == ring_.size()) ring_grow();
+  const std::size_t tail = (ring_head_ + ring_size_) & (ring_.size() - 1);
+  ring_[tail] = NowEvent{seq, std::move(cb)};
+  ++ring_size_;
+}
+
+Simulation::Callback Simulation::ring_pop() {
+  Callback cb = std::move(ring_[ring_head_].cb);
+  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
+  --ring_size_;
+  return cb;
+}
+
+void Simulation::ring_grow() {
+  const std::size_t cap = ring_.empty() ? 64 : ring_.size() * 2;
+  std::vector<NowEvent> grown(cap);
+  for (std::size_t i = 0; i < ring_size_; ++i) {
+    grown[i] = std::move(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
+  }
+  ring_ = std::move(grown);
+  ring_head_ = 0;
 }
 
 bool Simulation::step() {
+  // Ring events all carry time == now_; run one unless the heap root is an
+  // earlier (time, seq) key — which, since heap times are >= now_ for live
+  // events, means an equal-time entry scheduled before the ring head.
+  if (ring_size_ != 0) {
+    const bool heap_first =
+        !heap_.empty() && heap_.front().time <= now_ &&
+        heap_.front().seq < ring_front_seq();
+    if (!heap_first) {
+      Callback cb = ring_pop();
+      ++processed_;
+      cb();
+      return true;
+    }
+  }
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  assert(ev.time >= now_);
-  now_ = ev.time;
+  SimTime t;
+  Callback cb = heap_pop(&t);
+  assert(t >= now_);
+  now_ = t;
   ++processed_;
-  ev.cb();
+  cb();
   return true;
 }
 
@@ -34,11 +135,46 @@ void Simulation::run() {
 
 void Simulation::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
+  while (!stopped_) {
+    // Next event's time: the ring always holds events at now_.
+    if (ring_size_ != 0) {
+      if (now_ > t) break;
+    } else if (heap_.empty() || heap_.front().time > t) {
+      break;
+    }
     step();
   }
   if (!stopped_ && now_ < t) now_ = t;
 }
+
+// ------------------------------------------------------------------- teardown
+
+void Simulation::clear_queue() noexcept {
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  while (ring_size_ != 0) ring_pop();
+}
+
+Simulation::~Simulation() {
+  // Queued events hold resume handles into frames the roots own; drop them
+  // first so nothing dangles, then destroy the still-suspended actor roots
+  // (each cascades through the Task chain it owns). Frame-local RAII
+  // destructors are silenced for the cascade: the services they would
+  // notify were constructed after this simulation and are already gone.
+  clear_queue();
+  if (roots_ != nullptr) {
+    FrameTeardownScope teardown;
+    while (roots_ != nullptr) {
+      std::coroutine_handle<RootTask::promise_type>::from_promise(*roots_)
+          .destroy();
+    }
+    // Destroying a frame can run code that schedules; drop any stragglers.
+    clear_queue();
+  }
+}
+
+// ---------------------------------------------------------------- integration
 
 void Simulation::install_log_clock() {
   Logger::instance().set_time_source([this] { return now(); });

@@ -2,10 +2,22 @@
 // totally ordered by (time, insertion sequence) drives callbacks; coroutine
 // actors suspend on awaitables that schedule their resumption.
 //
-// The queue is allocation-free on the hot path: events carry an
-// InlineCallback (small-buffer-optimized, move-only) instead of a
-// std::function, and coroutine resumptions go through schedule_resume(),
-// whose 8-byte thunk always fits the inline storage.
+// Hot-path structure (see DESIGN.md "Event queue & memory model"):
+//  * Future events live in a 4-ary implicit heap of 24-byte (time, seq,
+//    slot) keys; the move-only callbacks sit in a slot pool on the side, so
+//    heap sifts move small PODs instead of 64-byte callback objects.
+//  * Events scheduled at the *current* time — coroutine wakeups through
+//    schedule_resume(), zero-delay reschedules — bypass the heap entirely
+//    through a growable FIFO ring. Ring and heap share the global sequence
+//    counter, so the (time, seq) total order is exactly that of a single
+//    heap: determinism is unaffected.
+//  * Events carry an InlineCallback (small-buffer-optimized, move-only)
+//    instead of a std::function, and coroutine frames come from the
+//    size-bucketed FramePool, so steady-state scheduling is allocation-free.
+//  * spawn() registers the detached root frame in an intrusive list;
+//    ~Simulation destroys still-suspended actors through it (leak-free
+//    teardown, LSan-clean), with bs::FrameTeardownScope silencing
+//    frame-local RAII side effects during the cascade.
 #pragma once
 
 #include <coroutine>
@@ -16,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/teardown.hpp"
 #include "common/types.hpp"
 #include "sim/task.hpp"
 
@@ -32,6 +45,15 @@ namespace bs::sim {
 class InlineCallback {
  public:
   static constexpr std::size_t kInlineSize = 48;
+
+  /// Whether D is stored in place (no allocation) — exposed so hot-path
+  /// call sites can static_assert their callback types never silently
+  /// degrade to the heap fallback.
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
 
   InlineCallback() noexcept = default;
 
@@ -88,12 +110,6 @@ class InlineCallback {
   };
 
   template <class D>
-  static constexpr bool fits_inline() {
-    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
-           std::is_nothrow_move_constructible_v<D>;
-  }
-
-  template <class D>
   static constexpr Ops kInlineOps{
       [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
       [](void* dst, void* src) noexcept {
@@ -120,6 +136,7 @@ class Simulation {
   using Callback = InlineCallback;
 
   Simulation() = default;
+  ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -131,7 +148,8 @@ class Simulation {
   }
 
   /// Fast path for waking a coroutine: never allocates (the 8-byte handle
-  /// thunk always fits InlineCallback's inline storage).
+  /// thunk always fits InlineCallback's inline storage), and a wakeup at
+  /// the current time goes through the same-time ring, not the heap.
   void schedule_resume_at(SimTime t, std::coroutine_handle<> h) {
     schedule_at(t, ResumeThunk{h});
   }
@@ -139,7 +157,7 @@ class Simulation {
     schedule_resume_at(now_ + dt, h);
   }
   void schedule_resume(std::coroutine_handle<> h) {
-    schedule_resume_at(now_, h);
+    ring_push(seq_++, Callback(ResumeThunk{h}));
   }
 
   /// Runs events until the queue is empty or stop() is called.
@@ -154,11 +172,18 @@ class Simulation {
   void stop() { stopped_ = true; }
   [[nodiscard]] bool stopped() const { return stopped_; }
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    return ring_size_ + heap_.size();
+  }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
-  /// Starts a coroutine actor (runs inline until its first suspension).
-  void spawn(Task<void> t) { sim::spawn(std::move(t)); }
+  /// Starts a coroutine actor (runs inline until its first suspension) and
+  /// tracks its root frame: actors still suspended when the simulation is
+  /// destroyed are destroyed with it.
+  void spawn(Task<void> t) { root_entry(std::move(t)); }
+
+  /// Live tracked actor roots (spawned, not yet completed).
+  [[nodiscard]] std::size_t live_actors() const { return live_roots_; }
 
   /// Awaitable: suspend the current coroutine for `dt` of simulated time.
   auto delay(SimDuration dt) {
@@ -174,8 +199,10 @@ class Simulation {
     return Awaiter{this, dt};
   }
 
-  /// Awaitable: suspend until the given absolute simulated time (resumes
-  /// immediately if already past).
+  /// Awaitable: suspend until the given absolute simulated time. A time
+  /// already past clamps to a zero-delay reschedule: the waiter re-enters
+  /// the same-time FIFO lane at now() and resumes after everything already
+  /// queued at the current instant (pinned by the FIFO regression tests).
   auto delay_until(SimTime t) { return delay(t > now_ ? t - now_ : 0); }
 
   /// Installs this simulation's clock as the logger time source.
@@ -194,23 +221,104 @@ class Simulation {
     std::coroutine_handle<> h;
     void operator()() const { h.resume(); }
   };
-  struct Event {
+  // Every coroutine wakeup goes through this thunk; it degrading to the
+  // heap-fallback path would silently reintroduce an allocation per resume.
+  static_assert(InlineCallback::fits_inline<ResumeThunk>(),
+                "coroutine resume thunk must fit InlineCallback inline");
+
+  // ------------------------------------------------------------ event queue
+
+  /// Heap key: 24 bytes, trivially movable. The callback body lives in
+  /// slots_[slot]; sifting never touches it.
+  struct HeapEntry {
     SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  /// Same-time FIFO lane entry (time is implicitly now_).
+  struct NowEvent {
     std::uint64_t seq;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+
+  void heap_push(SimTime t, std::uint64_t seq, Callback cb);
+  /// Pops the heap root; returns its callback (slot recycled).
+  Callback heap_pop(SimTime* t);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  void ring_push(std::uint64_t seq, Callback cb);
+  Callback ring_pop();
+  [[nodiscard]] std::uint64_t ring_front_seq() const {
+    return ring_[ring_head_].seq;
+  }
+  void ring_grow();
+
+  /// Drops every queued event without running it (teardown).
+  void clear_queue() noexcept;
+
+  // ---------------------------------------------------------- tracked roots
+
+  /// Self-destroying detached root that registers itself with the owning
+  /// simulation for the duration of the actor's life, so ~Simulation can
+  /// destroy actors still suspended mid-flight.
+  struct RootTask {
+    struct promise_type : detail::PooledFrame {
+      Simulation* sim{nullptr};
+      promise_type* prev{nullptr};
+      promise_type* next{nullptr};
+
+      promise_type(Simulation& s, Task<void>&) : sim(&s) {
+        next = sim->roots_;
+        if (next != nullptr) next->prev = this;
+        sim->roots_ = this;
+        ++sim->live_roots_;
+      }
+      ~promise_type() {
+        if (prev != nullptr) {
+          prev->next = next;
+        } else {
+          sim->roots_ = next;
+        }
+        if (next != nullptr) next->prev = prev;
+        --sim->live_roots_;
+      }
+
+      RootTask get_return_object() const noexcept { return {}; }
+      std::suspend_never initial_suspend() const noexcept { return {}; }
+      struct FinalAwaiter {
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(
+            std::coroutine_handle<promise_type> h) const noexcept {
+          h.destroy();  // unlinks via ~promise_type
+        }
+        void await_resume() const noexcept {}
+      };
+      FinalAwaiter final_suspend() const noexcept { return {}; }
+      void return_void() const noexcept {}
+      [[noreturn]] void unhandled_exception() const { std::terminate(); }
+    };
   };
 
-  std::vector<Event> heap_;
+  RootTask root_entry(Task<void> t) { co_await std::move(t); }
+
+  std::vector<HeapEntry> heap_;        // 4-ary implicit heap
+  std::vector<Callback> slots_;        // heap callback bodies
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<NowEvent> ring_;         // power-of-two capacity
+  std::size_t ring_head_{0};
+  std::size_t ring_size_{0};
   SimTime now_{0};
   std::uint64_t seq_{0};
   std::uint64_t processed_{0};
   bool stopped_{false};
+  RootTask::promise_type* roots_{nullptr};
+  std::size_t live_roots_{0};
 };
 
 }  // namespace bs::sim

@@ -105,7 +105,12 @@ class SemGuard {
   explicit SemGuard(Semaphore& sem) : sem_(&sem) {}
   SemGuard(const SemGuard&) = delete;
   SemGuard& operator=(const SemGuard&) = delete;
-  ~SemGuard() { sem_->release(); }
+  // Guard against the teardown cascade: when ~Simulation destroys a frame
+  // suspended with a guard live, the semaphore it points at was owned by a
+  // service destroyed before the simulation.
+  ~SemGuard() {
+    if (!in_frame_teardown()) sem_->release();
+  }
 
  private:
   Semaphore* sem_;

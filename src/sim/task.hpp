@@ -10,6 +10,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.hpp"
+
 namespace bs::sim {
 
 template <class T>
@@ -17,7 +19,19 @@ class Task;
 
 namespace detail {
 
-struct PromiseBase {
+/// Routes coroutine-frame storage through the size-bucketed FramePool so
+/// steady-state actor/RPC spawning never touches malloc. Inherited by every
+/// promise type of the simulation substrate.
+struct PooledFrame {
+  static void* operator new(std::size_t n) {
+    return FramePool::instance().allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::instance().deallocate(p, n);
+  }
+};
+
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation;
 
   struct FinalAwaiter {
@@ -40,7 +54,7 @@ struct PromiseBase {
 
 /// Fire-and-forget root coroutine used by spawn(); self-destroys on finish.
 struct Detached {
-  struct promise_type {
+  struct promise_type : PooledFrame {
     Detached get_return_object() const noexcept { return {}; }
     std::suspend_never initial_suspend() const noexcept { return {}; }
     std::suspend_never final_suspend() const noexcept { return {}; }
@@ -141,7 +155,10 @@ inline Detached detach_impl(Task<void> t) { co_await std::move(t); }
 }  // namespace detail
 
 /// Starts `t` immediately (it runs until its first suspension) and detaches
-/// it; the coroutine frame frees itself on completion.
+/// it; the coroutine frame frees itself on completion. NOTE: an untracked
+/// detached task that never completes leaks its frame chain — actors that
+/// may still be suspended at teardown must go through Simulation::spawn,
+/// which registers the root for destruction in ~Simulation.
 inline void spawn(Task<void> t) { detail::detach_impl(std::move(t)); }
 
 }  // namespace bs::sim

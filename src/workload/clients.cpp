@@ -106,6 +106,7 @@ sim::Task<void> Reader::run(blob::BlobClient& client, BlobId blob,
 }
 
 // bslint: allow(coro-ref-param): see clients.hpp — cluster-owned node
+// bslint: allow(perf-large-byvalue): tiny id list, copied once per attacker
 sim::Task<void> DosAttacker::run(rpc::Node& node, ClientId id,
                                  std::vector<NodeId> targets,
                                  AttackerOptions options,

@@ -76,6 +76,7 @@ class DosAttacker {
  public:
   // bslint: allow(coro-ref-param): the attacker's node is cluster-owned
   // for the full run; the harness joins attackers before teardown
+  // bslint: allow(perf-large-byvalue): tiny id list, copied once per attacker
   static sim::Task<void> run(rpc::Node& node, ClientId id,
                              std::vector<NodeId> targets,
                              AttackerOptions options, AttackerStats* stats);

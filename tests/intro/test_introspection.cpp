@@ -88,7 +88,8 @@ class IntrospectionTest : public ::testing::Test {
 
   void push(std::vector<mon::Record> records) {
     mon::MonStoreReq req;
-    req.records = std::move(records);
+    req.records = std::make_shared<const std::vector<mon::Record>>(
+        std::move(records));
     auto r = test::run_task(
         sim_, cluster_.call<mon::MonStoreReq, mon::MonStoreResp>(
                   *src_, node_->id(), std::move(req)));

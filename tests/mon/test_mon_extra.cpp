@@ -57,13 +57,16 @@ class MonRpcTest : public ::testing::Test {
     client_ = cluster_.add_node(0);
     // Preload two series.
     MonStoreReq req;
+    std::vector<Record> records;
     for (int t = 0; t < 10; ++t) {
-      req.records.push_back(Record{
+      records.push_back(Record{
           {Domain::provider, 7, Metric::used_bytes},
           simtime::seconds(t), 100.0 * t});
-      req.records.push_back(Record{
+      records.push_back(Record{
           {Domain::node, 7, Metric::cpu_load}, simtime::seconds(t), 0.5});
     }
+    req.records =
+        std::make_shared<const std::vector<Record>>(std::move(records));
     auto r = test::run_task(
         sim_, cluster_.call<MonStoreReq, MonStoreResp>(
                   *client_, storage_node_->id(), std::move(req)));

@@ -199,13 +199,16 @@ TEST_F(MonPipelineTest, StorageServerBurstCacheDropsWhenFull) {
   rpc::Node* src = dep_->cluster().add_node(0);
 
   MonStoreReq req;
+  std::vector<Record> records;
   for (int i = 0; i < 20; ++i) {
     Record r;
     r.key = {Domain::system, 0, Metric::publish_count};
     r.time = i;
     r.value = i;
-    req.records.push_back(r);
+    records.push_back(r);
   }
+  req.records =
+      std::make_shared<const std::vector<Record>>(std::move(records));
   auto resp = test::run_task(
       sim_, dep_->cluster().call<MonStoreReq, MonStoreResp>(
                 *src, n->id(), std::move(req)));
@@ -222,13 +225,16 @@ TEST_F(MonPipelineTest, StorageServerDrainPersistsSeries) {
   rpc::Node* src = dep_->cluster().add_node(0);
 
   MonStoreReq req;
+  std::vector<Record> records;
   for (int i = 0; i < 5; ++i) {
     Record r;
     r.key = {Domain::node, 1, Metric::cpu_load};
     r.time = simtime::seconds(i);
     r.value = 0.1 * i;
-    req.records.push_back(r);
+    records.push_back(r);
   }
+  req.records =
+      std::make_shared<const std::vector<Record>>(std::move(records));
   (void)test::run_task(sim_,
                        dep_->cluster().call<MonStoreReq, MonStoreResp>(
                            *src, n->id(), std::move(req)));

@@ -1,0 +1,294 @@
+// Frame-pool and teardown coverage: size-class recycling, exhaustion
+// fallback to the heap, steady-state zero-allocation spawning, leak-free
+// destruction of suspended actors, and FIFO pinning for the same-time
+// scheduling fast lane (delay_until-in-the-past included).
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/frame_pool.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace bs::sim {
+namespace {
+
+/// Restores the thread's pool to its default configuration on scope exit.
+class PoolGuard {
+ public:
+  PoolGuard()
+      : enabled_(FramePool::instance().enabled()),
+        cap_(FramePool::instance().bucket_cap()) {}
+  ~PoolGuard() {
+    FramePool::instance().set_enabled(enabled_);
+    FramePool::instance().set_bucket_cap(cap_);
+    FramePool::instance().trim();
+  }
+
+ private:
+  bool enabled_;
+  std::size_t cap_;
+};
+
+TEST(FramePool, RecyclesChunksWithinSizeClass) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.set_enabled(true);
+  pool.trim();
+
+  void* a = pool.allocate(100);  // 128-byte class
+  pool.deallocate(a, 100);
+  EXPECT_EQ(pool.cached_chunks(), 1u);
+  // Any size landing in the same class gets the cached chunk back.
+  void* b = pool.allocate(128);
+  EXPECT_EQ(b, a);
+  pool.deallocate(b, 128);
+}
+
+TEST(FramePool, OversizeFramesBypassThePool) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.trim();
+  pool.reset_stats();
+
+  void* p = pool.allocate(FramePool::kMaxChunk + 1);
+  ASSERT_NE(p, nullptr);
+  pool.deallocate(p, FramePool::kMaxChunk + 1);
+  EXPECT_EQ(pool.stats().oversize, 1u);
+  EXPECT_EQ(pool.cached_chunks(), 0u);  // never cached
+}
+
+TEST(FramePool, BucketCapBoundsTheCacheAndFallsBackToHeap) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.set_enabled(true);
+  pool.trim();
+  pool.set_bucket_cap(2);
+
+  void* p[4];
+  for (auto& q : p) q = pool.allocate(64);
+  for (auto* q : p) pool.deallocate(q, 64);
+  // Only bucket_cap chunks stay cached; the rest went back to the heap.
+  EXPECT_EQ(pool.cached_chunks(), 2u);
+
+  pool.reset_stats();
+  void* a = pool.allocate(64);
+  void* b = pool.allocate(64);
+  void* c = pool.allocate(64);  // cache exhausted -> heap
+  EXPECT_EQ(pool.stats().pool_hits, 2u);
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+  pool.deallocate(a, 64);
+  pool.deallocate(b, 64);
+  pool.deallocate(c, 64);
+}
+
+TEST(FramePool, DisabledPoolStillBalancesAllocations) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.trim();
+  pool.set_enabled(false);
+  pool.reset_stats();
+
+  void* p = pool.allocate(200);
+  pool.deallocate(p, 200);
+  EXPECT_EQ(pool.stats().pool_hits, 0u);
+  EXPECT_EQ(pool.stats().live(), 0u);
+  EXPECT_EQ(pool.cached_chunks(), 0u);
+}
+
+TEST(FramePool, MidLifeModeFlipIsSafe) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.set_enabled(true);
+  pool.trim();
+
+  // Allocated pooled, freed with the pool disabled (chunk sizes are always
+  // the full size class, so the sized delete matches)...
+  void* a = pool.allocate(100);
+  pool.set_enabled(false);
+  pool.deallocate(a, 100);
+  // ...and allocated unpooled, freed with the pool enabled (cached).
+  void* b = pool.allocate(100);
+  pool.set_enabled(true);
+  pool.deallocate(b, 100);
+  EXPECT_EQ(pool.cached_chunks(), 1u);
+}
+
+TEST(InlineCallbackHeadroom, HotPathCallbackShapesFitInline) {
+  // The shapes the hot paths schedule: a bare resume handle, [this, ptr],
+  // [this, u64] guards, and [this, shared_ptr] (the rpc timeout watcher).
+  struct Thunk {
+    std::coroutine_handle<> h;
+    void operator()() const {}
+  };
+  static_assert(InlineCallback::fits_inline<Thunk>());
+  void* self = nullptr;
+  std::uint64_t gen = 0;
+  auto guard_cb = [self, gen] { (void)self, (void)gen; };
+  static_assert(InlineCallback::fits_inline<decltype(guard_cb)>());
+  auto shared = std::make_shared<int>(1);
+  auto watcher_cb = [self, shared] { (void)self, (void)shared; };
+  static_assert(InlineCallback::fits_inline<decltype(watcher_cb)>());
+
+  // Oversized captures degrade to the heap fallback — detectably.
+  struct Big {
+    unsigned char pad[InlineCallback::kInlineSize + 1];
+  };
+  Big big{};
+  auto big_cb = [big] { (void)big; };
+  static_assert(!InlineCallback::fits_inline<decltype(big_cb)>());
+  // Both storage modes still invoke correctly.
+  int runs = 0;
+  InlineCallback small([&runs] { ++runs; });
+  InlineCallback large([&runs, big] {
+    (void)big;
+    ++runs;
+  });
+  small();
+  large();
+  EXPECT_EQ(runs, 2);
+}
+
+Task<void> nap(Simulation& sim, SimDuration dt) { co_await sim.delay(dt); }
+
+TEST(FramePool, SteadyStateActorSpawningIsAllocationFree) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.set_enabled(true);
+
+  Simulation sim;
+  // Warm-up: populate the free lists for every frame size this workload
+  // touches (task frame + tracked-root frame), at the same concurrency the
+  // steady state will run — the pool caches frames, so the high-water mark
+  // of simultaneously live actors bounds what warm-up must provision.
+  constexpr int kConcurrent = 32;
+  for (int i = 0; i < kConcurrent; ++i) sim.spawn(nap(sim, simtime::millis(i)));
+  sim.run();
+
+  pool.reset_stats();
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < kConcurrent; ++i) {
+      sim.spawn(nap(sim, simtime::millis(i % 7)));
+    }
+    sim.run();
+  }
+  EXPECT_GT(pool.stats().pool_hits, 0u);
+  EXPECT_EQ(pool.stats().heap_allocs, 0u)
+      << "steady-state spawn reached operator new";
+  EXPECT_EQ(pool.stats().live(), 0u);
+}
+
+Task<void> wait_forever(Event& ev) { co_await ev.wait(); }
+
+TEST(SimulationTeardown, DestroysSuspendedActorsWithoutLeaking) {
+  PoolGuard guard;
+  auto& pool = FramePool::instance();
+  pool.reset_stats();
+  {
+    Simulation sim;
+    Event never(sim);
+    for (int i = 0; i < 8; ++i) sim.spawn(wait_forever(never));
+    sim.run();
+    EXPECT_EQ(sim.live_actors(), 8u);
+  }  // ~Simulation destroys the suspended frames (LSan-clean in asan)
+  EXPECT_EQ(pool.stats().live(), 0u);
+}
+
+Task<void> hold_sem(Simulation& sim, Semaphore& sem) {
+  co_await sem.acquire();
+  SemGuard g(sem);
+  co_await sim.delay(simtime::minutes(60));
+}
+
+TEST(SimulationTeardown, SemGuardHeldAcrossTeardownDoesNotTouchSemaphore) {
+  // The guard's release() is a no-op during the teardown cascade — in real
+  // deployments the semaphore is owned by a service destroyed before the
+  // Simulation, so touching it would be a use-after-free (caught by asan).
+  Simulation sim;
+  auto sem = std::make_unique<Semaphore>(sim, 1);
+  sim.spawn(hold_sem(sim, *sem));
+  sim.run_until(simtime::seconds(1));
+  EXPECT_EQ(sem->available(), 0u);
+  EXPECT_EQ(sim.live_actors(), 1u);
+  sem.reset();  // service dies before the simulation, as in deployments
+}
+
+TEST(SimulationTeardown, PendingEventsAreDroppedNotRun) {
+  int runs = 0;
+  {
+    Simulation sim;
+    sim.schedule_in(simtime::seconds(1), [&runs] { ++runs; });
+    sim.schedule_resume_at(simtime::seconds(2),
+                           std::noop_coroutine());
+  }
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(SimulationFifo, DelayUntilPastJoinsTheSameTimeFifoLane) {
+  Simulation sim;
+  std::vector<int> order;
+
+  auto actor = [](Simulation& s, std::vector<int>& ord, SimTime target,
+                  int tag) -> Task<void> {
+    co_await s.delay(simtime::seconds(2));  // now == 2s; target is past
+    co_await s.delay_until(target);
+    ord.push_back(tag);
+  };
+  // Both actors resume from their 2s delay in spawn order, then re-enter
+  // the queue via delay_until(past): the clamp must preserve FIFO order and
+  // interleave with schedule_resume(now) wakeups scheduled between them.
+  sim.spawn(actor(sim, order, simtime::seconds(1), 1));
+  sim.spawn(actor(sim, order, 0, 2));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), simtime::seconds(2));
+}
+
+TEST(SimulationFifo, PastDelayUntilInterleavesWithZeroDelaysDeterministically) {
+  Simulation sim;
+  std::string trace;
+
+  sim.schedule_in(simtime::seconds(1), [&] {
+    // At t=1s, from inside a callback: mix the same-time ring (zero
+    // delays, delay_until(past)) with future events; everything at t=1s
+    // must run in scheduling order before time advances.
+    sim.spawn([](Simulation& s, std::string& tr) -> Task<void> {
+      tr += 'a';
+      co_await s.delay_until(0);  // past -> same-time lane
+      tr += 'c';
+      co_await s.delay(0);
+      tr += 'f';
+    }(sim, trace));
+    sim.schedule_at(sim.now(), [&trace] { trace += 'd'; });
+    sim.spawn([](Simulation& s, std::string& tr) -> Task<void> {
+      tr += 'b';
+      co_await s.delay_until(s.now());  // boundary: not in the past
+      tr += 'e';
+    }(sim, trace));
+    sim.schedule_in(simtime::seconds(1), [&trace] { trace += 'g'; });
+  });
+  sim.run();
+  EXPECT_EQ(trace, "abcdefg");
+}
+
+TEST(SimulationFifo, RunUntilDrainsSameTimeLaneAtTheBoundary) {
+  Simulation sim;
+  int runs = 0;
+  sim.schedule_at(simtime::seconds(5), [&] {
+    sim.schedule_at(sim.now(), [&runs] { ++runs; });
+    sim.schedule_resume(std::noop_coroutine());
+    sim.schedule_in(simtime::millis(1), [&runs] { runs += 100; });
+  });
+  sim.run_until(simtime::seconds(5));
+  EXPECT_EQ(runs, 1);  // same-time work ran, later event did not
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.now(), simtime::seconds(5));
+}
+
+}  // namespace
+}  // namespace bs::sim

@@ -51,6 +51,12 @@ const std::vector<RuleDesc>& rule_table() {
        "string_view bound to a call result inside a coroutine",
        "string_view does not extend temporary lifetime; materialize a "
        "std::string (or bind to a stable lvalue) before suspending"},
+      {"perf-large-byvalue", 'P',
+       "container passed by value into a coroutine frame",
+       "a by-value container parameter is deep-copied into the frame when "
+       "the caller passes an lvalue; share the batch as "
+       "shared_ptr<const ...> (copy-free fan-out), or allow() with proof "
+       "that every caller moves"},
       {"obs-unguarded", 'O',
        "unguarded dereference of the observability hook",
        "use `if (auto* ts = obs::sink()) { ... }` (same for obs::metrics()) "
@@ -644,23 +650,52 @@ class Scanner {
     // One report per distinct diagnostic per declarator: a signature with
     // three reference parameters is one finding (and one suppression).
     std::set<std::string> messages;
+    std::set<std::string> perf_messages;
+    // Per-parameter state for perf-large-byvalue: a container type name at
+    // the top nesting level, voided when the parameter turns out to be a
+    // reference (coro-ref-param's domain) or a pointer.
+    std::string byval_container;
+    bool param_is_indirect = false;
+    const auto flush_param = [&] {
+      if (!byval_container.empty() && !param_is_indirect) {
+        perf_messages.insert("coroutine '" + name + "' copies a " +
+                             byval_container + " into its frame");
+      }
+      byval_container.clear();
+      param_is_indirect = false;
+    };
     int angle = 0;
     for (std::size_t j = open + 1; j < close; ++j) {
       if (is_punct(t[j], "<")) ++angle;
       if (is_punct(t[j], ">")) --angle;
       if (angle > 0) continue;
+      if (is_punct(t[j], ",")) {
+        flush_param();
+        continue;
+      }
       if (is_punct(t[j], "&") || is_punct(t[j], "&&")) {
+        param_is_indirect = true;
         messages.insert("coroutine '" + name +
                         "' takes a reference parameter");
+      } else if (is_punct(t[j], "*")) {
+        param_is_indirect = true;
       } else if (is_ident(t[j], "string_view") ||
                  (is_ident(t[j], "span") && j + 1 < close &&
                   is_punct(t[j + 1], "<"))) {
         messages.insert("coroutine '" + name + "' takes a view parameter (" +
                         t[j].text + ")");
+      } else if (t[j].kind == Tk::ident &&
+                 (t[j].text == "vector" || t[j].text == "deque" ||
+                  t[j].text == "map" || t[j].text == "unordered_map")) {
+        byval_container = t[j].text;
       }
     }
+    flush_param();
     for (const std::string& m : messages) {
       report(name_line, "coro-ref-param", m);
+    }
+    for (const std::string& m : perf_messages) {
+      report(name_line, "perf-large-byvalue", m);
     }
   }
 

@@ -6,6 +6,7 @@
 //                         det-unordered-iter
 //   C (coroutine safety)  coro-ref-param, coro-lambda-capture, coro-view-temp
 //   O (observability)     obs-unguarded
+//   P (performance)       perf-large-byvalue
 //   H (hygiene)           hyg-iostream, hyg-using-namespace, hyg-bare-allow,
 //                         hyg-bad-allow
 //
@@ -35,7 +36,7 @@
 
 namespace bs::lint {
 
-/// One shipped rule. `family` is D, C, O or H.
+/// One shipped rule. `family` is D, C, O, P or H.
 struct RuleDesc {
   const char* id;
   char family;
