@@ -34,6 +34,15 @@ bs_add_bench_smoke(bench_micro_sim)
 bs_add_bench_smoke(bench_micro_flow)
 bs_add_bench_smoke(bench_micro_monitoring)
 
+# Custom-main population bench (not google-benchmark); --smoke shrinks the
+# population and fails on digest mismatch across stepper modes, giving
+# tier-1 coverage of the sharded and windowed steppers at workload scale.
+bs_add_bench(bench_million_clients bs_workload)
+add_test(NAME bench-smoke.bench_million_clients
+         COMMAND bench_million_clients --smoke)
+set_tests_properties(bench-smoke.bench_million_clients
+                     PROPERTIES LABELS "bench-smoke")
+
 bs_add_bench(bench_ablation_allocation bs_workload bs_viz)
 bs_add_bench(bench_ablation_cache bs_mon bs_viz bs_workload)
 bs_add_bench(bench_ablation_replication bs_core bs_mon bs_workload bs_viz)

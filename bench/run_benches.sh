@@ -5,12 +5,17 @@
 # The tier-1 test gate is the companion one-liner:
 #   ctest --test-dir build -L tier1 --output-on-failure -j
 #
-# Subcommand:
+# Subcommands (suites):
 #   run_benches.sh sim-kernel   — measure the simulator hot-path benches
 #     (event queue, same-time lane, actor spawn, RPC round trip) plus the
 #     e2e wall times and emit build/BENCH_sim_kernel.json. The committed
 #     repo-root BENCH_sim_kernel.json is the curated before/after snapshot;
 #     this regenerates the "after" side on the current tree.
+#   run_benches.sh sim-lanes    — run bench_million_clients at full scale
+#     (10^6 clients, 9-site grid5000, best-of-3 per stepper mode) and emit
+#     build/BENCH_sim_lanes.json. The committed repo-root
+#     BENCH_sim_lanes.json is the curated snapshot of the same run.
+# Suites compose: `run_benches.sh sim-kernel sim-lanes` runs both.
 set -eu
 cd "$(dirname "$0")/.."
 if [ ! -d build/bench ]; then
@@ -18,7 +23,7 @@ if [ ! -d build/bench ]; then
   exit 1
 fi
 
-if [ "${1:-}" = "sim-kernel" ]; then
+run_sim_kernel() {
   out=build/BENCH_sim_kernel.json
   micro=build/bench_micro_sim.json
   ./build/bench/bench_micro_sim \
@@ -53,6 +58,23 @@ json.dump(doc, open(sys.argv[2], "w"), indent=2)
 print("wrote", sys.argv[2])
 PY
   rm -f build/e2e_wall_ms.txt
+}
+
+run_sim_lanes() {
+  out=build/BENCH_sim_lanes.json
+  ./build/bench/bench_million_clients > "$out"
+  echo "wrote $out"
+}
+
+if [ $# -gt 0 ]; then
+  for suite in "$@"; do
+    case "$suite" in
+      sim-kernel) run_sim_kernel ;;
+      sim-lanes)  run_sim_lanes ;;
+      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes)" >&2
+         exit 2 ;;
+    esac
+  done
   exit 0
 fi
 

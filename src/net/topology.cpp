@@ -23,7 +23,24 @@ void Topology::set_inter_site_latency(SiteId a, SiteId b,
 SimDuration Topology::latency(SiteId a, SiteId b) const {
   assert(a < sites_.size() && b < sites_.size());
   if (a == b) return sites_[a].lan_latency;
+  // The WAN matrix is symmetric by construction (set_inter_site_latency
+  // writes both triangles); the lookahead horizon derivation depends on it,
+  // so debug builds re-check the invariant on every read.
+  assert(wan_[a][b] == wan_[b][a] && "WAN latency matrix must be symmetric");
+  assert(wan_[a][b] > 0 && "cross-site latency must be positive");
   return wan_[a][b];
+}
+
+SimDuration Topology::min_cross_site_latency() const {
+  SimDuration best = simtime::kInfinite;
+  for (std::size_t a = 0; a < sites_.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites_.size(); ++b) {
+      assert(wan_[a][b] == wan_[b][a] &&
+             "WAN latency matrix must be symmetric");
+      if (wan_[a][b] < best) best = wan_[a][b];
+    }
+  }
+  return best;
 }
 
 Topology Topology::grid5000(std::size_t sites) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 
@@ -59,7 +61,30 @@ Cluster::Cluster(sim::Simulation& sim, net::Topology topology,
     : sim_(sim),
       topology_(std::move(topology)),
       flows_(sim),
-      retry_rng_(fault_seed) {}
+      retry_rng_(fault_seed) {
+  // Shard the simulation into per-site event lanes unless BS_SIM_LANES=off
+  // keeps the single-heap reference queue (the determinism oracle). The
+  // lookahead horizon is the topology's minimum WAN latency.
+  const char* lanes = std::getenv("BS_SIM_LANES");
+  if (lanes == nullptr || std::string_view(lanes) != "off") {
+    sim_.configure_sites(topology_.site_count(),
+                         topology_.min_cross_site_latency());
+  }
+  if (const char* threads = std::getenv("BS_SIM_THREADS")) {
+    const std::string_view tv(threads);
+    if (!tv.empty() && tv != "off" && tv != "0") {
+      unsigned n = 0;
+      for (const char c : tv) {
+        if (c < '0' || c > '9') {
+          n = 0;
+          break;
+        }
+        n = n * 10 + static_cast<unsigned>(c - '0');
+      }
+      if (n > 0) sim_.set_worker_threads(n);
+    }
+  }
+}
 
 Node* Cluster::add_node(net::SiteId site, const NodeSpec& spec) {
   assert(site < topology_.site_count());
@@ -215,7 +240,9 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
   env.sent_at = sim_.now();
   env.parent_span = opts.parent_span;
 
-  co_await sim_.delay(latency);
+  // Crossing the WAN moves the envelope into the destination site's event
+  // lane — the site-tagged hand-off the sharded stepper merges on.
+  co_await sim_.hop_to_site(dst->site(), latency);
   co_await transmit(*src, *dst, req_bytes,
                     payload_to_disk ? dst->disk() : nullptr);
   if (!dst_alive()) {
@@ -339,7 +366,7 @@ sim::Task<void> Cluster::call_body(std::shared_ptr<CallState> state,
     }
     resp_latency += lf.extra_latency;
   }
-  co_await sim_.delay(resp_latency);
+  co_await sim_.hop_to_site(src->site(), resp_latency);
   co_await transmit(*dst, *src, resp.wire_size,
                     resp.from_disk ? dst->disk() : nullptr);
   if (!dst_alive()) co_return;  // crashed before the last byte left

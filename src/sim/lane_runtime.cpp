@@ -1,0 +1,289 @@
+// Windowed parallel stepper for the sharded simulation — the only file in
+// src/ that touches real threads. Everything here is invisible unless
+// set_worker_threads() (BS_SIM_THREADS) enables it; serial mode never calls
+// into this translation unit beyond the trivial shutdown no-op.
+//
+// Determinism argument (DESIGN.md "Sharded lanes & conservative lookahead"):
+//  * A window [t_min, t_min + lookahead) opens only when (a) the control
+//    lane has nothing inside it and (b) every site lane whose head falls
+//    inside it holds exclusively parallel-safe events (untagged == 0).
+//    Full-stack workloads schedule untagged events, so they serialize —
+//    digests across BS_SIM_THREADS ∈ {off, 1, N} are equal by construction.
+//  * Inside a window each worker owns exactly one lane. Own-lane schedules
+//    that land inside the window are pushed with pseudo-sequence numbers
+//    (seq-counter snapshot + a per-lane counter, par-tagged) so intra-lane
+//    relative order matches what the serial stepper would produce; they are
+//    fully drained before the window closes, so pseudo keys never escape.
+//  * Schedules that leave the window (own-lane beyond w_end, or any
+//    cross-lane hand-off, which conservative lookahead guarantees arrives
+//    at or beyond w_end) buffer in a per-lane outbox. At the barrier the
+//    coordinator sorts all outboxes by (send_time, source lane, emission
+//    index) — a deterministic key independent of thread interleaving — and
+//    stamps them with fresh global sequence numbers. Cross-site events
+//    carrying the same arrival key must commute (the parallel-safe
+//    contract), which is what makes this order digest-equivalent to the
+//    serial interleave.
+//
+// bslint: allow-file(det-thread): opt-in parallel stepper; determinism is
+// preserved by the window eligibility rules and barrier merge above.
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace bs::sim {
+
+namespace {
+/// Soft cap on hand-offs buffered during one window — the "bounded inbox"
+/// backstop: blowing it means a workload is spraying cross-site messages
+/// faster than the horizon can absorb, which deserves a loud failure in
+/// debug builds rather than silent memory growth.
+[[maybe_unused]] constexpr std::size_t kMaxWindowHandoffs = std::size_t{1}
+                                                            << 20;
+}  // namespace
+
+struct Simulation::ParRuntime {
+  /// Cross-window hand-off buffered at the barrier.
+  struct Handoff {
+    SimTime send_time;      ///< worker-local clock at the schedule call
+    std::size_t src_lane;   ///< emitting lane (sort key with emit_idx)
+    std::uint64_t emit_idx; ///< per-lane emission counter
+    std::size_t target_lane;
+    SimTime time;
+    Callback cb;
+  };
+
+  /// One lane's share of a window; derives the TLS base so now() can read
+  /// the worker-local clock without knowing this type.
+  struct LaneRun : detail::LaneRunBase {
+    Simulation* sim{nullptr};
+    Lane* lane{nullptr};
+    std::size_t lane_idx{0};
+    SimTime w_end{0};
+    std::uint64_t pseudo_next{0};  ///< seq snapshot + counter, par-tagged
+    std::uint64_t emit_next{0};
+    std::uint64_t count{0};  ///< events executed in this run
+    std::vector<Handoff> outbox;
+  };
+
+  explicit ParRuntime(Simulation& s, unsigned n) : sim(&s) {
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      threads.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ParRuntime() {
+    {
+      std::unique_lock<std::mutex> lock(m);
+      shutdown = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void worker_loop() {
+    for (;;) {
+      LaneRun* run = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_work.wait(lock, [this] { return shutdown || !work.empty(); });
+        if (shutdown && work.empty()) return;
+        run = work.back();
+        work.pop_back();
+      }
+      detail::t_lane_run = run;
+      drain(*run);
+      detail::t_lane_run = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        if (--outstanding == 0) cv_done.notify_one();
+      }
+    }
+  }
+
+  /// Executes every event of run's lane with key < w_end, advancing the
+  /// worker-local clock. Same three-way near-tier merge as the serial
+  /// step(), bounded by the window horizon.
+  static void drain(LaneRun& run) {
+    Lane& ln = *run.lane;
+    for (;;) {
+      if (near_empty(ln)) {
+        if (far_live(ln) == 0) break;
+        refill(ln);  // lane-local state; this worker owns it until the barrier
+        continue;
+      }
+      SimTime pt;
+      std::uint64_t pms;
+      const int src = peek_near(ln, run.local_now, &pt, &pms);
+      // Ring entries sit at local_now (inside the window by construction);
+      // timed tiers stop at the horizon.
+      if (src != kFromRing && pt >= run.w_end) break;
+      SimTime t;
+      std::uint64_t seq;
+      Callback cb = pop_near(ln, src, run.local_now, &t, &seq);
+      assert(par_of_seq(seq) && "untagged event inside a parallel window");
+      assert(t >= run.local_now);
+      run.local_now = t;
+      ++run.count;
+      cb();
+    }
+  }
+
+  static bool par_of_seq(std::uint64_t seq) { return (seq & kParBit) != 0; }
+
+  Simulation* sim;
+  std::vector<std::thread> threads;
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<LaneRun*> work;
+  std::size_t outstanding{0};
+  bool shutdown{false};
+};
+
+void Simulation::set_worker_threads(unsigned n) {
+  if (n == workers_) return;
+  shutdown_workers();
+  workers_ = n;
+  if (n != 0) par_ = new ParRuntime(*this, n);
+}
+
+void Simulation::shutdown_workers() noexcept {
+  delete par_;
+  par_ = nullptr;
+  workers_ = 0;
+}
+
+// ------------------------------------------------- worker-context scheduling
+
+void Simulation::par_schedule_current(SimTime t, Callback cb) {
+  auto& run = *static_cast<ParRuntime::LaneRun*>(detail::t_lane_run);
+  assert(t >= run.local_now && "cannot schedule events in the past");
+  // Same tier rules as the serial push: ring at the current instant, near
+  // heap inside the far boundary, far pool beyond it. Honoring far_bar here
+  // preserves the "heap keys < far_bar <= far keys" invariant that makes
+  // min(ring, heap root) the true lane head — in-window events beyond the
+  // boundary are pulled back by the drain-loop refill in key order.
+  const std::uint64_t seq = run.pseudo_next++ | kParBit;
+  Lane& ln = *run.lane;
+  if (t <= run.local_now) {
+    ring_push(ln, run.local_now, seq, std::move(cb));
+  } else if (t < ln.far_bar) {
+    heap_push(ln, t, seq, std::move(cb));
+  } else {
+    far_push(ln, t, seq, std::move(cb));
+  }
+}
+
+void Simulation::par_schedule_site(std::size_t site, SimTime t, Callback cb) {
+  auto& run = *static_cast<ParRuntime::LaneRun*>(detail::t_lane_run);
+  const std::size_t lane = site_lane(site);
+  if (lane == run.lane_idx) {
+    par_schedule_current(t, std::move(cb));
+    return;
+  }
+  // Conservative lookahead: a cross-lane hand-off arrives at or beyond the
+  // window end, so the target lane (possibly already drained past t_min)
+  // has not run past the arrival time.
+  assert(t >= run.w_end && "cross-site hand-off inside the lookahead horizon");
+  run.outbox.push_back(ParRuntime::Handoff{run.local_now, run.lane_idx,
+                                           run.emit_next++, lane, t,
+                                           std::move(cb)});
+}
+
+void Simulation::par_schedule_resume(std::coroutine_handle<> h) {
+  par_schedule_current(static_cast<ParRuntime::LaneRun*>(detail::t_lane_run)
+                           ->local_now,
+                       Callback(ResumeThunk{h}));
+}
+
+// ------------------------------------------------------------------ windows
+
+bool Simulation::window_or_step() {
+  const std::size_t bi = best_lane();
+  if (bi == lanes_.size()) return false;
+  const SimTime t_min = lanes_[bi].head_time;
+  if (lookahead_ == simtime::kInfinite ||
+      t_min >= simtime::kInfinite - lookahead_) {
+    return step();
+  }
+  const SimTime w_end = t_min + lookahead_;
+  // Window eligibility: nothing in the control lane before w_end, and every
+  // site lane active inside the window holds only parallel-safe events.
+  if (lanes_[0].head_time < w_end) return step();
+  std::size_t active = 0;
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    if (lanes_[i].head_time >= w_end) continue;
+    if (lanes_[i].untagged != 0) return step();
+    ++active;
+  }
+  if (active < 2) return step();
+
+  // Build one LaneRun per active lane; workers own their lane exclusively
+  // until the barrier.
+  std::vector<ParRuntime::LaneRun> runs(active);
+  std::size_t r = 0;
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    if (lanes_[i].head_time >= w_end) continue;
+    ParRuntime::LaneRun& run = runs[r++];
+    run.local_now = now_;
+    run.sim = this;
+    run.lane = &lanes_[i];
+    run.lane_idx = i;
+    run.w_end = w_end;
+    run.pseudo_next = seq_;  // pseudo keys order after all stamped events
+  }
+  {
+    std::unique_lock<std::mutex> lock(par_->m);
+    par_active_ = true;
+    par_->outstanding = runs.size();
+    for (auto& run : runs) par_->work.push_back(&run);
+  }
+  par_->cv_work.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(par_->m);
+    par_->cv_done.wait(lock, [this] { return par_->outstanding == 0; });
+    par_active_ = false;
+  }
+
+  // Deterministic barrier merge: order hand-offs by (send_time, src_lane,
+  // emit_idx) — independent of which thread ran which lane when — and
+  // stamp them with fresh global sequence numbers.
+  std::vector<ParRuntime::Handoff> merged;
+  SimTime new_now = now_;
+  for (auto& run : runs) {
+    processed_ += run.count;
+    if (run.local_now > new_now) new_now = run.local_now;
+    for (auto& h : run.outbox) merged.push_back(std::move(h));
+    // In-window schedules that outlive the window keep their pseudo keys;
+    // advancing the global counter past every pseudo allocation keeps all
+    // future real sequence numbers strictly larger, so masked comparisons
+    // never tie.
+    if (run.pseudo_next > seq_) seq_ = run.pseudo_next;
+    assert(run.lane->ring_size == 0 && "ring must drain inside the window");
+  }
+  assert(merged.size() <= kMaxWindowHandoffs &&
+         "window hand-off volume exceeds the bounded-inbox cap");
+  std::sort(merged.begin(), merged.end(),
+            [](const ParRuntime::Handoff& a, const ParRuntime::Handoff& b) {
+              if (a.send_time != b.send_time) return a.send_time < b.send_time;
+              if (a.src_lane != b.src_lane) return a.src_lane < b.src_lane;
+              return a.emit_idx < b.emit_idx;
+            });
+  now_ = new_now;  // every executed event was < w_end; all pending are >= it
+  for (auto& h : merged) {
+    if (h.target_lane != h.src_lane) ++cross_site_handoffs_;
+    push_event(h.target_lane, h.time, next_seq(true), std::move(h.cb));
+  }
+  for (auto& run : runs) recompute_head(run.lane_idx, now_);
+  ++windows_run_;
+  return true;
+}
+
+}  // namespace bs::sim

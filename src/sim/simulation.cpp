@@ -1,6 +1,8 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
@@ -9,154 +11,513 @@ namespace bs::sim {
 
 // ---------------------------------------------------------------- event queue
 //
-// Two lanes, one total order. Every event gets a sequence number from the
-// shared counter at schedule time; the heap orders by (time, seq) and the
-// ring is FIFO (so seq-ordered) at time == now_. step() merges the lanes by
-// comparing the heap root against the ring head under the same (time, seq)
-// key, which reproduces exactly the pop order of a single binary heap.
+// Lanes share one total order. Every event gets a sequence number from the
+// shared counter at schedule time; each lane's heap orders by (time, seq)
+// and its ring is FIFO (so seq-ordered) at time == now_. step() first picks
+// the lane whose cached head is the globally smallest (time, seq) key, then
+// merges that lane's heap root against its ring head under the same key —
+// which reproduces exactly the pop order of one single heap over all
+// events, independent of how they were sharded.
+//
+// Clock invariant: now_ only advances when the globally minimal key sits in
+// a heap strictly above now_ — at that moment every ring in every lane is
+// empty (a non-empty ring pins its lane's cached head at now_), so ring
+// entries never survive a clock advance and the ring's implicit time stays
+// valid.
+
+namespace {
+constexpr bool par_of(std::uint64_t seq) { return (seq & (1ull << 63)) != 0; }
+}  // namespace
+
+Simulation::Simulation() : lanes_(1), heads_(1) {}
 
 void Simulation::schedule_at(SimTime t, Callback cb) {
-  assert(t >= now_ && "cannot schedule events in the past");
-  if (t <= now_) {
-    ring_push(seq_++, std::move(cb));
+  if (in_worker()) {
+    par_schedule_current(t, std::move(cb));
     return;
   }
-  heap_push(t, seq_++, std::move(cb));
+  push_event(exec_lane_, t, next_seq(exec_par_), std::move(cb));
 }
 
-void Simulation::heap_push(SimTime t, std::uint64_t seq, Callback cb) {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = std::move(cb);
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(std::move(cb));
+void Simulation::schedule_resume(std::coroutine_handle<> h) {
+  if (in_worker()) {
+    par_schedule_resume(h);
+    return;
   }
-  heap_.push_back(HeapEntry{t, seq, slot});
-  sift_up(heap_.size() - 1);
+  push_event(exec_lane_, now_, next_seq(exec_par_), Callback(ResumeThunk{h}));
 }
 
-Simulation::Callback Simulation::heap_pop(SimTime* t) {
-  const HeapEntry top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
+void Simulation::configure_sites(std::size_t sites, SimDuration lookahead) {
+  if (lanes_.size() != 1) {
+    // A second cluster on the same simulation must agree on the shard
+    // count; the horizon tightens to the most conservative of the two.
+    assert(lanes_.size() == sites + 1 && "conflicting site-lane configuration");
+    if (lookahead < lookahead_) lookahead_ = lookahead;
+    return;
+  }
+  lanes_.resize(sites + 1);
+  heads_.resize(sites + 1);
+  lookahead_ = lookahead;
+  if (lane_load_hint_ >= kFarEngage) {
+    for (Lane& ln : lanes_) engage_far(ln);
+  }
+}
+
+void Simulation::hint_lane_load(std::size_t expected_pending_per_lane) {
+  lane_load_hint_ = expected_pending_per_lane;
+  if (lanes_.size() > 1 && lane_load_hint_ >= kFarEngage) {
+    for (Lane& ln : lanes_) engage_far(ln);
+  }
+}
+
+void Simulation::schedule_on_site(std::size_t site, SimTime t, Callback cb) {
+  if (in_worker()) {
+    par_schedule_site(site, t, std::move(cb));
+    return;
+  }
+  const std::size_t lane = site_lane(site);
+  if (lane != exec_lane_) {
+    ++cross_site_handoffs_;
+    // A parallel-safe event may only reach another site at or beyond the
+    // lookahead horizon — otherwise a window could have executed the
+    // target lane past the hand-off's arrival time.
+    assert(!exec_par_ || lookahead_ == simtime::kInfinite ||
+           t >= now() + lookahead_);
+  }
+  push_event(lane, t, next_seq(exec_par_), std::move(cb));
+}
+
+void Simulation::schedule_par(std::size_t site, SimTime t, Callback cb) {
+  if (in_worker()) {
+    par_schedule_site(site, t, std::move(cb));
+    return;
+  }
+  const std::size_t lane = site_lane(site);
+  if (lane != exec_lane_) {
+    ++cross_site_handoffs_;
+    assert(!exec_par_ || lookahead_ == simtime::kInfinite ||
+           t >= now() + lookahead_);
+  }
+  push_event(lane, t, next_seq(true), std::move(cb));
+}
+
+void Simulation::push_event(std::size_t lane, SimTime t, std::uint64_t seq,
+                            Callback cb) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  Lane& ln = lanes_[lane];
+  if (!par_of(seq)) ++ln.untagged;
+  if (t <= now_) {
+    ring_push(ln, now_, seq, std::move(cb));
+    sync_head(lane);
+    return;
+  }
+  // Sharded mode stages events beyond the near horizon in the far pool;
+  // the single-lane oracle keeps the pure one-heap kernel. A parked ladder
+  // (far_bar == kInfinite) routes everything to the heap through the same
+  // comparison.
+  if (lanes_.size() > 1 && t >= ln.far_bar) {
+    far_push(ln, t, seq, std::move(cb));
+    sync_head(lane);
+    return;
+  }
+  heap_push(ln, t, seq, std::move(cb));
+  sync_head(lane);
+}
+
+void Simulation::engage_far(Lane& ln) {
+  if (ln.far_bar != simtime::kInfinite) return;
+  assert(far_live(ln) == 0 && "parked ladder with a non-empty far pool");
+  SimTime mx = 0;
+  for (const HeapEntry& e : ln.heap) mx = std::max(mx, e.time);
+  if (ln.stage_head != ln.stage.size()) {
+    mx = std::max(mx, ln.stage.back().time);
+  }
+  ln.far_bar = mx < simtime::kInfinite - 1 ? mx + 1 : simtime::kInfinite;
+}
+
+void Simulation::far_push(Lane& ln, SimTime t, std::uint64_t seq,
+                          Callback cb) {
+  ln.far_keys.push_back(FarKey{t, seq});
+  ln.far_cbs.push_back(std::move(cb));
+  // Cheap head maintenance: a no-op while the near tiers are occupied
+  // (their keys are < far_bar <= t), and the true far minimum once the
+  // lane is otherwise empty.
+  maybe_raise_head(ln, t, seq);
+}
+
+void Simulation::refill(Lane& ln) {
+  assert(ln.stage_head == ln.stage.size() && "refill under a live stage");
+  assert(far_live(ln) != 0 && "refill on an empty far pool");
+  // Amortized compaction, at rung boundaries only: the consumed stage held
+  // slot references into the pool, so the arrays may move exactly now, when
+  // no rung is live. Rewriting both arrays only once half the pool is
+  // tombstones keeps the per-event move count O(1).
+  if (ln.far_dead * 2 > ln.far_keys.size()) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < ln.far_keys.size(); ++r) {
+      if (ln.far_keys[r].seq == kNoSeq) continue;
+      if (w != r) {
+        ln.far_keys[w] = ln.far_keys[r];
+        ln.far_cbs[w] = std::move(ln.far_cbs[r]);
+      }
+      ++w;
+    }
+    ln.far_keys.resize(w);
+    ln.far_cbs.resize(w);
+    ln.far_dead = 0;
+  }
+  assert(ln.far_keys.size() <= 0xffffffffu &&
+         "far pool exceeds 32-bit indexing");
+  // Build the next ladder rung from 24-byte (time, seq, index) keys — not
+  // the 72-byte entries. Gather every live key once, then cut an exactly
+  // half-pool-sized rung with nth_element: the first excluded key is both
+  // the new bar and the exact minimum of the survivors, so there is no span
+  // heuristic to mistune and no second scan. Rung size scaling with the
+  // pool keeps the total scan work per drained event O(1): a pool of P is
+  // rescanned ~log P times in geometrically shrinking halves.
+  ln.stage_keys.clear();
+  for (std::size_t i = 0; i < ln.far_keys.size(); ++i) {
+    const FarKey& k = ln.far_keys[i];
+    if (k.seq != kNoSeq) {
+      ln.stage_keys.push_back(
+          HeapEntry{k.time, k.seq, static_cast<std::uint32_t>(i)});
+    }
+  }
+  const std::size_t live = ln.stage_keys.size();
+  const std::size_t target = std::max<std::size_t>(4096, live / 2);
+  SimTime bar = 0;  // sentinel: stage-all, patched to max+1 below
+  if (live > target) {
+    const auto mid =
+        ln.stage_keys.begin() + static_cast<std::ptrdiff_t>(target);
+    std::nth_element(
+        ln.stage_keys.begin(), mid, ln.stage_keys.end(),
+        [](const HeapEntry& a, const HeapEntry& b) { return earlier(a, b); });
+    bar = mid->time;
+    ln.stage_keys.resize(target);
+  }
+  std::sort(
+      ln.stage_keys.begin(), ln.stage_keys.end(),
+      [](const HeapEntry& a, const HeapEntry& b) { return earlier(a, b); });
+  // Reuse the stage storage: move-assigning over a consumed husk destroys
+  // it on the same cache line the new entry is about to occupy, so the
+  // teardown of the previous rung rides the gather's own write misses
+  // instead of a separate clear() pass over cold memory.
+  ln.stage.resize(ln.stage_keys.size());
+  ln.stage_head = 0;
+  for (std::size_t i = 0; i < ln.stage_keys.size(); ++i) {
+    const HeapEntry& k = ln.stage_keys[i];
+    ln.stage[i] = FarEntry{k.time, k.seq, std::move(ln.far_cbs[k.slot])};
+    ln.far_keys[k.slot] = FarKey{simtime::kInfinite, kNoSeq};
+  }
+  ln.far_dead += ln.stage.size();
+  if (bar == 0) {
+    // The whole pool was staged; any bar above the rung maximum is correct,
+    // and max+1 is the lowest such bar, which steers near-future pushes to
+    // the cache-resident heap while the lane's far traffic is this light.
+    const SimTime tmax = ln.stage_keys.back().time;
+    bar = tmax < simtime::kInfinite - 1 ? tmax + 1 : simtime::kInfinite;
+  }
+  ln.far_bar = bar;
+}
+
+void Simulation::heap_push(Lane& ln, SimTime t, std::uint64_t seq,
+                           Callback cb) {
+  std::uint32_t slot;
+  if (!ln.free_slots.empty()) {
+    slot = ln.free_slots.back();
+    ln.free_slots.pop_back();
+    ln.slots[slot] = std::move(cb);
+  } else {
+    slot = static_cast<std::uint32_t>(ln.slots.size());
+    ln.slots.push_back(std::move(cb));
+  }
+  ln.heap.push_back(HeapEntry{t, seq, slot});
+  sift_up(ln, ln.heap.size() - 1);
+  maybe_raise_head(ln, t, seq);
+}
+
+Simulation::Callback Simulation::heap_pop(Lane& ln, SimTime* t,
+                                          std::uint64_t* seq) {
+  const HeapEntry top = ln.heap.front();
+  ln.heap.front() = ln.heap.back();
+  ln.heap.pop_back();
+  if (!ln.heap.empty()) sift_down(ln, 0);
   *t = top.time;
-  Callback cb = std::move(slots_[top.slot]);
-  free_slots_.push_back(top.slot);
+  *seq = top.seq;
+  if (!par_of(top.seq)) --ln.untagged;
+  Callback cb = std::move(ln.slots[top.slot]);
+  ln.free_slots.push_back(top.slot);
   return cb;
 }
 
-void Simulation::sift_up(std::size_t i) {
-  const HeapEntry e = heap_[i];
+void Simulation::sift_up(Lane& ln, std::size_t i) {
+  const HeapEntry e = ln.heap[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 4;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!earlier(e, ln.heap[parent])) break;
+    ln.heap[i] = ln.heap[parent];
     i = parent;
   }
-  heap_[i] = e;
+  ln.heap[i] = e;
 }
 
-void Simulation::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const HeapEntry e = heap_[i];
+void Simulation::sift_down(Lane& ln, std::size_t i) {
+  const std::size_t n = ln.heap.size();
+  const HeapEntry e = ln.heap[i];
   for (;;) {
     const std::size_t first = 4 * i + 1;
     if (first >= n) break;
     const std::size_t last = first + 4 < n ? first + 4 : n;
     std::size_t best = first;
     for (std::size_t c = first + 1; c < last; ++c) {
-      if (earlier(heap_[c], heap_[best])) best = c;
+      if (earlier(ln.heap[c], ln.heap[best])) best = c;
     }
-    if (!earlier(heap_[best], e)) break;
-    heap_[i] = heap_[best];
+    if (!earlier(ln.heap[best], e)) break;
+    ln.heap[i] = ln.heap[best];
     i = best;
   }
-  heap_[i] = e;
+  ln.heap[i] = e;
 }
 
-void Simulation::ring_push(std::uint64_t seq, Callback cb) {
-  if (ring_size_ == ring_.size()) ring_grow();
-  const std::size_t tail = (ring_head_ + ring_size_) & (ring_.size() - 1);
-  ring_[tail] = NowEvent{seq, std::move(cb)};
-  ++ring_size_;
+void Simulation::ring_push(Lane& ln, SimTime at, std::uint64_t seq,
+                           Callback cb) {
+  if (ln.ring_size == ln.ring.size()) ring_grow(ln);
+  const std::size_t tail = (ln.ring_head + ln.ring_size) & (ln.ring.size() - 1);
+  ln.ring[tail] = NowEvent{seq, std::move(cb)};
+  ++ln.ring_size;
+  maybe_raise_head(ln, at, seq);
 }
 
-Simulation::Callback Simulation::ring_pop() {
-  Callback cb = std::move(ring_[ring_head_].cb);
-  ring_head_ = (ring_head_ + 1) & (ring_.size() - 1);
-  --ring_size_;
+Simulation::Callback Simulation::ring_pop(Lane& ln, std::uint64_t* seq) {
+  NowEvent& e = ln.ring[ln.ring_head];
+  *seq = e.seq;
+  if (!par_of(e.seq)) --ln.untagged;
+  Callback cb = std::move(e.cb);
+  ln.ring_head = (ln.ring_head + 1) & (ln.ring.size() - 1);
+  --ln.ring_size;
   return cb;
 }
 
-void Simulation::ring_grow() {
-  const std::size_t cap = ring_.empty() ? 64 : ring_.size() * 2;
+void Simulation::ring_grow(Lane& ln) {
+  const std::size_t cap = ln.ring.empty() ? 64 : ln.ring.size() * 2;
   std::vector<NowEvent> grown(cap);
-  for (std::size_t i = 0; i < ring_size_; ++i) {
-    grown[i] = std::move(ring_[(ring_head_ + i) & (ring_.size() - 1)]);
+  for (std::size_t i = 0; i < ln.ring_size; ++i) {
+    grown[i] = std::move(ln.ring[(ln.ring_head + i) & (ln.ring.size() - 1)]);
   }
-  ring_ = std::move(grown);
-  ring_head_ = 0;
+  ln.ring = std::move(grown);
+  ln.ring_head = 0;
+}
+
+int Simulation::peek_near(const Lane& ln, SimTime at, SimTime* t,
+                          std::uint64_t* masked_seq) {
+  int src = -1;
+  SimTime bt = simtime::kInfinite;
+  std::uint64_t bs = kNoSeq;
+  if (ln.ring_size != 0) {
+    bt = at;
+    bs = ring_front_seq(ln);
+    src = kFromRing;
+  }
+  if (!ln.heap.empty()) {
+    const HeapEntry& root = ln.heap.front();
+    const std::uint64_t m = root.seq & kSeqMask;
+    if (root.time < bt || (root.time == bt && m < bs)) {
+      bt = root.time;
+      bs = m;
+      src = kFromHeap;
+    }
+  }
+  if (ln.stage_head != ln.stage.size()) {
+    const FarEntry& front = ln.stage[ln.stage_head];
+    const std::uint64_t m = front.seq & kSeqMask;
+    if (front.time < bt || (front.time == bt && m < bs)) {
+      bt = front.time;
+      bs = m;
+      src = kFromStage;
+    }
+  }
+  *t = bt;
+  *masked_seq = bs;
+  return src;
+}
+
+Simulation::Callback Simulation::pop_near(Lane& ln, int src, SimTime at,
+                                          SimTime* t, std::uint64_t* seq) {
+  if (src == kFromRing) {
+    *t = at;
+    return ring_pop(ln, seq);
+  }
+  if (src == kFromHeap) return heap_pop(ln, t, seq);
+  FarEntry& e = ln.stage[ln.stage_head];
+  ++ln.stage_head;
+  *t = e.time;
+  *seq = e.seq;
+  if (!par_of(e.seq)) --ln.untagged;
+  return std::move(e.cb);
+}
+
+void Simulation::recompute_head(std::size_t lane, SimTime at) {
+  Lane& ln = lanes_[lane];
+  // The cached head is min over the near tiers; that is only the true lane
+  // minimum while one of them is occupied, so an empty near side pulls the
+  // next far rung in first.
+  if (near_empty(ln) && far_live(ln) != 0) refill(ln);
+  SimTime t;
+  std::uint64_t s;
+  if (peek_near(ln, at, &t, &s) < 0) {
+    t = simtime::kInfinite;
+    s = kNoSeq;
+  }
+  ln.head_time = t;
+  ln.head_seq = s;
+  heads_[lane] = HeadKey{t, s};
+}
+
+std::size_t Simulation::best_lane() const {
+  std::size_t best = lanes_.size();
+  SimTime bt = simtime::kInfinite;
+  std::uint64_t bs = kNoSeq;
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    if (heads_[i].time < bt ||
+        (heads_[i].time == bt && heads_[i].seq < bs)) {
+      bt = heads_[i].time;
+      bs = heads_[i].seq;
+      best = i;
+    }
+  }
+  return best;
 }
 
 bool Simulation::step() {
-  // Ring events all carry time == now_; run one unless the heap root is an
-  // earlier (time, seq) key — which, since heap times are >= now_ for live
-  // events, means an equal-time entry scheduled before the ring head.
-  if (ring_size_ != 0) {
-    const bool heap_first =
-        !heap_.empty() && heap_.front().time <= now_ &&
-        heap_.front().seq < ring_front_seq();
-    if (!heap_first) {
-      Callback cb = ring_pop();
-      ++processed_;
-      cb();
-      return true;
-    }
+  // Single-lane deployments keep the PR-5 hot path: no head scan at all.
+  std::size_t bi = 0;
+  if (lanes_.size() > 1) {
+    bi = best_lane();
+    if (bi == lanes_.size()) return false;
   }
-  if (heap_.empty()) return false;
-  SimTime t;
-  Callback cb = heap_pop(&t);
-  assert(t >= now_);
-  now_ = t;
-  ++processed_;
-  cb();
+  Lane& ln = lanes_[bi];
+  // A lane whose cached head points into the far pool (near tiers empty)
+  // must be refilled before the merge below can see the event.
+  if (near_empty(ln)) {
+    if (far_live(ln) == 0) return false;
+    refill(ln);
+  }
+  // Three-way merge on (time, masked seq): ring entries all carry time ==
+  // now_, stage and heap carry their own keys. peek/pop are split so the
+  // windowed drain can bound the same selection by its horizon.
+  SimTime pt;
+  std::uint64_t pms;
+  const int src = peek_near(ln, now_, &pt, &pms);
+  assert(src >= 0);
+  const std::size_t prev_lane = exec_lane_;
+  const bool prev_par = exec_par_;
+  if (src == kFromStage) {
+    // Stage events run in place: only refill() mutates the stage, and it
+    // cannot run under a live rung, so the entry is stable for the whole
+    // callback — no move-out, no per-event husk teardown (the rung is
+    // destroyed wholesale at the next refill). The head cache refresh
+    // happens after the callback; nothing reads it mid-event in serial
+    // mode, and pushes from the callback only lower it monotonically.
+    FarEntry& e = ln.stage[ln.stage_head];
+    ++ln.stage_head;
+    if (!par_of(e.seq)) --ln.untagged;
+    assert(e.time >= now_);
+    now_ = e.time;
+    exec_lane_ = bi;
+    exec_par_ = par_of(e.seq);
+    ++processed_;
+    e.cb();
+  } else {
+    SimTime t;
+    std::uint64_t seq;
+    Callback cb = pop_near(ln, src, now_, &t, &seq);
+    assert(t >= now_);
+    now_ = t;
+    exec_lane_ = bi;
+    exec_par_ = par_of(seq);
+    ++processed_;
+    cb();
+  }
+  recompute_head(bi, now_);
+  exec_lane_ = prev_lane;
+  exec_par_ = prev_par;
   return true;
 }
 
 void Simulation::run() {
   stopped_ = false;
+  if (windowed()) {
+    while (!stopped_ && window_or_step()) {
+    }
+    return;
+  }
   while (!stopped_ && step()) {
   }
 }
 
 void Simulation::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_) {
-    // Next event's time: the ring always holds events at now_.
-    if (ring_size_ != 0) {
-      if (now_ > t) break;
-    } else if (heap_.empty() || heap_.front().time > t) {
-      break;
+  if (lanes_.size() == 1) {
+    // Single-lane fast path, identical to the PR-5 loop.
+    Lane& ln = lanes_[0];
+    while (!stopped_) {
+      if (ln.ring_size != 0) {
+        if (now_ > t) break;
+      } else if (ln.heap.empty() || ln.heap.front().time > t) {
+        break;
+      }
+      step();
     }
-    step();
+  } else {
+    while (!stopped_) {
+      const std::size_t bi = best_lane();
+      // A non-empty ring pins its lane's cached head at the now_ it was
+      // pushed at, so "next event time" is just the winning cached head.
+      if (bi == lanes_.size() || lanes_[bi].head_time > t) break;
+      step();
+    }
   }
   if (!stopped_ && now_ < t) now_ = t;
+}
+
+std::size_t Simulation::pending() const {
+  std::size_t n = 0;
+  for (const Lane& ln : lanes_) {
+    n += ln.heap.size() + ln.ring_size + far_live(ln) +
+         (ln.stage.size() - ln.stage_head);
+  }
+  return n;
 }
 
 // ------------------------------------------------------------------- teardown
 
 void Simulation::clear_queue() noexcept {
-  heap_.clear();
-  slots_.clear();
-  free_slots_.clear();
-  while (ring_size_ != 0) ring_pop();
+  for (Lane& ln : lanes_) {
+    ln.heap.clear();
+    ln.slots.clear();
+    ln.free_slots.clear();
+    ln.far_keys.clear();
+    ln.far_cbs.clear();
+    ln.far_dead = 0;
+    ln.stage.clear();
+    ln.stage_keys.clear();
+    ln.stage_head = 0;
+    while (ln.ring_size != 0) {
+      std::uint64_t seq;
+      ring_pop(ln, &seq);
+    }
+    ln.far_bar = simtime::kInfinite;  // parked
+    ln.head_time = simtime::kInfinite;
+    ln.head_seq = kNoSeq;
+    ln.untagged = 0;
+  }
+  for (HeadKey& h : heads_) h = HeadKey{};
 }
 
 Simulation::~Simulation() {
+  // Stop the worker pool before anything else: no thread may touch lanes
+  // while they are being torn down.
+  shutdown_workers();
   // Queued events hold resume handles into frames the roots own; drop them
   // first so nothing dangles, then destroy the still-suspended actor roots
   // (each cascades through the Task chain it owns). Frame-local RAII

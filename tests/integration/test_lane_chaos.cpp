@@ -1,0 +1,119 @@
+// Worker-thread ablation under chaos (ctest label: chaos): replaying a
+// seeded fault schedule with the windowed parallel stepper enabled at
+// different thread counts must produce bit-identical outcomes. Full-stack
+// workloads schedule untagged events, so no window may ever open — the
+// thread pool being present must be entirely unobservable. This is the
+// end-to-end proof of the window-eligibility rules in lane_runtime.cpp.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blob/deployment.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plane.hpp"
+#include "sim/simulation.hpp"
+#include "test_util.hpp"
+
+namespace bs {
+namespace {
+
+std::uint64_t run_faulted_workload(std::uint64_t seed, unsigned threads,
+                                   std::uint64_t* windows) {
+  sim::Simulation sim;
+
+  blob::DeploymentConfig cfg;
+  cfg.sites = 3;  // > 2 lanes, so the windowed stepper is armed
+  cfg.data_providers = 6;
+  cfg.metadata_providers = 2;
+  cfg.provider_capacity = 2ull * units::GB;
+  cfg.fault_seed = seed ^ 0xF00Dull;
+  cfg.vm_options.write_lease = simtime::seconds(30);
+  cfg.vm_options.sweep_interval = simtime::seconds(5);
+  blob::Deployment dep(sim, cfg);
+  sim.set_worker_threads(threads);
+
+  const int n_clients = 3;
+  std::vector<blob::BlobClient*> clients;
+  for (int i = 0; i < n_clients; ++i) clients.push_back(dep.add_client());
+
+  auto blob = test::run_task(
+      sim, clients[0]->create(4 * units::MB, /*replication=*/2));
+  EXPECT_TRUE(blob.ok());
+
+  fault::FaultPlane plane(dep.cluster(), seed * 31 + 7);
+  fault::ScheduleOptions so;
+  so.horizon = simtime::minutes(2);
+  so.quiesce_fraction = 0.7;
+  for (auto& p : dep.providers()) so.crashable.push_back(p->id());
+  so.crashes = 2;
+  so.max_wipe_crashes = 1;
+  so.site_count = cfg.sites;
+  so.partitions = 1;
+  so.degrades = 1;
+  so.disk_slowdowns = 1;
+  plane.schedule_all(fault::random_schedule(seed * 13 + 5, so));
+
+  struct Op {
+    SimTime at{0};
+    std::uint64_t bytes{0};
+    std::uint64_t content{0};
+    Result<blob::WriteReceipt> result{Errc::internal};
+  };
+  Rng wl(seed ^ 0xC0FFEEull);
+  std::vector<Op> ops(static_cast<std::size_t>(n_clients) * 3);
+  for (auto& op : ops) {
+    op.at = simtime::millis(wl.uniform(0, 70000));
+    op.bytes = (1 + wl.next_below(2)) * 2 * units::MB;
+    op.content = wl.next_u64();
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    sim.spawn([](sim::Simulation& s, blob::BlobClient& cl, BlobId b,
+                 Op& op) -> sim::Task<void> {
+      co_await s.delay_until(op.at);
+      op.result = co_await cl.append(
+          b, blob::Payload::synthetic(op.bytes, op.content));
+    }(sim, *clients[i % n_clients], blob.value(), ops[i]));
+  }
+
+  sim.run_until(simtime::minutes(3));
+
+  test::Digest dg;
+  for (const auto& op : ops) {
+    dg.mix(static_cast<std::uint64_t>(op.result.code()));
+    if (op.result.ok()) {
+      dg.mix(op.result.value().version);
+      dg.mix(op.result.value().offset);
+      dg.mix_signed(op.result.value().duration);
+    }
+  }
+  dg.mix(plane.faults_applied());
+  dg.mix(dep.cluster().calls_retried());
+  dg.mix(dep.cluster().messages_dropped());
+  dg.mix(static_cast<std::uint64_t>(sim.now()));
+  if (windows != nullptr) *windows = sim.windows_run();
+  return dg.value();
+}
+
+class LaneChaosSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LaneChaosSeeds, ThreadCountNeverChangesFaultedOutcomes) {
+  const std::uint64_t seed = GetParam();
+  std::uint64_t win0 = 0;
+  std::uint64_t win1 = 0;
+  std::uint64_t win4 = 0;
+  const std::uint64_t serial = run_faulted_workload(seed, 0, &win0);
+  const std::uint64_t one = run_faulted_workload(seed, 1, &win1);
+  const std::uint64_t four = run_faulted_workload(seed, 4, &win4);
+  EXPECT_EQ(serial, one) << "seed " << seed;
+  EXPECT_EQ(serial, four) << "seed " << seed;
+  // Untagged full-stack traffic must keep every window shut.
+  EXPECT_EQ(win0, 0u);
+  EXPECT_EQ(win1, 0u);
+  EXPECT_EQ(win4, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerThreadAblation, LaneChaosSeeds,
+                         ::testing::Values(3ull, 11ull, 29ull));
+
+}  // namespace
+}  // namespace bs
