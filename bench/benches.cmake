@@ -43,6 +43,15 @@ add_test(NAME bench-smoke.bench_million_clients
 set_tests_properties(bench-smoke.bench_million_clients
                      PROPERTIES LABELS "bench-smoke")
 
+# Custom-main crash-recovery cost bench (not google-benchmark); --smoke
+# runs the shortest journal sweep and fails on any time-to-readable
+# ordering violation or digest drift across suite replays.
+bs_add_bench(bench_recovery bs_blob bs_fault)
+add_test(NAME bench-smoke.bench_recovery
+         COMMAND bench_recovery --smoke)
+set_tests_properties(bench-smoke.bench_recovery
+                     PROPERTIES LABELS "bench-smoke")
+
 bs_add_bench(bench_ablation_allocation bs_workload bs_viz)
 bs_add_bench(bench_ablation_cache bs_mon bs_viz bs_workload)
 bs_add_bench(bench_ablation_replication bs_core bs_mon bs_workload bs_viz)

@@ -15,7 +15,11 @@
 #     (10^6 clients, 9-site grid5000, best-of-3 per stepper mode) and emit
 #     build/BENCH_sim_lanes.json. The committed repo-root
 #     BENCH_sim_lanes.json is the curated snapshot of the same run.
-# Suites compose: `run_benches.sh sim-kernel sim-lanes` runs both.
+#   run_benches.sh recovery     — run bench_recovery (journal-length sweep
+#     x cold/warm/wiped/slow restarts + site power loss, all in simulated
+#     time) and emit build/BENCH_recovery.json. The committed repo-root
+#     BENCH_recovery.json is the curated snapshot of the same run.
+# Suites compose: `run_benches.sh sim-kernel recovery` runs both.
 set -eu
 cd "$(dirname "$0")/.."
 if [ ! -d build/bench ]; then
@@ -66,12 +70,19 @@ run_sim_lanes() {
   echo "wrote $out"
 }
 
+run_recovery() {
+  out=build/BENCH_recovery.json
+  ./build/bench/bench_recovery > "$out"
+  echo "wrote $out"
+}
+
 if [ $# -gt 0 ]; then
   for suite in "$@"; do
     case "$suite" in
       sim-kernel) run_sim_kernel ;;
       sim-lanes)  run_sim_lanes ;;
-      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes)" >&2
+      recovery)   run_recovery ;;
+      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery)" >&2
          exit 2 ;;
     esac
   done

@@ -3,21 +3,121 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bs::blob {
 
 DataProvider::DataProvider(rpc::Node& node, Options options)
-    : node_(node), options_(options) {
+    : node_(node), options_(options), journal_(options.journal) {
   register_handlers();
   node_.add_crash_listener([this](const rpc::CrashOptions& c) {
     stop_heartbeats();
-    if (c.lose_storage) wipe();
+    if (journal_.enabled()) {
+      // The in-memory image dies with the process; what survives is the
+      // journal's durable prefix, replayed (at disk cost) on restart.
+      wipe();
+      journal_.crash(c.lose_storage, c.torn_tail);
+      recovering_ = true;
+    } else if (c.lose_storage) {
+      wipe();
+    }
   });
   node_.add_restart_listener([this] {
-    // Re-register with the last known manager; the registration carries the
-    // surviving store (or a zeroed one after a wipe).
-    if (pm_node_.valid()) start_heartbeats(pm_node_);
+    if (journal_.enabled()) {
+      node_.cluster().sim().spawn(recover(node_.incarnation()));
+    } else if (pm_node_.valid()) {
+      // Re-register with the last known manager; the registration carries
+      // the surviving store (or a zeroed one after a wipe).
+      start_heartbeats(pm_node_);
+    }
   });
+}
+
+std::uint64_t DataProvider::record_bytes(const JournalRecord& rec) {
+  // Put records carry the data pages (WAL write amplification); removes
+  // are a key tombstone.
+  return rec.kind == JournalRecord::Kind::put ? 48 + rec.payload.size : 40;
+}
+
+void DataProvider::apply_record(const JournalRecord& rec) {
+  if (rec.kind == JournalRecord::Kind::put) {
+    auto [it, inserted] = chunks_.emplace(rec.key, rec.payload);
+    if (inserted) used_ += rec.payload.size;
+  } else if (auto it = chunks_.find(rec.key); it != chunks_.end()) {
+    used_ -= it->second.size;
+    chunks_.erase(it);
+  }
+}
+
+std::vector<Journal<DataProvider::JournalRecord>::Entry>
+DataProvider::encode_checkpoint() const {
+  // Checkpoints are the chunk *index* (48 bytes per chunk): reopening a
+  // checkpointed store scans the index, not the data pages. Encoded over
+  // the sorted key snapshot so the image is deterministic.
+  std::vector<Journal<JournalRecord>::Entry> image;
+  image.reserve(chunks_.size());
+  for (const ChunkKey& key : chunk_keys()) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::put;
+    rec.key = key;
+    rec.payload = chunks_.at(key);
+    image.push_back({std::move(rec), 48});
+  }
+  return image;
+}
+
+void DataProvider::maybe_checkpoint() {
+  if (!journal_.checkpoint_due()) return;
+  if (!journal_.install_checkpoint(encode_checkpoint())) return;
+  obs::count("journal.checkpoints");
+  charge_checkpoint_write(node_, journal_.checkpoint_bytes());
+}
+
+sim::Task<void> DataProvider::recover(std::uint64_t incarnation) {
+  auto& sim = node_.cluster().sim();
+  const SimTime t0 = sim.now();
+  const ReplayPlan plan = journal_.replay_plan();
+  obs::SpanId span = 0;
+  if (auto* ts = obs::sink()) {
+    span = ts->begin_span(
+        "recovery.replay", "recovery", 0,
+        {"node", static_cast<std::int64_t>(node_.id().value)},
+        {"records", static_cast<std::int64_t>(plan.total_records())});
+  }
+  if (!co_await journal_replay_cost(node_, journal_.options().disk, plan) ||
+      node_.incarnation() != incarnation) {
+    // Crashed again mid-replay; the next restart starts recovery over.
+    if (auto* ts = obs::sink()) ts->end_span(span, "aborted");
+    co_return;
+  }
+  const auto outcome = journal_.finish_recovery();
+  if (outcome.torn_bytes > 0) {
+    ++rec_stats_.torn_tails_truncated;
+    obs::count("recovery.torn_tails");
+  }
+  if (outcome.wiped) ++rec_stats_.cold_starts;
+  journal_.replay([this](const JournalRecord& rec) { apply_record(rec); });
+  recovering_ = false;
+  ++rec_stats_.recoveries;
+  rec_stats_.replay_bytes += plan.total_bytes();
+  rec_stats_.replay_records += plan.total_records();
+  rec_stats_.last_time_to_readable = sim.now() - t0;
+  rec_stats_.total_time_to_readable += rec_stats_.last_time_to_readable;
+  obs::count("recovery.replays");
+  obs::count("recovery.replay_bytes", plan.total_bytes());
+  obs::count("recovery.replay_records", plan.total_records());
+  obs::observe("recovery.time_to_readable_ms",
+               static_cast<double>(rec_stats_.last_time_to_readable) /
+                   static_cast<double>(simtime::kNanosPerMilli),
+               0.0, 60000.0, 120);
+  if (auto* ts = obs::sink()) ts->end_span(span, "ok");
+  BS_INFO("recovery", "node %llu readable after %llu records / %llu bytes",
+          (unsigned long long)node_.id().value,
+          (unsigned long long)plan.total_records(),
+          (unsigned long long)plan.total_bytes());
+  if (used_ > 0) notify_storage(static_cast<std::int64_t>(used_));
+  if (pm_node_.valid()) start_heartbeats(pm_node_);
 }
 
 void DataProvider::register_handlers() {
@@ -40,18 +140,41 @@ void DataProvider::register_handlers() {
   node_.serve<RemoveBlobChunksReq, RemoveBlobChunksResp>(
       [this](const RemoveBlobChunksReq& req, const rpc::Envelope&)
           -> sim::Task<Result<RemoveBlobChunksResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "store recovering"};
+        }
         RemoveBlobChunksResp resp;
+        std::vector<ChunkKey> removed;
         // bslint: allow(det-unordered-iter): erase sweep accumulating
-        // order-insensitive sums; visit order never escapes
+        // order-insensitive sums; the removed-key set is sorted before use
         for (auto it = chunks_.begin(); it != chunks_.end();) {
           if (it->first.blob == req.blob) {
             resp.bytes_freed += it->second.size;
             ++resp.chunks_removed;
             used_ -= it->second.size;
+            removed.push_back(it->first);
             it = chunks_.erase(it);
           } else {
             ++it;
           }
+        }
+        if (journal_.enabled() && !removed.empty()) {
+          std::sort(removed.begin(), removed.end());
+          std::uint64_t bytes = 0;
+          for (const ChunkKey& key : removed) {
+            JournalRecord rec;
+            rec.kind = JournalRecord::Kind::remove;
+            rec.key = key;
+            bytes += record_bytes(rec);
+            journal_.append(std::move(rec), record_bytes(rec));
+          }
+          const std::uint64_t seq = journal_.tail_seq();
+          if (!co_await journal_fsync(node_, journal_.options().disk,
+                                      bytes)) {
+            co_return Error{Errc::unavailable, "crashed before commit"};
+          }
+          journal_.seal(seq);
+          maybe_checkpoint();
         }
         if (resp.bytes_freed > 0) {
           notify_storage(-static_cast<std::int64_t>(resp.bytes_freed));
@@ -62,6 +185,9 @@ void DataProvider::register_handlers() {
   node_.serve<ProviderStatusReq, ProviderStatusResp>(
       [this](const ProviderStatusReq&,
              const rpc::Envelope&) -> sim::Task<Result<ProviderStatusResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "store recovering"};
+        }
         ProviderStatusResp resp;
         resp.capacity = options_.capacity;
         resp.used = used_;
@@ -71,6 +197,9 @@ void DataProvider::register_handlers() {
   node_.serve<ListChunksReq, ListChunksResp>(
       [this](const ListChunksReq&,
              const rpc::Envelope&) -> sim::Task<Result<ListChunksResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "store recovering"};
+        }
         ListChunksResp resp;
         resp.keys = chunk_keys();
         co_return resp;
@@ -110,6 +239,7 @@ void DataProvider::notify_access(const ChunkKey& key, std::uint64_t bytes,
 
 sim::Task<Result<PutChunkResp>> DataProvider::handle_put(PutChunkReq req,
                                                          ClientId client) {
+  if (recovering_) co_return Error{Errc::unavailable, "store recovering"};
   auto it = chunks_.find(req.key);
   if (it != chunks_.end()) {
     // Chunks are immutable: a re-put (retry, abort-repair) is idempotent.
@@ -122,6 +252,21 @@ sim::Task<Result<PutChunkResp>> DataProvider::handle_put(PutChunkReq req,
   stores_.add(node_.cluster().sim().now(),
               static_cast<double>(req.payload.size));
   chunks_.emplace(req.key, req.payload);
+  if (journal_.enabled()) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::put;
+    rec.key = req.key;
+    rec.payload = req.payload;
+    const std::uint64_t bytes = record_bytes(rec);
+    const std::uint64_t seq = journal_.append(std::move(rec), bytes);
+    if (!co_await journal_fsync(node_, journal_.options().disk, bytes)) {
+      // Crashed before the commit barrier: the put was never durable and
+      // the crash already rolled the in-memory image back.
+      co_return Error{Errc::unavailable, "crashed before commit"};
+    }
+    journal_.seal(seq);
+    maybe_checkpoint();
+  }
   notify_storage(static_cast<std::int64_t>(req.payload.size));
   notify_access(req.key, req.payload.size, /*write=*/true, client);
   co_return PutChunkResp{};
@@ -129,6 +274,7 @@ sim::Task<Result<PutChunkResp>> DataProvider::handle_put(PutChunkReq req,
 
 sim::Task<Result<GetChunkResp>> DataProvider::handle_get(GetChunkReq req,
                                                          ClientId client) {
+  if (recovering_) co_return Error{Errc::unavailable, "store recovering"};
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) {
     co_return Error{Errc::not_found, "chunk not stored here"};
@@ -159,17 +305,31 @@ sim::Task<Result<GetChunkResp>> DataProvider::handle_get(GetChunkReq req,
 
 sim::Task<Result<RemoveChunkResp>> DataProvider::handle_remove(
     RemoveChunkReq req) {
+  if (recovering_) co_return Error{Errc::unavailable, "store recovering"};
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) co_return RemoveChunkResp{false};
   used_ -= it->second.size;
   const auto delta = -static_cast<std::int64_t>(it->second.size);
   chunks_.erase(it);
+  if (journal_.enabled()) {
+    JournalRecord rec;
+    rec.kind = JournalRecord::Kind::remove;
+    rec.key = req.key;
+    const std::uint64_t bytes = record_bytes(rec);
+    const std::uint64_t seq = journal_.append(std::move(rec), bytes);
+    if (!co_await journal_fsync(node_, journal_.options().disk, bytes)) {
+      co_return Error{Errc::unavailable, "crashed before commit"};
+    }
+    journal_.seal(seq);
+    maybe_checkpoint();
+  }
   notify_storage(delta);
   co_return RemoveChunkResp{true};
 }
 
 sim::Task<Result<ReplicateChunkResp>> DataProvider::handle_replicate(
     ReplicateChunkReq req) {
+  if (recovering_) co_return Error{Errc::unavailable, "store recovering"};
   auto it = chunks_.find(req.key);
   if (it == chunks_.end()) {
     co_return Error{Errc::not_found, "chunk not stored here"};

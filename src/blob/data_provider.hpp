@@ -6,6 +6,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "blob/journal.hpp"
 #include "blob/messages.hpp"
 #include "common/stats.hpp"
 #include "rpc/rpc.hpp"
@@ -15,6 +16,9 @@ namespace bs::blob {
 struct DataProviderOptions {
   std::uint64_t capacity{64ull * units::GB};
   SimDuration heartbeat_interval{simtime::seconds(2)};
+  /// Persistent chunk-index store model. Disabled: the store survives
+  /// crashes intact (unless wiped) and restarts are free, as before.
+  JournalOptions journal{};
 };
 
 class DataProvider {
@@ -79,6 +83,22 @@ class DataProvider {
   /// Failure injection: drops all stored chunks (models a disk loss).
   void wipe();
 
+  /// True between a journaled restart and the end of journal replay; every
+  /// request is rejected `unavailable` until the store is readable again.
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return rec_stats_;
+  }
+
+  /// One write-ahead-journal record of the chunk store: puts carry the
+  /// payload (the WAL holds data pages), removes just the key.
+  struct JournalRecord {
+    enum class Kind : std::uint8_t { put, remove };
+    Kind kind{Kind::put};
+    ChunkKey key{};
+    Payload payload{};
+  };
+
  private:
   void register_handlers();
   sim::Task<void> heartbeat_loop(NodeId provider_manager,
@@ -97,9 +117,19 @@ class DataProvider {
   sim::Task<Result<RemoveChunkResp>> handle_remove(RemoveChunkReq req);
   sim::Task<Result<ReplicateChunkResp>> handle_replicate(ReplicateChunkReq req);
 
+  static std::uint64_t record_bytes(const JournalRecord& rec);
+  void apply_record(const JournalRecord& rec);
+  [[nodiscard]] std::vector<Journal<JournalRecord>::Entry> encode_checkpoint()
+      const;
+  void maybe_checkpoint();
+  sim::Task<void> recover(std::uint64_t incarnation);
+
   rpc::Node& node_;
   Options options_;
   std::unordered_map<ChunkKey, Payload> chunks_;
+  Journal<JournalRecord> journal_;
+  bool recovering_{false};
+  RecoveryStats rec_stats_;
   std::uint64_t used_{0};
   SlidingWindowCounter stores_{simtime::seconds(10)};
   bool heartbeats_on_{false};

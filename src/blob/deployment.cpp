@@ -1,11 +1,21 @@
 #include "blob/deployment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 namespace bs::blob {
 
 Deployment::Deployment(sim::Simulation& sim, DeploymentConfig config)
     : sim_(sim), config_(config) {
+  if (const char* env = std::getenv("BS_JOURNAL")) {
+    if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0) {
+      config_.journal.enabled = true;
+    } else if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+      config_.journal.enabled = false;
+    }
+  }
+  config_.vm_options.journal = config_.journal;
   cluster_ = std::make_unique<rpc::Cluster>(
       sim,
       config_.sites <= 1 ? net::Topology::single_site()
@@ -28,7 +38,9 @@ Deployment::Deployment(sim::Simulation& sim, DeploymentConfig config)
 
   for (std::size_t i = 0; i < config_.metadata_providers; ++i) {
     rpc::Node* n = cluster_->add_node(next_site(), config_.node_spec);
-    meta_providers_.push_back(std::make_unique<MetadataProvider>(*n));
+    MetadataProvider::Options mopts;
+    mopts.journal = config_.journal;
+    meta_providers_.push_back(std::make_unique<MetadataProvider>(*n, mopts));
   }
   for (std::size_t i = 0; i < config_.data_providers; ++i) {
     add_provider();
@@ -64,6 +76,7 @@ DataProvider* Deployment::add_provider() {
   rpc::Node* n = cluster_->add_node(next_site(), config_.node_spec);
   DataProvider::Options opts;
   opts.capacity = config_.provider_capacity;
+  opts.journal = config_.journal;
   providers_.push_back(std::make_unique<DataProvider>(*n, opts));
   if (config_.start_heartbeats) {
     providers_.back()->start_heartbeats(pm_node_->id());

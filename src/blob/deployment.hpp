@@ -33,6 +33,11 @@ struct DeploymentConfig {
   bool start_lease_sweeper{true};
   /// Seed for the cluster's fault/retry RNG (backoff jitter).
   std::uint64_t fault_seed{0xB5FA117ull};
+  /// Persistent store model for every stateful service (version manager,
+  /// metadata providers, data providers). Disabled by default: state
+  /// survives crashes intact and restarts are free, exactly as before.
+  /// Overridable with BS_JOURNAL=on|off.
+  JournalOptions journal{};
 };
 
 class Deployment {

@@ -1,0 +1,63 @@
+#include "blob/journal.hpp"
+
+namespace bs::blob {
+
+namespace {
+
+SimDuration apply_delay(const DiskModel& disk, std::uint64_t records) {
+  if (records == 0 || disk.replay_iops <= 0) return 0;
+  return static_cast<SimDuration>(
+      static_cast<double>(records) / disk.replay_iops *
+      static_cast<double>(simtime::kNanosPerSec));
+}
+
+bool still_up(const rpc::Node& node, std::uint64_t incarnation) {
+  return node.up() && node.incarnation() == incarnation;
+}
+
+}  // namespace
+
+// bslint: allow(coro-ref-param): the node is cluster-owned for the whole
+// simulation; crash safety is handled by incarnation pinning, not lifetime
+sim::Task<bool> journal_fsync(rpc::Node& node, DiskModel disk,
+                              std::uint64_t bytes) {
+  auto& cluster = node.cluster();
+  const std::uint64_t inc = node.incarnation();
+  if (bytes > 0) {
+    std::vector<net::Resource*> rs{node.disk()};
+    co_await cluster.flows().transfer(static_cast<double>(bytes),
+                                      std::move(rs));
+  }
+  if (!still_up(node, inc)) co_return false;
+  co_await cluster.sim().delay(disk.fsync_latency);
+  co_return still_up(node, inc);
+}
+
+// bslint: allow(coro-ref-param): node is cluster-owned; see journal_fsync
+sim::Task<bool> journal_replay_cost(rpc::Node& node, DiskModel disk,
+                                    ReplayPlan plan) {
+  auto& cluster = node.cluster();
+  const std::uint64_t inc = node.incarnation();
+  co_await cluster.sim().delay(disk.mount_latency);
+  if (!still_up(node, inc)) co_return false;
+  if (plan.total_bytes() > 0) {
+    std::vector<net::Resource*> rs{node.disk()};
+    co_await cluster.flows().transfer(static_cast<double>(plan.total_bytes()),
+                                      std::move(rs));
+    if (!still_up(node, inc)) co_return false;
+  }
+  co_await cluster.sim().delay(apply_delay(disk, plan.total_records()));
+  co_return still_up(node, inc);
+}
+
+void charge_checkpoint_write(rpc::Node& node, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  auto& cluster = node.cluster();
+  cluster.sim().spawn(
+      [](rpc::Cluster& cl, net::Resource* disk, double b) -> sim::Task<void> {
+        std::vector<net::Resource*> rs{disk};
+        co_await cl.flows().transfer(b, std::move(rs));
+      }(cluster, node.disk(), static_cast<double>(bytes)));
+}
+
+}  // namespace bs::blob

@@ -1,0 +1,235 @@
+// LMDB-style persistent store *model* for the stateful BlobSeer actors
+// (data providers, metadata providers, version manager): a write-ahead
+// journal of versioned metadata / chunk-index records plus periodic
+// checkpoints, following the nano-node version_store idiom. Nothing is
+// serialized to a real file — the journal tracks which records would be on
+// disk (the durable prefix) and what replaying them would cost, so crash
+// recovery has a measurable time-to-readable instead of being free:
+//
+//   append()  — write a record to the volatile tail (in the page cache);
+//   seal()    — an fsync barrier: everything appended up to a sequence
+//               number becomes durable (group commit — one fsync covers its
+//               own record and every earlier append);
+//   crash()   — drop the volatile tail (or everything, on store loss) and
+//               optionally model a torn last record (power loss mid-write);
+//   replay()  — visit checkpoint + durable tail in order to rebuild state,
+//               after paying the ReplayPlan's disk cost.
+//
+// The disk cost rides the FlowScheduler through the node's disk resource,
+// so fault-plane disk slowdowns stretch recovery exactly like they stretch
+// regular I/O.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rpc/rpc.hpp"
+
+namespace bs::blob {
+
+/// Cost model of the simulated persistent store's disk behaviour. Byte
+/// costs (checkpoint scan, journal tail, torn-tail scan) go through the
+/// node's FlowScheduler disk resource; per-record apply cost and fixed
+/// latencies are pure delays.
+struct DiskModel {
+  double replay_iops{50000.0};  ///< records applied per second during replay
+  SimDuration fsync_latency{simtime::micros(500)};  ///< per fsync barrier
+  SimDuration mount_latency{simtime::millis(20)};   ///< open + manifest scan
+};
+
+struct JournalOptions {
+  bool enabled{false};
+  /// A checkpoint is taken once the fully-durable tail exceeds either
+  /// bound, truncating the journal (warm restarts replay a short tail).
+  std::uint64_t checkpoint_bytes{256ull * units::MB};
+  std::uint64_t checkpoint_records{4096};
+  DiskModel disk{};
+};
+
+/// What the pending recovery has to read and apply.
+struct ReplayPlan {
+  std::uint64_t checkpoint_bytes{0};
+  std::uint64_t checkpoint_records{0};
+  std::uint64_t tail_bytes{0};
+  std::uint64_t tail_records{0};
+  std::uint64_t torn_bytes{0};  ///< partial last record, scanned + truncated
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return checkpoint_bytes + tail_bytes + torn_bytes;
+  }
+  [[nodiscard]] std::uint64_t total_records() const {
+    return checkpoint_records + tail_records;
+  }
+};
+
+/// Per-service recovery bookkeeping (exported by bench_recovery).
+struct RecoveryStats {
+  std::uint64_t recoveries{0};
+  std::uint64_t cold_starts{0};  ///< store was lost; nothing to replay
+  std::uint64_t replay_bytes{0};
+  std::uint64_t replay_records{0};
+  std::uint64_t torn_tails_truncated{0};
+  SimDuration last_time_to_readable{0};
+  SimDuration total_time_to_readable{0};
+};
+
+/// The store model itself, generic over the service's record type. Not a
+/// byte-accurate format: each record carries the byte size it would occupy
+/// on disk, which is what the cost model consumes.
+template <class Record>
+class Journal {
+ public:
+  struct Entry {
+    Record rec{};
+    std::uint64_t bytes{0};
+  };
+
+  explicit Journal(JournalOptions opts) : opts_(opts) {}
+
+  [[nodiscard]] bool enabled() const { return opts_.enabled; }
+  [[nodiscard]] const JournalOptions& options() const { return opts_; }
+
+  /// Appends to the volatile tail; the record is durable only once a
+  /// seal() covers the returned sequence number.
+  std::uint64_t append(Record rec, std::uint64_t bytes) {
+    tail_.push_back(Entry{std::move(rec), bytes});
+    return ++next_seq_;
+  }
+
+  /// fsync barrier: every record with sequence <= seq becomes durable.
+  /// Call only after the fsync cost has been paid *and* the node survived
+  /// it (journal_fsync returns true) — sealing first would make records
+  /// durable for free.
+  void seal(std::uint64_t seq) {
+    if (seq <= base_seq_) return;  // predates the last checkpoint/wipe
+    const std::uint64_t upto = seq - base_seq_;
+    durable_ = std::max(durable_, std::min<std::uint64_t>(upto, tail_.size()));
+  }
+
+  /// Sequence number of the newest append (seal(tail_seq()) after an fsync
+  /// covers the whole tail as it stood when the fsync started).
+  [[nodiscard]] std::uint64_t tail_seq() const { return next_seq_; }
+
+  /// Crash semantics. `lose_storage` wipes checkpoint and journal (cold,
+  /// empty store); otherwise the volatile tail is dropped and, with
+  /// `torn_tail`, the first un-sealed record is modelled as torn — half its
+  /// bytes linger on disk and must be scanned and truncated at recovery.
+  void crash(bool lose_storage, bool torn_tail) {
+    if (lose_storage) {
+      checkpoint_.clear();
+      checkpoint_bytes_ = 0;
+      tail_.clear();
+      durable_ = 0;
+      base_seq_ = next_seq_;
+      torn_bytes_ = 0;
+      wiped_ = true;
+      return;
+    }
+    if (torn_tail && tail_.size() > durable_) {
+      torn_bytes_ = (tail_[durable_].bytes + 1) / 2;
+    }
+    tail_.resize(durable_);
+  }
+
+  [[nodiscard]] ReplayPlan replay_plan() const {
+    ReplayPlan p;
+    p.checkpoint_bytes = checkpoint_bytes_;
+    p.checkpoint_records = checkpoint_.size();
+    for (const Entry& e : tail_) p.tail_bytes += e.bytes;
+    p.tail_records = tail_.size();
+    p.torn_bytes = torn_bytes_;
+    return p;
+  }
+
+  /// Visits checkpoint records, then the durable tail, in append order.
+  template <class Fn>
+  void replay(Fn&& fn) const {
+    for (const Entry& e : checkpoint_) fn(e.rec);
+    for (const Entry& e : tail_) fn(e.rec);
+  }
+
+  /// Closes out a recovery: truncates the torn tail and clears the wipe
+  /// marker. Returns what the recovery had to clean up.
+  struct RecoveryOutcome {
+    std::uint64_t torn_bytes{0};
+    bool wiped{false};
+  };
+  RecoveryOutcome finish_recovery() {
+    RecoveryOutcome out{torn_bytes_, wiped_};
+    torn_bytes_ = 0;
+    wiped_ = false;
+    return out;
+  }
+
+  /// True once the fully-durable tail has outgrown the checkpoint policy.
+  [[nodiscard]] bool checkpoint_due() const {
+    if (!opts_.enabled || durable_ != tail_.size() || tail_.empty()) {
+      return false;
+    }
+    std::uint64_t bytes = 0;
+    for (const Entry& e : tail_) bytes += e.bytes;
+    return bytes >= opts_.checkpoint_bytes ||
+           tail_.size() >= opts_.checkpoint_records;
+  }
+
+  /// Replaces the checkpoint image and truncates the journal. Only legal at
+  /// a commit boundary (no volatile tail — those records would be lost);
+  /// returns false and does nothing otherwise.
+  bool install_checkpoint(std::vector<Entry> image) {
+    if (durable_ != tail_.size()) return false;
+    checkpoint_ = std::move(image);
+    checkpoint_bytes_ = 0;
+    for (const Entry& e : checkpoint_) checkpoint_bytes_ += e.bytes;
+    tail_.clear();
+    durable_ = 0;
+    base_seq_ = next_seq_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t checkpoint_records() const {
+    return checkpoint_.size();
+  }
+  [[nodiscard]] std::uint64_t checkpoint_bytes() const {
+    return checkpoint_bytes_;
+  }
+  [[nodiscard]] std::size_t tail_records() const { return tail_.size(); }
+  [[nodiscard]] std::size_t durable_records() const {
+    return static_cast<std::size_t>(durable_);
+  }
+  [[nodiscard]] std::uint64_t torn_bytes() const { return torn_bytes_; }
+  [[nodiscard]] bool wiped() const { return wiped_; }
+
+ private:
+  JournalOptions opts_;
+  std::vector<Entry> checkpoint_;
+  std::uint64_t checkpoint_bytes_{0};
+  std::vector<Entry> tail_;
+  std::uint64_t durable_{0};   ///< durable prefix length of tail_
+  std::uint64_t base_seq_{0};  ///< sequence just before tail_[0]
+  std::uint64_t next_seq_{0};  ///< sequence of the newest append
+  std::uint64_t torn_bytes_{0};
+  bool wiped_{false};
+};
+
+/// Pays the fsync cost for `bytes` of journal on `node`'s disk. Returns
+/// true iff the node stayed up (same incarnation) for the whole barrier —
+/// the caller seals only then; on false its record stays volatile and the
+/// crash has already dropped it.
+// bslint: allow(coro-ref-param): the node is cluster-owned for the whole
+// simulation; crash safety is handled by incarnation pinning, not lifetime
+sim::Task<bool> journal_fsync(rpc::Node& node, DiskModel disk,
+                              std::uint64_t bytes);
+
+/// Pays the recovery replay cost (mount + checkpoint/tail/torn bytes at
+/// disk bandwidth + per-record apply IOPS). Returns false if the node
+/// crashed again mid-replay — the next restart starts recovery over.
+// bslint: allow(coro-ref-param): node is cluster-owned; see journal_fsync
+sim::Task<bool> journal_replay_cost(rpc::Node& node, DiskModel disk,
+                                    ReplayPlan plan);
+
+/// Charges a background checkpoint write of `bytes` against the node's
+/// disk (detached flow: the service keeps serving while it drains).
+void charge_checkpoint_write(rpc::Node& node, std::uint64_t bytes);
+
+}  // namespace bs::blob

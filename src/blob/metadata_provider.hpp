@@ -6,15 +6,24 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blob/journal.hpp"
 #include "blob/messages.hpp"
 #include "blob/meta_tree.hpp"
 #include "rpc/rpc.hpp"
 
 namespace bs::blob {
 
+struct MetadataProviderOptions {
+  /// Persistent tree-node store model. Disabled: metadata survives crashes
+  /// intact (unless wiped) and restarts are free, as before.
+  JournalOptions journal{};
+};
+
 class MetadataProvider {
  public:
-  explicit MetadataProvider(rpc::Node& node);
+  using Options = MetadataProviderOptions;
+
+  explicit MetadataProvider(rpc::Node& node, Options options = {});
 
   [[nodiscard]] NodeId id() const { return node_.id(); }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
@@ -26,9 +35,34 @@ class MetadataProvider {
     bytes_ = 0;
   }
 
+  /// True between a journaled restart and the end of journal replay.
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return rec_stats_;
+  }
+
+  /// One write-ahead-journal record of the tree-node store.
+  struct JournalRecord {
+    enum class Kind : std::uint8_t { put, remove };
+    Kind kind{Kind::put};
+    NodeKey key{};
+    TreeNode node{};
+  };
+
  private:
+  static std::uint64_t record_bytes(const JournalRecord& rec);
+  void apply_record(const JournalRecord& rec);
+  [[nodiscard]] std::vector<Journal<JournalRecord>::Entry> encode_checkpoint()
+      const;
+  void maybe_checkpoint();
+  sim::Task<void> recover(std::uint64_t incarnation);
+
   rpc::Node& node_;
+  Options options_;
   std::unordered_map<NodeKey, TreeNode> nodes_;
+  Journal<JournalRecord> journal_;
+  bool recovering_{false};
+  RecoveryStats rec_stats_;
   std::uint64_t bytes_{0};
 };
 

@@ -10,13 +10,248 @@
 namespace bs::blob {
 
 VersionManager::VersionManager(rpc::Node& node, Options opts)
-    : node_(node), opts_(opts) {
+    : node_(node), opts_(opts), journal_(opts.journal) {
   register_handlers();
-  // The sweeper dies with the node; a restart revives it. Blob state itself
-  // survives crashes (the paper's version manager is durable metadata).
-  node_.add_restart_listener([this] {
-    if (sweeper_enabled_) start_lease_sweeper();
+  node_.add_crash_listener([this](const rpc::CrashOptions& c) {
+    if (!journal_.enabled()) return;
+    // Wake every parked commit handler: they resume (via the event queue,
+    // after this listener), find the blob gone, and their responses are
+    // discarded by the RPC layer's incarnation pinning anyway.
+    for (auto& [id, b] : blobs_) {
+      for (auto& [v, w] : b.pending) {
+        if (w.decision && !w.decision->is_set()) w.decision->set();
+      }
+    }
+    blobs_.clear();
+    next_blob_ = 1;
+    journal_.crash(c.lose_storage, c.torn_tail);
+    recovering_ = true;
   });
+  // The sweeper dies with the node; a restart revives it. With the journal
+  // disabled blob state itself survives crashes intact (the paper's durable
+  // version manager); enabled, a restart replays the journal first.
+  node_.add_restart_listener([this] {
+    if (journal_.enabled()) {
+      node_.cluster().sim().spawn(recover(node_.incarnation()));
+    } else if (sweeper_enabled_) {
+      start_lease_sweeper();
+    }
+  });
+}
+
+sim::Task<bool> VersionManager::journal_commit(VmRecord rec) {
+  if (!journal_.enabled()) co_return true;
+  const std::uint64_t bytes = record_bytes(rec);
+  const std::uint64_t seq = journal_.append(rec, bytes);
+  if (!co_await journal_fsync(node_, journal_.options().disk, bytes)) {
+    co_return false;
+  }
+  journal_.seal(seq);
+  maybe_checkpoint();
+  co_return true;
+}
+
+sim::Task<bool> VersionManager::journal_sync_tail() {
+  if (!journal_.enabled()) co_return true;
+  const std::uint64_t seq = journal_.tail_seq();
+  const std::uint64_t bytes =
+      (journal_.tail_records() - journal_.durable_records()) * 64;
+  if (!co_await journal_fsync(node_, journal_.options().disk, bytes)) {
+    co_return false;
+  }
+  journal_.seal(seq);
+  maybe_checkpoint();
+  co_return true;
+}
+
+void VersionManager::apply_record(const VmRecord& rec) {
+  if (rec.kind == VmRecord::Kind::create) {
+    BlobState b;
+    b.id = BlobId{rec.blob};
+    b.chunk_size = rec.chunk_size;
+    b.replication = rec.replication;
+    b.base_replication = rec.replication;
+    b.created_at = rec.created_at;
+    b.ttl = rec.ttl;
+    next_blob_ = std::max(next_blob_, rec.blob + 1);
+    blobs_.insert_or_assign(rec.blob, std::move(b));
+    return;
+  }
+  auto it = blobs_.find(rec.blob);
+  if (it == blobs_.end()) return;
+  BlobState& b = it->second;
+  switch (rec.kind) {
+    case VmRecord::Kind::start: {
+      PendingWrite w;
+      w.extent = rec.extent;
+      w.end_bytes = rec.bytes;
+      w.root_chunks = rec.extent.root_chunks;
+      w.lease_from = node_.cluster().sim().now();
+      b.history.push_back(rec.extent);
+      b.pending.emplace(rec.version, std::move(w));
+      b.next_version = std::max(b.next_version, rec.version + 1);
+      b.reserved_end = std::max(b.reserved_end, rec.bytes);
+      break;
+    }
+    case VmRecord::Kind::publish: {
+      VersionInfo info;
+      info.version = rec.version;
+      info.size = rec.bytes;
+      info.root_chunks = rec.extent.root_chunks;
+      b.published.insert_or_assign(rec.version, info);
+      b.latest = rec.version;  // publish records land in version order
+      b.latest_size = info.size;
+      b.pending.erase(rec.version);
+      break;
+    }
+    case VmRecord::Kind::abort: {
+      b.pending.erase(rec.version);
+      remove_from_history(b, rec.version);
+      ++b.abort_epoch;
+      std::uint64_t end = b.latest_size;
+      for (const auto& e : b.history) {
+        auto pend = b.pending.find(e.version);
+        const std::uint64_t e_end =
+            pend != b.pending.end()
+                ? pend->second.end_bytes
+                : (e.first_chunk + e.chunk_count) * b.chunk_size;
+        end = std::max(end, e_end);
+      }
+      b.reserved_end = end;
+      break;
+    }
+    case VmRecord::Kind::trim_mark:
+      b.trimmed.insert(rec.version);
+      b.published.erase(rec.version);
+      break;
+    case VmRecord::Kind::set_replication:
+      b.replication = rec.replication;
+      break;
+    case VmRecord::Kind::delete_blob:
+      b.deleted = true;
+      break;
+    case VmRecord::Kind::frontier:
+      b.next_version = std::max(b.next_version, rec.version);
+      b.reserved_end = rec.bytes;
+      b.abort_epoch = rec.epoch;
+      break;
+    case VmRecord::Kind::create:
+      break;  // handled above
+  }
+}
+
+std::vector<Journal<VersionManager::VmRecord>::Entry>
+VersionManager::encode_checkpoint() const {
+  // Re-encodes blob state as the record sequence that rebuilds it; blobs_
+  // and every per-blob container are ordered, so the image is
+  // deterministic. In-flight commit decisions are deliberately not encoded
+  // (a surviving writer just retries; the commit path is idempotent).
+  std::vector<Journal<VmRecord>::Entry> image;
+  for (const auto& [id, b] : blobs_) {
+    auto push = [&](VmRecord rec) {
+      rec.blob = id;
+      image.push_back({rec, record_bytes(rec)});
+    };
+    VmRecord create;
+    create.kind = VmRecord::Kind::create;
+    create.chunk_size = b.chunk_size;
+    create.replication = b.base_replication;
+    create.created_at = b.created_at;
+    create.ttl = b.ttl;
+    push(create);
+    if (b.replication != b.base_replication) {
+      VmRecord rep;
+      rep.kind = VmRecord::Kind::set_replication;
+      rep.replication = b.replication;
+      push(rep);
+    }
+    for (const WriteExtent& e : b.history) {
+      VmRecord start;
+      start.kind = VmRecord::Kind::start;
+      start.version = e.version;
+      start.extent = e;
+      auto pend = b.pending.find(e.version);
+      start.bytes = pend != b.pending.end()
+                        ? pend->second.end_bytes
+                        : (e.first_chunk + e.chunk_count) * b.chunk_size;
+      push(start);
+    }
+    for (const auto& [v, info] : b.published) {
+      VmRecord pub;
+      pub.kind = VmRecord::Kind::publish;
+      pub.version = v;
+      pub.bytes = info.size;
+      pub.extent.root_chunks = info.root_chunks;
+      push(pub);
+    }
+    for (Version v : b.trimmed) {
+      VmRecord trim;
+      trim.kind = VmRecord::Kind::trim_mark;
+      trim.version = v;
+      push(trim);
+    }
+    if (b.deleted) {
+      VmRecord del;
+      del.kind = VmRecord::Kind::delete_blob;
+      push(del);
+    }
+    VmRecord frontier;
+    frontier.kind = VmRecord::Kind::frontier;
+    frontier.version = b.next_version;
+    frontier.bytes = b.reserved_end;
+    frontier.epoch = b.abort_epoch;
+    push(frontier);
+  }
+  return image;
+}
+
+void VersionManager::maybe_checkpoint() {
+  if (!journal_.checkpoint_due()) return;
+  if (!journal_.install_checkpoint(encode_checkpoint())) return;
+  obs::count("journal.checkpoints");
+  charge_checkpoint_write(node_, journal_.checkpoint_bytes());
+}
+
+sim::Task<void> VersionManager::recover(std::uint64_t incarnation) {
+  auto& sim = node_.cluster().sim();
+  const SimTime t0 = sim.now();
+  const ReplayPlan plan = journal_.replay_plan();
+  obs::SpanId span = 0;
+  if (auto* ts = obs::sink()) {
+    span = ts->begin_span(
+        "recovery.replay", "recovery", 0,
+        {"node", static_cast<std::int64_t>(node_.id().value)},
+        {"records", static_cast<std::int64_t>(plan.total_records())});
+  }
+  if (!co_await journal_replay_cost(node_, journal_.options().disk, plan) ||
+      node_.incarnation() != incarnation) {
+    if (auto* ts = obs::sink()) ts->end_span(span, "aborted");
+    co_return;
+  }
+  const auto outcome = journal_.finish_recovery();
+  if (outcome.torn_bytes > 0) {
+    ++rec_stats_.torn_tails_truncated;
+    obs::count("recovery.torn_tails");
+  }
+  if (outcome.wiped) ++rec_stats_.cold_starts;
+  journal_.replay([this](const VmRecord& rec) { apply_record(rec); });
+  recovering_ = false;
+  ++rec_stats_.recoveries;
+  rec_stats_.replay_bytes += plan.total_bytes();
+  rec_stats_.replay_records += plan.total_records();
+  rec_stats_.last_time_to_readable = sim.now() - t0;
+  rec_stats_.total_time_to_readable += rec_stats_.last_time_to_readable;
+  obs::count("recovery.replays");
+  obs::count("recovery.replay_bytes", plan.total_bytes());
+  obs::count("recovery.replay_records", plan.total_records());
+  obs::observe("recovery.time_to_readable_ms",
+               static_cast<double>(rec_stats_.last_time_to_readable) /
+                   static_cast<double>(simtime::kNanosPerMilli),
+               0.0, 60000.0, 120);
+  if (auto* ts = obs::sink()) ts->end_span(span, "ok");
+  BS_INFO("recovery", "version manager readable after %llu records",
+          (unsigned long long)plan.total_records());
+  if (sweeper_enabled_) start_lease_sweeper();
 }
 
 void VersionManager::start_lease_sweeper() {
@@ -85,6 +320,9 @@ void VersionManager::register_handlers() {
   node_.serve<CreateBlobReq, CreateBlobResp>(
       [this](const CreateBlobReq& req,
              const rpc::Envelope&) -> sim::Task<Result<CreateBlobResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         if (req.chunk_size == 0) {
           co_return Error{Errc::invalid_argument, "chunk_size must be > 0"};
         }
@@ -99,13 +337,26 @@ void VersionManager::register_handlers() {
         b.created_at = node_.cluster().sim().now();
         b.ttl = req.ttl;
         const BlobId id = b.id;
+        VmRecord rec;
+        rec.kind = VmRecord::Kind::create;
+        rec.blob = id.value;
+        rec.chunk_size = b.chunk_size;
+        rec.replication = b.replication;
+        rec.created_at = b.created_at;
+        rec.ttl = b.ttl;
         blobs_.emplace(id.value, std::move(b));
+        if (!co_await journal_commit(rec)) {
+          co_return Error{Errc::unavailable, "crashed before commit"};
+        }
         co_return CreateBlobResp{id};
       });
 
   node_.serve<BlobInfoReq, BlobInfoResp>(
       [this](const BlobInfoReq& req,
              const rpc::Envelope&) -> sim::Task<Result<BlobInfoResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         auto it = blobs_.find(req.blob.value);
         if (it == blobs_.end()) {
           co_return Error{Errc::not_found, "unknown blob"};
@@ -156,6 +407,9 @@ void VersionManager::register_handlers() {
   node_.serve<ListBlobsReq, ListBlobsResp>(
       [this](const ListBlobsReq&,
              const rpc::Envelope&) -> sim::Task<Result<ListBlobsResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         ListBlobsResp resp;
         for (const auto& [id, b] : blobs_) {
           if (b.deleted) continue;
@@ -176,6 +430,9 @@ void VersionManager::register_handlers() {
   node_.serve<BlobVersionsReq, BlobVersionsResp>(
       [this](const BlobVersionsReq& req,
              const rpc::Envelope&) -> sim::Task<Result<BlobVersionsResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         auto it = blobs_.find(req.blob.value);
         if (it == blobs_.end()) {
           co_return Error{Errc::not_found, "unknown blob"};
@@ -188,6 +445,9 @@ void VersionManager::register_handlers() {
   node_.serve<TrimBlobReq, TrimBlobResp>(
       [this](const TrimBlobReq& req,
              const rpc::Envelope&) -> sim::Task<Result<TrimBlobResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         auto it = blobs_.find(req.blob.value);
         if (it == blobs_.end()) {
           co_return Error{Errc::not_found, "unknown blob"};
@@ -209,8 +469,10 @@ void VersionManager::register_handlers() {
           }
         }
         TrimBlobResp resp;
+        std::vector<Version> removed;
         for (auto pit = b.published.begin(); pit != first_kept;) {
           const Version v = pit->first;
+          removed.push_back(v);
           // Chunks of v not visible in the first kept snapshot are
           // unreferenced by every kept snapshot (owners only move forward).
           const WriteExtent* ext = nullptr;
@@ -250,12 +512,35 @@ void VersionManager::register_handlers() {
           ++resp.versions_removed;
           pit = b.published.erase(pit);
         }
+        if (journal_.enabled() && !removed.empty()) {
+          // One trim_mark per removed version (walked in version order),
+          // sealed by a single group-commit fsync.
+          std::uint64_t bytes = 0;
+          for (Version v : removed) {
+            VmRecord rec;
+            rec.kind = VmRecord::Kind::trim_mark;
+            rec.blob = req.blob.value;
+            rec.version = v;
+            bytes += record_bytes(rec);
+            journal_.append(rec, record_bytes(rec));
+          }
+          const std::uint64_t seq = journal_.tail_seq();
+          if (!co_await journal_fsync(node_, journal_.options().disk,
+                                      bytes)) {
+            co_return Error{Errc::unavailable, "crashed before commit"};
+          }
+          journal_.seal(seq);
+          maybe_checkpoint();
+        }
         co_return resp;
       });
 
   node_.serve<SetReplicationReq, SetReplicationResp>(
       [this](const SetReplicationReq& req,
              const rpc::Envelope&) -> sim::Task<Result<SetReplicationResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         auto it = blobs_.find(req.blob.value);
         if (it == blobs_.end()) {
           co_return Error{Errc::not_found, "unknown blob"};
@@ -264,23 +549,42 @@ void VersionManager::register_handlers() {
           co_return Error{Errc::invalid_argument, "replication must be >= 1"};
         }
         it->second.replication = req.replication;
+        VmRecord rec;
+        rec.kind = VmRecord::Kind::set_replication;
+        rec.blob = req.blob.value;
+        rec.replication = req.replication;
+        if (!co_await journal_commit(rec)) {
+          co_return Error{Errc::unavailable, "crashed before commit"};
+        }
         co_return SetReplicationResp{};
       });
 
   node_.serve<DeleteBlobReq, DeleteBlobResp>(
       [this](const DeleteBlobReq& req,
              const rpc::Envelope&) -> sim::Task<Result<DeleteBlobResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "version manager recovering"};
+        }
         auto it = blobs_.find(req.blob.value);
         if (it == blobs_.end()) {
           co_return Error{Errc::not_found, "unknown blob"};
         }
         it->second.deleted = true;
+        VmRecord rec;
+        rec.kind = VmRecord::Kind::delete_blob;
+        rec.blob = req.blob.value;
+        if (!co_await journal_commit(rec)) {
+          co_return Error{Errc::unavailable, "crashed before commit"};
+        }
         co_return DeleteBlobResp{};
       });
 }
 
 sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
     StartWriteReq req, ClientId writer) {
+  if (recovering_) {
+    co_return Error{Errc::unavailable, "version manager recovering"};
+  }
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;
@@ -319,13 +623,27 @@ sim::Task<Result<StartWriteResp>> VersionManager::handle_start(
   resp.abort_epoch = b.abort_epoch;
   resp.history = b.history;  // all non-aborted writes with version < v
 
+  VmRecord rec;
+  rec.kind = VmRecord::Kind::start;
+  rec.blob = req.blob.value;
+  rec.version = v;
+  rec.extent = w.extent;
+  rec.bytes = w.end_bytes;
   b.history.push_back(w.extent);
   b.pending.emplace(v, std::move(w));
+  // The reservation must be durable before the writer sees it: a version
+  // number handed out and then forgotten by a crash would be reused.
+  if (!co_await journal_commit(rec)) {
+    co_return Error{Errc::unavailable, "crashed before commit"};
+  }
   co_return resp;
 }
 
 sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
     CommitWriteReq req) {
+  if (recovering_) {
+    co_return Error{Errc::unavailable, "version manager recovering"};
+  }
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;
@@ -337,6 +655,11 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
       CommitWriteResp resp;
       resp.published = true;
       resp.info = pub->second;
+      // The publish record may still be volatile (racing group commit);
+      // an acked publish must never be lost to a crash.
+      if (!co_await journal_sync_tail()) {
+        co_return Error{Errc::unavailable, "crashed before commit"};
+      }
       co_return resp;
     }
     co_return Error{Errc::conflict, "no such pending write"};
@@ -367,6 +690,9 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
       CommitWriteResp resp;
       resp.published = true;
       resp.info = pub->second;
+      if (!co_await journal_sync_tail()) {
+        co_return Error{Errc::unavailable, "crashed before commit"};
+      }
       co_return resp;
     }
     co_return Error{Errc::conflict, "write aborted before publication"};
@@ -377,6 +703,11 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
     resp.published = true;
     resp.info = b2.published.at(req.version);
     b2.pending.erase(pit);
+    // publish_one appended the publish record synchronously; make it (and
+    // everything before it) durable before the writer hears "published".
+    if (!co_await journal_sync_tail()) {
+      co_return Error{Errc::unavailable, "crashed before commit"};
+    }
     co_return resp;
   }
   resp.rebuild_needed = true;
@@ -391,6 +722,9 @@ sim::Task<Result<CommitWriteResp>> VersionManager::handle_commit(
 
 sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
     AbortWriteReq req) {
+  if (recovering_) {
+    co_return Error{Errc::unavailable, "version manager recovering"};
+  }
   auto it = blobs_.find(req.blob.value);
   if (it == blobs_.end()) co_return Error{Errc::not_found, "unknown blob"};
   BlobState& b = it->second;
@@ -406,6 +740,11 @@ sim::Task<Result<AbortWriteResp>> VersionManager::handle_abort(
           (unsigned long long)req.blob.value,
           (unsigned long long)(b.abort_epoch + 1));
   force_abort(b, req.version);
+  // force_abort appended the abort record; an acked abort must survive a
+  // crash (the version must not resurrect as pending).
+  if (!co_await journal_sync_tail()) {
+    co_return Error{Errc::unavailable, "crashed before commit"};
+  }
   co_return AbortWriteResp{};
 }
 
@@ -428,6 +767,16 @@ void VersionManager::force_abort(BlobState& b, Version v) {
   b.pending.erase(pit);
   remove_from_history(b, v);
   ++b.abort_epoch;
+  if (journal_.enabled()) {
+    // Appended here (synchronous call sites: abort handler, lease
+    // sweeper); sealed by the next group-commit fsync. A lease-expiry
+    // abort lost to a crash just expires again after replay.
+    VmRecord rec;
+    rec.kind = VmRecord::Kind::abort;
+    rec.blob = b.id.value;
+    rec.version = v;
+    journal_.append(rec, record_bytes(rec));
+  }
   // Recompute the append frontier without the aborted reservation.
   std::uint64_t end = b.latest_size;
   for (const auto& e : b.history) {
@@ -476,6 +825,17 @@ void VersionManager::publish_one(BlobState& b, Version v, PendingWrite& w) {
   b.published.emplace(v, info);
   b.latest = v;
   b.latest_size = info.size;
+  if (journal_.enabled()) {
+    // Volatile until the commit handler's group-commit fsync; the writer
+    // is only acked after that barrier.
+    VmRecord rec;
+    rec.kind = VmRecord::Kind::publish;
+    rec.blob = b.id.value;
+    rec.version = v;
+    rec.bytes = info.size;
+    rec.extent = w.extent;
+    journal_.append(rec, record_bytes(rec));
+  }
   obs::count("vm.versions_published");
   if (auto* ts = obs::sink()) {
     ts->instant("vm.publish", "vm", 0, "",

@@ -14,6 +14,7 @@
 #include <memory>
 #include <set>
 
+#include "blob/journal.hpp"
 #include "blob/messages.hpp"
 #include "rpc/rpc.hpp"
 #include "sim/sync.hpp"
@@ -27,6 +28,9 @@ struct VersionManagerOptions {
   /// would otherwise block every later commit forever.
   SimDuration write_lease{simtime::seconds(300)};
   SimDuration sweep_interval{simtime::seconds(10)};
+  /// Persistent version-metadata store model. Disabled: blob state survives
+  /// crashes intact (the paper's durable version manager), as before.
+  JournalOptions journal{};
 };
 
 class VersionManager {
@@ -62,6 +66,38 @@ class VersionManager {
 
   /// Pending (started, unsettled) write count across all blobs.
   [[nodiscard]] std::size_t pending_writes() const;
+
+  /// True between a journaled restart and the end of journal replay.
+  [[nodiscard]] bool recovering() const { return recovering_; }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return rec_stats_;
+  }
+
+  /// One write-ahead-journal record of the version-metadata store. Fixed
+  /// 64 bytes on disk; the union of fields the eight kinds need.
+  struct VmRecord {
+    enum class Kind : std::uint8_t {
+      create,           ///< blob created (chunk_size/replication/ttl)
+      start,            ///< version reserved (extent; bytes = reservation end)
+      publish,          ///< version published (bytes = snapshot size)
+      abort,            ///< pending write aborted
+      trim_mark,        ///< published version trimmed away
+      set_replication,  ///< replication factor changed
+      delete_blob,      ///< blob tombstoned
+      frontier,         ///< checkpoint cursor: next_version/reserved_end/epoch
+    };
+    Kind kind{Kind::create};
+    std::uint64_t blob{0};
+    Version version{0};
+    WriteExtent extent{};
+    std::uint64_t bytes{0};  ///< start: reserved end; publish: size;
+                             ///< frontier: reserved_end
+    std::uint64_t chunk_size{0};
+    std::uint32_t replication{1};
+    SimTime created_at{0};
+    SimDuration ttl{0};
+    std::uint64_t epoch{0};  ///< frontier: abort_epoch at checkpoint
+  };
 
  private:
   struct PendingWrite {
@@ -119,9 +155,25 @@ class VersionManager {
   void force_abort(BlobState& b, Version v);
   sim::Task<void> lease_sweeper_loop();
 
+  static std::uint64_t record_bytes(const VmRecord&) { return 64; }
+  void apply_record(const VmRecord& rec);
+  [[nodiscard]] std::vector<Journal<VmRecord>::Entry> encode_checkpoint()
+      const;
+  void maybe_checkpoint();
+  sim::Task<void> recover(std::uint64_t incarnation);
+  /// append + (awaitable) fsync + seal of one record — the common commit
+  /// barrier every mutating handler runs before acking.
+  sim::Task<bool> journal_commit(VmRecord rec);
+  /// Group-commit barrier over whatever is volatile in the journal (e.g.
+  /// publish/abort records appended by the synchronous publication walk).
+  sim::Task<bool> journal_sync_tail();
+
   rpc::Node& node_;
   Options opts_;
   std::map<std::uint64_t, BlobState> blobs_;  // by BlobId value
+  Journal<VmRecord> journal_;
+  bool recovering_{false};
+  RecoveryStats rec_stats_;
   std::uint64_t next_blob_{1};
   std::uint64_t leases_expired_{0};
   bool sweeper_enabled_{false};

@@ -18,6 +18,8 @@ const char* FaultEvent::kind_name() const {
     case Kind::restore_link: return "restore_link";
     case Kind::slow_disk: return "slow_disk";
     case Kind::restore_disk: return "restore_disk";
+    case Kind::power_loss: return "power_loss";
+    case Kind::power_restore: return "power_restore";
   }
   return "?";
 }
@@ -44,13 +46,15 @@ rpc::Cluster::LinkFault FaultPlane::eval(net::SiteId from, net::SiteId to) {
   return f;
 }
 
-void FaultPlane::crash(NodeId node, bool lose_storage) {
+void FaultPlane::crash(NodeId node, bool lose_storage, bool torn_tail) {
   if (rpc::Node* n = cluster_.node(node)) {
     ++faults_applied_;
-    BS_INFO("fault", "crash node %llu%s",
+    BS_INFO("fault", "crash node %llu%s%s",
             static_cast<unsigned long long>(node.value),
-            lose_storage ? " (storage lost)" : "");
-    n->crash(rpc::CrashOptions{.lose_storage = lose_storage});
+            lose_storage ? " (storage lost)" : "",
+            torn_tail ? " (torn tail)" : "");
+    n->crash(rpc::CrashOptions{.lose_storage = lose_storage,
+                               .torn_tail = torn_tail});
   }
 }
 
@@ -60,6 +64,28 @@ void FaultPlane::restart(NodeId node) {
     BS_INFO("fault", "restart node %llu",
             static_cast<unsigned long long>(node.value));
     n->restart();
+  }
+}
+
+void FaultPlane::power_loss(net::SiteId site) {
+  BS_WARN("fault", "power loss at site %zu", site);
+  // Node ids are dense; walking them in order keeps the crash sequence (and
+  // hence every crash listener's side effects) deterministic.
+  for (std::uint64_t i = 0; i < cluster_.node_count(); ++i) {
+    rpc::Node* n = cluster_.node(NodeId{i});
+    if (n != nullptr && n->up() && n->site() == site) {
+      crash(NodeId{i}, /*lose_storage=*/false, /*torn_tail=*/true);
+    }
+  }
+}
+
+void FaultPlane::power_restore(net::SiteId site) {
+  BS_INFO("fault", "power restored at site %zu", site);
+  for (std::uint64_t i = 0; i < cluster_.node_count(); ++i) {
+    rpc::Node* n = cluster_.node(NodeId{i});
+    if (n != nullptr && !n->up() && n->site() == site) {
+      restart(NodeId{i});
+    }
   }
 }
 
@@ -122,7 +148,9 @@ void FaultPlane::apply_now(const FaultEvent& ev) {
                 {"site_a", static_cast<std::int64_t>(ev.a)});
   }
   switch (ev.kind) {
-    case FaultEvent::Kind::crash: crash(ev.node, ev.lose_storage); break;
+    case FaultEvent::Kind::crash:
+      crash(ev.node, ev.lose_storage, ev.torn_tail);
+      break;
     case FaultEvent::Kind::restart: restart(ev.node); break;
     case FaultEvent::Kind::partition: partition(ev.a, ev.b); break;
     case FaultEvent::Kind::heal:
@@ -132,6 +160,8 @@ void FaultPlane::apply_now(const FaultEvent& ev) {
       break;
     case FaultEvent::Kind::slow_disk: slow_disk(ev.node, ev.disk_factor); break;
     case FaultEvent::Kind::restore_disk: restore_disk(ev.node); break;
+    case FaultEvent::Kind::power_loss: power_loss(ev.a); break;
+    case FaultEvent::Kind::power_restore: power_restore(ev.a); break;
   }
 }
 
@@ -155,9 +185,15 @@ std::vector<FaultEvent> random_schedule(std::uint64_t seed,
   const SimTime span = opts.horizon - opts.start;
   // Faults (and their matching heals/restarts) all land inside the active
   // window so the run's tail is quiescent and published data is verifiable.
-  const SimTime active_end =
-      opts.start + static_cast<SimTime>(
-                       static_cast<double>(span) * opts.quiesce_fraction);
+  // With journaled stores the last restart still has a replay ahead of it;
+  // carving the worst-case replay bound out of the window keeps the tail
+  // long enough for every store to become readable again.
+  const SimTime active_end = std::max(
+      opts.start,
+      opts.start +
+          static_cast<SimTime>(static_cast<double>(span) *
+                               opts.quiesce_fraction) -
+          opts.worst_case_recovery);
   auto time_in = [&](SimTime lo, SimTime hi) {
     return lo >= hi ? lo
                     : static_cast<SimTime>(rng.uniform_int(lo, hi - 1));
@@ -183,6 +219,12 @@ std::vector<FaultEvent> random_schedule(std::uint64_t seed,
       if (wipes < opts.max_wipe_crashes && rng.chance(0.5)) {
         crash.lose_storage = true;
         ++wipes;
+      }
+      // Gated draw: consumes RNG only when the knob is on, preserving the
+      // bit-exact schedules of pre-existing seeds.
+      if (opts.torn_tail_prob > 0 && !crash.lose_storage &&
+          rng.chance(opts.torn_tail_prob)) {
+        crash.torn_tail = true;
       }
       out.push_back(crash);
       FaultEvent restart;
@@ -243,6 +285,23 @@ std::vector<FaultEvent> random_schedule(std::uint64_t seed,
       rest.at = t1;
       rest.kind = FaultEvent::Kind::restore_disk;
       out.push_back(rest);
+    }
+  }
+
+  if (opts.power_losses > 0 && !opts.power_loss_sites.empty()) {
+    for (std::size_t i = 0; i < opts.power_losses; ++i) {
+      const net::SiteId site = opts.power_loss_sites[static_cast<std::size_t>(
+          rng.next_below(opts.power_loss_sites.size()))];
+      auto [t0, t1] = window(opts.min_outage, opts.max_outage);
+      FaultEvent loss;
+      loss.at = t0;
+      loss.kind = FaultEvent::Kind::power_loss;
+      loss.a = site;
+      out.push_back(loss);
+      FaultEvent restore = loss;
+      restore.at = t1;
+      restore.kind = FaultEvent::Kind::power_restore;
+      out.push_back(restore);
     }
   }
 

@@ -31,12 +31,17 @@ struct FaultEvent {
     restore_link,  ///< same as heal (named for degrade symmetry)
     slow_disk,     ///< scale a node's disk bandwidth by `disk_factor`
     restore_disk,  ///< restore the node's spec disk bandwidth
+    power_loss,    ///< crash every up node at site `a` with a torn tail
+    power_restore  ///< restart every down node at site `a`
   };
 
   SimTime at{0};
   Kind kind{Kind::crash};
   NodeId node{};
   bool lose_storage{false};
+  /// Power-loss flavour: the journaled store's last un-synced record is
+  /// left half-written (scanned + truncated at recovery).
+  bool torn_tail{false};
   net::SiteId a{0};
   net::SiteId b{0};
   double drop_prob{0.0};
@@ -72,6 +77,21 @@ struct ScheduleOptions {
 
   std::size_t disk_slowdowns{1};
   double min_disk_factor{0.1};
+
+  /// Correlated site-wide power losses (every node at the site crashes with
+  /// a torn journal tail, then power returns). Off by default — and every
+  /// new knob below only draws from the RNG when enabled, so existing
+  /// seeded schedules stay bit-identical.
+  std::size_t power_losses{0};
+  std::vector<net::SiteId> power_loss_sites;  ///< candidate sites
+  SimDuration min_outage{simtime::seconds(5)};
+  SimDuration max_outage{simtime::seconds(30)};
+  /// Probability that a scheduled crash leaves a torn journal tail.
+  double torn_tail_prob{0.0};
+  /// Journaled stores need time to replay after the last restart; shrink
+  /// the active fault window by this worst-case replay bound so the
+  /// quiescent tail really is quiescent (readability checks pass).
+  SimDuration worst_case_recovery{0};
 };
 
 /// Generates a bounded random fault schedule, sorted by time. Deterministic
@@ -89,8 +109,13 @@ class FaultPlane {
   FaultPlane& operator=(const FaultPlane&) = delete;
 
   // -- immediate actuators ------------------------------------------------
-  void crash(NodeId node, bool lose_storage = false);
+  void crash(NodeId node, bool lose_storage = false, bool torn_tail = false);
   void restart(NodeId node);
+  /// Correlated failure: crashes every up node at `site` (torn journal
+  /// tails — power loss mid-write), in node-id order.
+  void power_loss(net::SiteId site);
+  /// Restarts every down node at `site`, in node-id order.
+  void power_restore(net::SiteId site);
   void partition(net::SiteId a, net::SiteId b);
   void heal(net::SiteId a, net::SiteId b);
   void degrade(net::SiteId a, net::SiteId b, double drop_prob,

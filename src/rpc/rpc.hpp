@@ -86,6 +86,9 @@ struct CallOptions {
 /// side), queued requests and un-sent responses are all lost.
 struct CrashOptions {
   bool lose_storage{false};  ///< stateful services wipe their stores
+  /// Power-loss flavour: the journaled store's last un-synced record is
+  /// left half-written and must be scanned and truncated at recovery.
+  bool torn_tail{false};
 };
 
 /// Observation record handed to the instrumentation layer for every request

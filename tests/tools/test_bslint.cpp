@@ -171,6 +171,95 @@ TEST(BslintDeterminism, UnorderedIterOnlyAppliesUnderSrc) {
   EXPECT_TRUE(scan("tests/x.cpp", text).empty());
 }
 
+// --------------------------------------------- D: det-journal-encode
+
+TEST(BslintDeterminism, FlagsEncoderIteratingUnorderedContainer) {
+  auto fs = scan("src/x.cpp",
+                 "std::unordered_map<Key, Rec> recs_;\n"
+                 "std::vector<Entry> encode_checkpoint() {\n"
+                 "  std::vector<Entry> image;\n"
+                 "  for (auto& [k, v] : recs_) image.push_back(enc(k, v));\n"
+                 "  return image;\n"
+                 "}\n");
+  ASSERT_TRUE(has_rule(fs, "det-journal-encode"));
+  // The generic unordered-loop rule fires too; the encoder rule pins the
+  // durable-record hazard specifically.
+  EXPECT_TRUE(has_rule(fs, "det-unordered-iter"));
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(BslintDeterminism, FlagsEncoderSerializingPointers) {
+  EXPECT_TRUE(has_rule(
+      scan("src/x.cpp",
+           "void encode_record(const Rec& r, Buf& b) {\n"
+           "  b.put(reinterpret_cast<const char*>(&r), sizeof(r));\n"
+           "}\n"),
+      "det-journal-encode"));
+  EXPECT_TRUE(has_rule(
+      scan("src/x.cpp",
+           "void encode_record(Rec* r, Buf& b) {\n"
+           "  b.put_u64(static_cast<std::uintptr_t>(0) + uintptr_t(r));\n"
+           "}\n"),
+      "det-journal-encode"));
+  EXPECT_TRUE(has_rule(scan("src/x.cpp",
+                            "void encode_record(Rec* r, char* out) {\n"
+                            "  std::snprintf(out, 32, \"%p\", (void*)r);\n"
+                            "}\n"),
+                       "det-journal-encode"));
+}
+
+TEST(BslintDeterminism, SortedSnapshotEncoderIsClean) {
+  auto fs = scan("src/x.cpp",
+                 "std::vector<Entry> encode_checkpoint() {\n"
+                 "  std::vector<Entry> image;\n"
+                 "  for (const Key& k : sorted_keys()) image.push_back(e(k));\n"
+                 "  return image;\n"
+                 "}\n");
+  EXPECT_FALSE(has_rule(fs, "det-journal-encode"));
+}
+
+TEST(BslintDeterminism, EncoderCallSitesAndDeclarationsAreNotScanned) {
+  // Only definitions have bodies to scan; a call next to an unordered loop
+  // in some *other* function must not be attributed to the encoder.
+  auto fs = scan("src/x.cpp",
+                 "std::vector<Entry> encode_checkpoint();\n"
+                 "std::unordered_map<int, int> m_;\n"
+                 "void f() {\n"
+                 "  install(encode_checkpoint());\n"
+                 "  for (auto& [k, v] : m_) use(k);\n"
+                 "}\n");
+  EXPECT_FALSE(has_rule(fs, "det-journal-encode"));
+  EXPECT_TRUE(has_rule(fs, "det-unordered-iter"));
+}
+
+TEST(BslintDeterminism, SuppressedEncoderLoopCounts) {
+  ScanStats stats;
+  auto fs = scan(
+      "src/x.cpp",
+      "std::unordered_map<Key, Rec> recs_;\n"
+      "std::vector<Entry> encode_checkpoint() {\n"
+      "  std::vector<Key> keys;\n"
+      "  // bslint: allow(det-unordered-iter): snapshot sorted below\n"
+      "  // bslint: allow(det-journal-encode): snapshot sorted below\n"
+      "  for (auto& [k, v] : recs_) keys.push_back(k);\n"
+      "  std::sort(keys.begin(), keys.end());\n"
+      "  return encode_sorted(keys);\n"
+      "}\n",
+      &stats);
+  EXPECT_TRUE(fs.empty());
+  EXPECT_EQ(stats.suppressed, 2);
+}
+
+TEST(BslintDeterminism, JournalEncodeOnlyAppliesUnderSrc) {
+  const char* text =
+      "std::unordered_map<Key, Rec> recs_;\n"
+      "std::vector<Entry> encode_checkpoint() {\n"
+      "  for (auto& [k, v] : recs_) emit(k, v);\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(scan("tests/x.cpp", text), "det-journal-encode"));
+  EXPECT_FALSE(has_rule(scan("bench/x.cpp", text), "det-journal-encode"));
+}
+
 // -------------------------------------------------- C: coro-ref-param
 
 TEST(BslintCoro, FlagsTaskCoroutineWithReferenceParam) {

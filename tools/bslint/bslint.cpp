@@ -35,6 +35,12 @@ const std::vector<RuleDesc>& rule_table() {
       {"det-unordered-iter", 'D',
        "iteration over an unordered container",
        kSortedSnapshotHint},
+      {"det-journal-encode", 'D',
+       "journal/checkpoint encoder depends on unordered iteration or "
+       "pointer identity",
+       "replayed records must be byte-identical across runs: encode from a "
+       "sorted snapshot and serialize values — never hash-table iteration "
+       "order, reinterpret_cast bytes or pointer addresses"},
       {"coro-ref-param", 'C',
        "reference/view parameter on a Task-returning coroutine",
        "coroutine parameters are copied into the frame only if by-value; a "
@@ -322,7 +328,10 @@ LexOut lex(const std::string& path, std::string_view src) {
         if (src[e] == '\n') ++line;  // unterminated tolerance
         ++e;
       }
-      out.toks.push_back({q == '"' ? Tk::str : Tk::chr, "", line});
+      // String contents are kept: det-journal-encode greps literals for
+      // pointer format specifiers.
+      out.toks.push_back({q == '"' ? Tk::str : Tk::chr,
+                          std::string(src.substr(i, e + 1 - i)), line});
       i = e + 1;
       continue;
     }
@@ -467,6 +476,7 @@ class Scanner {
     check_includes();
     check_idents();
     check_unordered_loops();
+    check_journal_encoders();
     check_task_functions();
     check_lambdas();
     check_par_schedules();
@@ -624,6 +634,66 @@ class Scanner {
           report(t[i].line, "det-unordered-iter",
                  "loop over unordered container '" + t[j].text + "'");
           break;
+        }
+      }
+    }
+  }
+
+  /// det-journal-encode: inside the body of any function whose declarator
+  /// identifier contains "encode" (encode_checkpoint, encode_record, ...),
+  /// flag (a) loops ranging over an unordered container — the record
+  /// sequence would serialize hash-table layout and diverge on replay — and
+  /// (b) pointer-identity serialization (reinterpret_cast, uintptr_t,
+  /// "%p"), which bakes unreplayable addresses into durable records.
+  void check_journal_encoders() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != Tk::ident ||
+          t[i].text.find("encode") == std::string::npos) {
+        continue;
+      }
+      if (!is_punct(t[i + 1], "(")) continue;
+      const std::size_t params_close = match_forward(t, i + 1, "(", ")");
+      if (params_close >= t.size()) continue;
+      // Definitions only: walk past const/noexcept/trailing-return to `{`.
+      // Call sites and declarations hit `)`, `,` or `;` first and are
+      // skipped.
+      std::size_t j = params_close + 1;
+      while (j < t.size() && !is_punct(t[j], "{") && !is_punct(t[j], ";") &&
+             !is_punct(t[j], ",") && !is_punct(t[j], ")") &&
+             !is_punct(t[j], "=")) {
+        ++j;
+      }
+      if (j >= t.size() || !is_punct(t[j], "{")) continue;
+      const std::size_t body_close = match_forward(t, j, "{", "}");
+      const std::string& name = t[i].text;
+      for (std::size_t k = j + 1; k < body_close && k < t.size(); ++k) {
+        if (is_ident(t[k], "for") && k + 1 < t.size() &&
+            is_punct(t[k + 1], "(")) {
+          const std::size_t close = match_forward(t, k + 1, "(", ")");
+          for (std::size_t m = k + 2; m < close; ++m) {
+            if (t[m].kind == Tk::ident &&
+                (unordered_.count(t[m].text) != 0u ||
+                 is_unordered_type(t[m]))) {
+              report(t[k].line, "det-journal-encode",
+                     "journal encoder '" + name +
+                         "' iterates unordered container '" + t[m].text +
+                         "'");
+              break;
+            }
+          }
+        } else if (is_ident(t[k], "reinterpret_cast") ||
+                   is_ident(t[k], "uintptr_t") ||
+                   is_ident(t[k], "intptr_t")) {
+          report(t[k].line, "det-journal-encode",
+                 "journal encoder '" + name +
+                     "' serializes pointer identity ('" + t[k].text + "')");
+        } else if (t[k].kind == Tk::str &&
+                   t[k].text.find("%p") != std::string::npos) {
+          report(t[k].line, "det-journal-encode",
+                 "journal encoder '" + name +
+                     "' formats a pointer address (\"%p\")");
         }
       }
     }
