@@ -52,6 +52,15 @@ add_test(NAME bench-smoke.bench_recovery
 set_tests_properties(bench-smoke.bench_recovery
                      PROPERTIES LABELS "bench-smoke")
 
+# Custom-main geo-replication bench (not google-benchmark); --smoke runs
+# the shortest outage only and fails on any coherence/ordering violation
+# or digest drift across suite replays.
+bs_add_bench(bench_reconciliation bs_repl bs_fault)
+add_test(NAME bench-smoke.bench_reconciliation
+         COMMAND bench_reconciliation --smoke)
+set_tests_properties(bench-smoke.bench_reconciliation
+                     PROPERTIES LABELS "bench-smoke")
+
 bs_add_bench(bench_ablation_allocation bs_workload bs_viz)
 bs_add_bench(bench_ablation_cache bs_mon bs_viz bs_workload)
 bs_add_bench(bench_ablation_replication bs_core bs_mon bs_workload bs_viz)

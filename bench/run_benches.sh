@@ -19,6 +19,10 @@
 #     x cold/warm/wiped/slow restarts + site power loss, all in simulated
 #     time) and emit build/BENCH_recovery.json. The committed repo-root
 #     BENCH_recovery.json is the curated snapshot of the same run.
+#   run_benches.sh repl         — run bench_reconciliation (partition
+#     duration and divergence sweeps over the custody plane, all in
+#     simulated time) and emit build/BENCH_repl.json. The committed
+#     repo-root BENCH_repl.json is the curated snapshot of the same run.
 # Suites compose: `run_benches.sh sim-kernel recovery` runs both.
 set -eu
 cd "$(dirname "$0")/.."
@@ -76,13 +80,20 @@ run_recovery() {
   echo "wrote $out"
 }
 
+run_repl() {
+  out=build/BENCH_repl.json
+  ./build/bench/bench_reconciliation > "$out"
+  echo "wrote $out"
+}
+
 if [ $# -gt 0 ]; then
   for suite in "$@"; do
     case "$suite" in
       sim-kernel) run_sim_kernel ;;
       sim-lanes)  run_sim_lanes ;;
       recovery)   run_recovery ;;
-      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery)" >&2
+      repl)       run_repl ;;
+      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery repl)" >&2
          exit 2 ;;
     esac
   done

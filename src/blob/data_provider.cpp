@@ -334,6 +334,10 @@ sim::Task<Result<ReplicateChunkResp>> DataProvider::handle_replicate(
   if (it == chunks_.end()) {
     co_return Error{Errc::not_found, "chunk not stored here"};
   }
+  if (router_ && router_(req.key, req.target, it->second)) {
+    // Custody taken: the replication plane owns delivery from here.
+    co_return ReplicateChunkResp{};
+  }
   PutChunkReq put;
   put.key = req.key;
   put.payload = it->second;

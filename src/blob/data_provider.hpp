@@ -80,6 +80,14 @@ class DataProvider {
     access_observer_ = std::move(obs);
   }
 
+  /// Geo-replication router: consulted before the direct cross-node
+  /// PutChunk a ReplicateChunk would issue. Returning true means the router
+  /// took custody of the transfer (store-and-forward delivery); the
+  /// replicate call then succeeds immediately.
+  using ReplicateRouter =
+      std::function<bool(const ChunkKey&, NodeId, const Payload&)>;
+  void set_replicate_router(ReplicateRouter fn) { router_ = std::move(fn); }
+
   /// Failure injection: drops all stored chunks (models a disk loss).
   void wipe();
 
@@ -137,6 +145,7 @@ class DataProvider {
   NodeId pm_node_{};                ///< manager to re-register with on restart
   std::function<void(const StorageEvent&)> storage_observer_;
   std::function<void(const AccessEvent&)> access_observer_;
+  ReplicateRouter router_;
 };
 
 }  // namespace bs::blob

@@ -46,9 +46,14 @@ std::vector<ProviderEntry> ProviderManager::snapshot() const {
   return out;
 }
 
+net::SiteId ProviderManager::site_of(NodeId id) const {
+  const rpc::Node* n = node_.cluster().node(id);
+  return n != nullptr ? n->site() : node_.site();
+}
+
 std::vector<ProviderEntry*> ProviderManager::eligible(
     std::uint64_t chunk_size, const std::vector<NodeId>& exclude,
-    std::size_t min_count) {
+    std::size_t min_count, net::SiteId requester_site) {
   std::vector<ProviderEntry*> out;
   std::vector<ProviderEntry*> suspects;
   out.reserve(registry_.size());
@@ -59,6 +64,7 @@ std::vector<ProviderEntry*> ProviderManager::eligible(
     if (std::find(exclude.begin(), exclude.end(), e.node) != exclude.end()) {
       continue;
     }
+    if (reachable_ && !reachable_(requester_site, site_of(e.node))) continue;
     if (e.health == ProviderHealth::suspect) {
       suspects.push_back(&e);
     } else {
@@ -143,15 +149,16 @@ void ProviderManager::register_handlers() {
 
   node_.serve<AllocateReq, AllocateResp>(
       [this](const AllocateReq& req,
-             const rpc::Envelope&) -> sim::Task<Result<AllocateResp>> {
+             const rpc::Envelope& env) -> sim::Task<Result<AllocateResp>> {
         if (req.chunk_count == 0) {
           co_return Error{Errc::invalid_argument, "zero chunks"};
         }
         AllocateResp resp;
         resp.placements.reserve(req.chunk_count);
         const std::uint64_t need = std::max<std::uint64_t>(1, req.chunk_size);
+        const net::SiteId from = site_of(env.src_node);
         for (std::uint64_t i = 0; i < req.chunk_count; ++i) {
-          auto pool = eligible(need, req.exclude, req.replication);
+          auto pool = eligible(need, req.exclude, req.replication, from);
           auto placed =
               strategy_->place_chunk(pool, need, req.replication, rng_);
           if (placed.empty()) {

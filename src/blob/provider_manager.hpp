@@ -4,6 +4,7 @@
 // (register / decommission / deregister).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -60,6 +61,12 @@ class ProviderManager {
     return failure_reports_;
   }
 
+  /// Geo-replication steering: when set, allocation for a requester at site
+  /// `from` skips providers at any site `to` with reachable(from, to) false
+  /// (a known partition would doom the placement's first write).
+  using ReachabilityFn = std::function<bool(net::SiteId, net::SiteId)>;
+  void set_reachability(ReachabilityFn fn) { reachable_ = std::move(fn); }
+
  private:
   void register_handlers();
   sim::Task<void> reaper_loop();
@@ -68,7 +75,8 @@ class ProviderManager {
   /// (the requested replication width). Dead providers never place.
   [[nodiscard]] std::vector<ProviderEntry*> eligible(
       std::uint64_t chunk_size, const std::vector<NodeId>& exclude,
-      std::size_t min_count);
+      std::size_t min_count, net::SiteId requester_site);
+  [[nodiscard]] net::SiteId site_of(NodeId id) const;
 
   rpc::Node& node_;
   Options options_;
@@ -79,6 +87,7 @@ class ProviderManager {
   std::uint64_t failure_reports_{0};
   bool reaper_enabled_{false};
   bool reaper_running_{false};
+  ReachabilityFn reachable_;
 };
 
 }  // namespace bs::blob

@@ -532,6 +532,9 @@ void VersionManager::register_handlers() {
           journal_.seal(seq);
           maybe_checkpoint();
         }
+        if (geo_hooks_.trimmed) {
+          for (Version v : removed) geo_hooks_.trimmed(req.blob, v);
+        }
         co_return resp;
       });
 
@@ -576,6 +579,7 @@ void VersionManager::register_handlers() {
         if (!co_await journal_commit(rec)) {
           co_return Error{Errc::unavailable, "crashed before commit"};
         }
+        if (geo_hooks_.deleted) geo_hooks_.deleted(req.blob);
         co_return DeleteBlobResp{};
       });
 }
@@ -854,6 +858,19 @@ void VersionManager::publish_one(BlobState& b, Version v, PendingWrite& w) {
     ev.writer = w.writer;
     publish_observer_(ev);
   }
+  if (geo_hooks_.published) geo_hooks_.published(b.id, v, info.size);
+}
+
+std::vector<VersionManager::PublishedVersion>
+VersionManager::published_snapshot() const {
+  std::vector<PublishedVersion> out;
+  for (const auto& [id, b] : blobs_) {
+    if (b.deleted) continue;
+    for (const auto& [v, info] : b.published) {
+      out.push_back(PublishedVersion{b.id, v, info.size});
+    }
+  }
+  return out;
 }
 
 }  // namespace bs::blob

@@ -61,6 +61,27 @@ class VersionManager {
     publish_observer_ = std::move(obs);
   }
 
+  /// Geo-replication hooks: version lifecycle events the replication plane
+  /// mirrors to remote sites. `published` fires when a version becomes
+  /// visible, `trimmed` after a version is removed (per version, after the
+  /// trim's journal commit), `deleted` after a blob is tombstoned. The
+  /// plane's custody dedup + reconciliation absorb replays of any of them.
+  struct GeoHooks {
+    std::function<void(BlobId, Version, std::uint64_t)> published;
+    std::function<void(BlobId, Version)> trimmed;
+    std::function<void(BlobId)> deleted;
+  };
+  void set_geo_hooks(GeoHooks hooks) { geo_hooks_ = std::move(hooks); }
+
+  /// Snapshot of every live published version (geo-replication reprime
+  /// after a custody-store wipe).
+  struct PublishedVersion {
+    BlobId blob;
+    Version version{0};
+    std::uint64_t size{0};
+  };
+  [[nodiscard]] std::vector<PublishedVersion> published_snapshot() const;
+
   /// Published versions of a blob (tests/removal engine).
   [[nodiscard]] std::vector<VersionInfo> versions_of(BlobId blob) const;
 
@@ -179,6 +200,7 @@ class VersionManager {
   bool sweeper_enabled_{false};
   bool sweeper_running_{false};
   std::function<void(const PublishEvent&)> publish_observer_;
+  GeoHooks geo_hooks_;
 };
 
 }  // namespace bs::blob

@@ -89,16 +89,31 @@ void FaultPlane::power_restore(net::SiteId site) {
   }
 }
 
+void FaultPlane::set_link_rule(net::SiteId a, net::SiteId b,
+                               const LinkRule* rule) {
+  const std::uint64_t key = pair_key(a, b);
+  auto it = links_.find(key);
+  const bool was = it != links_.end() && it->second.partitioned;
+  const bool now = rule != nullptr && rule->partitioned;
+  if (rule != nullptr) {
+    links_[key] = *rule;
+  } else if (it != links_.end()) {
+    links_.erase(it);
+  }
+  if (was != now && link_listener_) link_listener_(a, b, now);
+}
+
 void FaultPlane::partition(net::SiteId a, net::SiteId b) {
   ++faults_applied_;
   BS_INFO("fault", "partition sites %zu <-> %zu", a, b);
-  links_[pair_key(a, b)] = LinkRule{.partitioned = true};
+  const LinkRule rule{.partitioned = true};
+  set_link_rule(a, b, &rule);
 }
 
 void FaultPlane::heal(net::SiteId a, net::SiteId b) {
   ++faults_applied_;
   BS_INFO("fault", "heal sites %zu <-> %zu", a, b);
-  links_.erase(pair_key(a, b));
+  set_link_rule(a, b, nullptr);
 }
 
 void FaultPlane::degrade(net::SiteId a, net::SiteId b, double drop_prob,
@@ -106,8 +121,8 @@ void FaultPlane::degrade(net::SiteId a, net::SiteId b, double drop_prob,
   ++faults_applied_;
   BS_INFO("fault", "degrade sites %zu <-> %zu (drop %.2f, +%lld ns)", a, b,
           drop_prob, static_cast<long long>(extra_latency));
-  links_[pair_key(a, b)] =
-      LinkRule{.drop_prob = drop_prob, .extra_latency = extra_latency};
+  const LinkRule rule{.drop_prob = drop_prob, .extra_latency = extra_latency};
+  set_link_rule(a, b, &rule);
 }
 
 void FaultPlane::slow_disk(NodeId node, double factor) {
@@ -129,6 +144,18 @@ void FaultPlane::restore_disk(NodeId node) {
 }
 
 void FaultPlane::clear() {
+  if (link_listener_) {
+    std::vector<std::uint64_t> parted;
+    // bslint: allow(det-unordered-iter): snapshot is sorted before use
+    for (const auto& [key, rule] : links_) {
+      if (rule.partitioned) parted.push_back(key);
+    }
+    std::sort(parted.begin(), parted.end());
+    for (std::uint64_t key : parted) {
+      link_listener_(static_cast<net::SiteId>(key & 0xffffffffull),
+                     static_cast<net::SiteId>(key >> 32), false);
+    }
+  }
   links_.clear();
   std::vector<std::uint64_t> ids;
   ids.reserve(slowed_.size());
@@ -302,6 +329,31 @@ std::vector<FaultEvent> random_schedule(std::uint64_t seed,
       restore.at = t1;
       restore.kind = FaultEvent::Kind::power_restore;
       out.push_back(restore);
+    }
+  }
+
+  // Appended after every legacy block: new knobs must not perturb the RNG
+  // stream of schedules generated before they existed.
+  if (opts.long_partitions > 0 && opts.site_count >= 2) {
+    for (std::size_t i = 0; i < opts.long_partitions; ++i) {
+      FaultEvent part;
+      if (opts.anchor_long_partitions) {
+        part.a = opts.long_partition_anchor;
+        part.b = static_cast<net::SiteId>(
+            rng.next_below(opts.site_count - 1));
+        if (part.b >= part.a) ++part.b;
+      } else {
+        pick_pair(part.a, part.b);
+      }
+      auto [t0, t1] =
+          window(opts.min_long_partition, opts.max_long_partition);
+      part.at = t0;
+      part.kind = FaultEvent::Kind::partition;
+      out.push_back(part);
+      FaultEvent h = part;
+      h.at = t1;
+      h.kind = FaultEvent::Kind::heal;
+      out.push_back(h);
     }
   }
 

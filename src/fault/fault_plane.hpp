@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -92,6 +93,20 @@ struct ScheduleOptions {
   /// the active fault window by this worst-case replay bound so the
   /// quiescent tail really is quiescent (readability checks pass).
   SimDuration worst_case_recovery{0};
+
+  /// Long partition/heal pairs for disruption-tolerance chaos: outages an
+  /// order of magnitude beyond `max_link_fault`, long enough for custody
+  /// queues to fill and reconciliation to matter. Off by default, and the
+  /// generator only draws from the RNG when enabled, so existing seeded
+  /// schedules stay bit-identical.
+  std::size_t long_partitions{0};
+  SimDuration min_long_partition{simtime::seconds(30)};
+  SimDuration max_long_partition{simtime::minutes(5)};
+  /// When set, one endpoint of every long partition is
+  /// `long_partition_anchor` (geo suites anchor the origin site so every
+  /// outage cuts a replication path).
+  bool anchor_long_partitions{false};
+  net::SiteId long_partition_anchor{0};
 };
 
 /// Generates a bounded random fault schedule, sorted by time. Deterministic
@@ -130,6 +145,16 @@ class FaultPlane {
   void schedule(const FaultEvent& ev);
   void schedule_all(const std::vector<FaultEvent>& schedule);
 
+  // -- notifications ------------------------------------------------------
+  /// Partition-transition listener (geo-replication plane): fired with
+  /// `true` when a site pair becomes partitioned and `false` when the
+  /// partition lifts (heal/restore_link/clear, or a degrade overwriting a
+  /// partition rule). Degrades themselves never fire it — a lossy link is
+  /// still a link.
+  using LinkListener =
+      std::function<void(net::SiteId, net::SiteId, bool partitioned)>;
+  void set_link_listener(LinkListener fn) { link_listener_ = std::move(fn); }
+
   // -- introspection ------------------------------------------------------
   [[nodiscard]] std::uint64_t faults_applied() const {
     return faults_applied_;
@@ -154,12 +179,16 @@ class FaultPlane {
 
   void apply_now(const FaultEvent& ev);
   [[nodiscard]] rpc::Cluster::LinkFault eval(net::SiteId from, net::SiteId to);
+  /// Updates a pair's rule and fires the link listener on partition-state
+  /// transitions (erase = no rule).
+  void set_link_rule(net::SiteId a, net::SiteId b, const LinkRule* rule);
 
   rpc::Cluster& cluster_;
   Rng drop_rng_;
   std::unordered_map<std::uint64_t, LinkRule> links_;
   std::unordered_map<std::uint64_t, double> slowed_;  ///< NodeId -> factor
   std::uint64_t faults_applied_{0};
+  LinkListener link_listener_;
 };
 
 }  // namespace bs::fault

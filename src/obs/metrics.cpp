@@ -73,6 +73,14 @@ const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
              : nullptr;
 }
 
+const Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  auto it = index_.find(name);
+  return it != index_.end() && it->second->kind == Kind::histogram
+             ? it->second->hist.get()
+             : nullptr;
+}
+
 void MetricsRegistry::reset() {
   order_.clear();
   index_.clear();

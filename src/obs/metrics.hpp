@@ -81,6 +81,7 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;
   [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
 
   void reset();
 

@@ -1,0 +1,688 @@
+#include "repl/egress.hpp"
+
+#include <algorithm>
+
+#include "blob/messages.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bs::repl {
+
+SiteEgress::SiteEgress(rpc::Node& node, net::SiteId site,
+                       EgressOptions options)
+    : node_(node),
+      site_(site),
+      options_(options),
+      journal_(options.journal),
+      depth_gauge_name_("repl.custody.depth.s" + std::to_string(site)) {
+  register_handlers();
+  node_.add_crash_listener([this](const rpc::CrashOptions& c) {
+    // Stale every drain loop; the partitioned flags stay (they describe the
+    // link, not this node) but parked resume events die with the process.
+    ++generation_;
+    for (auto& [dst, st] : dsts_) {
+      st.draining = false;
+      st.resume.reset();
+    }
+    if (journal_.enabled()) {
+      wipe_state();
+      journal_.crash(c.lose_storage, c.torn_tail);
+      recovering_ = true;
+    } else if (c.lose_storage) {
+      wipe_state();
+    }
+  });
+  node_.add_restart_listener([this] {
+    if (journal_.enabled()) {
+      node_.cluster().sim().spawn(recover(node_.incarnation()));
+    } else {
+      for (auto& [dst, st] : dsts_) ensure_drain(dst);
+    }
+  });
+}
+
+void SiteEgress::wipe_state() {
+  map_.clear();
+  sizes_.clear();
+  applied_bundles_.clear();
+  for (auto& [dst, st] : dsts_) st.queue.clear();
+  update_depth_gauge();
+}
+
+// ---------------------------------------------------------------- journaling
+
+std::uint64_t SiteEgress::record_bytes(const EgressRecord& rec) {
+  switch (rec.kind) {
+    case EgressRecord::Kind::enqueue:
+      // The WAL holds the bundle under custody, payload included — that is
+      // what "custody survives a crash" costs.
+      return 64 + (rec.bundle.kind == BundleKind::chunk
+                       ? rec.bundle.payload.size
+                       : rec.bundle.bytes);
+    case EgressRecord::Kind::apply:
+      return 48;
+    case EgressRecord::Kind::publish:
+      return 48;
+    default:
+      return 40;  // release / retire / drop_blob: key-sized tombstones
+  }
+}
+
+void SiteEgress::apply_record(const EgressRecord& rec) {
+  switch (rec.kind) {
+    case EgressRecord::Kind::enqueue: {
+      // Replaying the push re-runs the overflow policy with the same bound,
+      // so drops and spills recur exactly as they did before the crash.
+      next_bundle_id_ = std::max(next_bundle_id_, rec.bundle.id);
+      dst_state(rec.dst).queue.push(rec.bundle);
+      break;
+    }
+    case EgressRecord::Kind::release: {
+      CustodyQueue& q = dst_state(rec.dst).queue;
+      if (!q.empty() && q.front().id == rec.bundle_id) q.release_front();
+      break;
+    }
+    case EgressRecord::Kind::apply:
+      if (rec.bundle_id != 0) {
+        applied_bundles_[rec.dst].insert(rec.bundle_id);
+      } else {
+        map_.note_applied(rec.blob, rec.version);
+      }
+      break;
+    case EgressRecord::Kind::publish:
+      map_.note_applied(rec.blob, rec.version);
+      sizes_[rec.blob.value][rec.version] = rec.bytes;
+      break;
+    case EgressRecord::Kind::retire:
+      map_.retire(rec.blob, rec.version);
+      if (auto it = sizes_.find(rec.blob.value); it != sizes_.end()) {
+        it->second.erase(rec.version);
+        if (it->second.empty()) sizes_.erase(it);
+      }
+      break;
+    case EgressRecord::Kind::drop_blob:
+      map_.drop_region(rec.blob);
+      sizes_.erase(rec.blob.value);
+      break;
+  }
+}
+
+std::vector<blob::Journal<SiteEgress::EgressRecord>::Entry>
+SiteEgress::encode_checkpoint() const {
+  // The image re-creates the exact state apply_record() would rebuild:
+  // origin bookkeeping first (publish/retire), then remote applies, then
+  // the chunk-dedup sets, then the parked bundles in queue order. All
+  // source containers are ordered, so the image is deterministic.
+  std::vector<blob::Journal<EgressRecord>::Entry> image;
+  for (const auto& [blob, region] : map_.regions()) {
+    for (blob::Version v : region.applied) {
+      EgressRecord rec;
+      rec.blob = BlobId{blob};
+      rec.version = v;
+      auto sit = sizes_.find(blob);
+      const std::uint64_t* size =
+          sit != sizes_.end() && sit->second.count(v) > 0
+              ? &sit->second.at(v)
+              : nullptr;
+      if (size != nullptr) {
+        rec.kind = EgressRecord::Kind::publish;
+        rec.bytes = *size;
+      } else {
+        rec.kind = EgressRecord::Kind::apply;
+      }
+      image.push_back({rec, record_bytes(rec)});
+    }
+    for (blob::Version v : region.retired) {
+      EgressRecord rec;
+      rec.kind = EgressRecord::Kind::retire;
+      rec.blob = BlobId{blob};
+      rec.version = v;
+      image.push_back({rec, record_bytes(rec)});
+    }
+  }
+  for (const auto& [peer, ids] : applied_bundles_) {
+    for (std::uint64_t id : ids) {
+      EgressRecord rec;
+      rec.kind = EgressRecord::Kind::apply;
+      rec.bundle_id = id;
+      rec.dst = peer;
+      image.push_back({rec, record_bytes(rec)});
+    }
+  }
+  for (const auto& [dst, st] : dsts_) {
+    for (const CustodyBundle& b : st.queue.bundles()) {
+      EgressRecord rec;
+      rec.kind = EgressRecord::Kind::enqueue;
+      rec.dst = dst;
+      rec.bundle = b;
+      image.push_back({rec, record_bytes(rec)});
+    }
+  }
+  return image;
+}
+
+void SiteEgress::maybe_checkpoint() {
+  if (!journal_.checkpoint_due()) return;
+  if (!journal_.install_checkpoint(encode_checkpoint())) return;
+  obs::count("journal.checkpoints");
+  blob::charge_checkpoint_write(node_, journal_.checkpoint_bytes());
+}
+
+void SiteEgress::journal_async(EgressRecord rec) {
+  if (!journal_.enabled()) return;
+  const std::uint64_t bytes = record_bytes(rec);
+  const std::uint64_t seq = journal_.append(std::move(rec), bytes);
+  node_.cluster().sim().spawn(
+      journal_commit(seq, bytes, node_.incarnation()));
+}
+
+sim::Task<void> SiteEgress::journal_commit(std::uint64_t seq,
+                                           std::uint64_t bytes,
+                                           std::uint64_t incarnation) {
+  // The co_await is hoisted out of the `if` condition deliberately: when the
+  // first top-level statement of a coroutine is an `if` whose condition
+  // contains a co_await, GCC 12 places the condition's frame slot *before*
+  // _Coro_resume_fn, shifting the whole frame off the coroutine ABI layout —
+  // the first handle resume then dispatches on garbage and traps (ud2).
+  const bool durable =
+      co_await blob::journal_fsync(node_, journal_.options().disk, bytes);
+  if (!durable || node_.incarnation() != incarnation) co_return;
+  journal_.seal(seq);
+  maybe_checkpoint();
+}
+
+sim::Task<void> SiteEgress::recover(std::uint64_t incarnation) {
+  auto& sim = node_.cluster().sim();
+  const SimTime t0 = sim.now();
+  const blob::ReplayPlan plan = journal_.replay_plan();
+  obs::SpanId span = 0;
+  if (auto* ts = obs::sink()) {
+    span = ts->begin_span(
+        "recovery.replay", "recovery", 0,
+        {"node", static_cast<std::int64_t>(node_.id().value)},
+        {"records", static_cast<std::int64_t>(plan.total_records())});
+  }
+  if (!co_await blob::journal_replay_cost(node_, journal_.options().disk,
+                                          plan) ||
+      node_.incarnation() != incarnation) {
+    if (auto* ts = obs::sink()) ts->end_span(span, "aborted");
+    co_return;
+  }
+  const auto outcome = journal_.finish_recovery();
+  if (outcome.torn_bytes > 0) {
+    ++rec_stats_.torn_tails_truncated;
+    obs::count("recovery.torn_tails");
+  }
+  if (outcome.wiped) ++rec_stats_.cold_starts;
+  journal_.replay([this](const EgressRecord& rec) { apply_record(rec); });
+  recovering_ = false;
+  ++rec_stats_.recoveries;
+  rec_stats_.replay_bytes += plan.total_bytes();
+  rec_stats_.replay_records += plan.total_records();
+  rec_stats_.last_time_to_readable = sim.now() - t0;
+  rec_stats_.total_time_to_readable += rec_stats_.last_time_to_readable;
+  obs::count("recovery.replays");
+  obs::count("recovery.replay_bytes", plan.total_bytes());
+  obs::count("recovery.replay_records", plan.total_records());
+  if (auto* ts = obs::sink()) ts->end_span(span, "ok");
+  update_depth_gauge();
+  if (outcome.wiped && reprime_) {
+    // The custody store is gone; the plane re-primes the authoritative
+    // state from the version manager and the dedup at the remotes absorbs
+    // whatever gets re-sent.
+    reprime_();
+  }
+  for (auto& [dst, st] : dsts_) ensure_drain(dst);
+}
+
+// ---------------------------------------------------------------- origin API
+
+void SiteEgress::note_published(BlobId blob, blob::Version v,
+                                std::uint64_t bytes) {
+  map_.note_applied(blob, v);
+  sizes_[blob.value][v] = bytes;
+  EgressRecord rec;
+  rec.kind = EgressRecord::Kind::publish;
+  rec.blob = blob;
+  rec.version = v;
+  rec.bytes = bytes;
+  journal_async(std::move(rec));
+}
+
+EnqueueOutcome SiteEgress::enqueue_publish(net::SiteId dst, BlobId blob,
+                                           blob::Version v,
+                                           std::uint64_t bytes,
+                                           bool catch_up) {
+  CustodyBundle b;
+  b.id = ++next_bundle_id_;
+  b.kind = BundleKind::publish;
+  b.src_site = site_;
+  b.dst_site = dst;
+  b.blob = blob;
+  b.version = v;
+  b.bytes = bytes;
+  b.enqueued_at = node_.cluster().sim().now();
+  b.catch_up = catch_up;
+  return enqueue(std::move(b));
+}
+
+EnqueueOutcome SiteEgress::enqueue_chunk(net::SiteId dst,
+                                         const blob::ChunkKey& key,
+                                         NodeId target,
+                                         blob::Payload payload) {
+  CustodyBundle b;
+  b.id = ++next_bundle_id_;
+  b.kind = BundleKind::chunk;
+  b.src_site = site_;
+  b.dst_site = dst;
+  b.blob = key.blob;
+  b.version = key.version;
+  b.bytes = payload.size;
+  b.chunk = key;
+  b.target = target;
+  b.payload = std::move(payload);
+  b.enqueued_at = node_.cluster().sim().now();
+  return enqueue(std::move(b));
+}
+
+EnqueueOutcome SiteEgress::enqueue(CustodyBundle b) {
+  const net::SiteId dst = b.dst_site;
+  EgressRecord rec;
+  rec.kind = EgressRecord::Kind::enqueue;
+  rec.dst = dst;
+  rec.bundle = b;
+  const EnqueueOutcome outcome = dst_state(dst).queue.push(std::move(b));
+  // Journaled regardless of the outcome: the replay re-runs the same push
+  // against the same bound, so the same drop/spill decision recurs.
+  journal_async(std::move(rec));
+  switch (outcome) {
+    case EnqueueOutcome::ok:
+      obs::count("repl.enqueued");
+      break;
+    case EnqueueOutcome::spilled:
+      obs::count("repl.enqueued");
+      obs::count("repl.spilled");
+      blob::charge_checkpoint_write(node_, rec_bundle_bytes(rec.bundle));
+      break;
+    case EnqueueOutcome::dropped_new:
+    case EnqueueOutcome::dropped_old:
+      obs::count("repl.enqueued");
+      obs::count("repl.dropped");
+      break;
+  }
+  ensure_drain(dst);
+  update_depth_gauge();
+  return outcome;
+}
+
+void SiteEgress::retire_version(BlobId blob, blob::Version v) {
+  map_.retire(blob, v);
+  if (auto it = sizes_.find(blob.value); it != sizes_.end()) {
+    it->second.erase(v);
+    if (it->second.empty()) sizes_.erase(it);
+  }
+  EgressRecord rec;
+  rec.kind = EgressRecord::Kind::retire;
+  rec.blob = blob;
+  rec.version = v;
+  journal_async(std::move(rec));
+}
+
+void SiteEgress::drop_blob(BlobId blob) {
+  map_.drop_region(blob);
+  sizes_.erase(blob.value);
+  EgressRecord rec;
+  rec.kind = EgressRecord::Kind::drop_blob;
+  rec.blob = blob;
+  journal_async(std::move(rec));
+}
+
+// ------------------------------------------------------- fault notifications
+
+void SiteEgress::set_link_state(net::SiteId peer, bool partitioned) {
+  DstState& st = dst_state(peer);
+  st.partitioned = partitioned;
+  if (!partitioned && st.resume) {
+    // Heal: wake the parked drain loop (wakeup goes through the event
+    // queue, never inline).
+    st.resume->set();
+    st.resume.reset();
+  }
+  if (!partitioned) ensure_drain(peer);
+}
+
+// --------------------------------------------------------------- drain loops
+
+SiteEgress::DstState& SiteEgress::dst_state(net::SiteId dst) {
+  auto it = dsts_.find(dst);
+  if (it == dsts_.end()) {
+    it = dsts_
+             .emplace(std::piecewise_construct, std::forward_as_tuple(dst),
+                      std::forward_as_tuple(options_.queue_bound,
+                                            options_.overflow))
+             .first;
+  }
+  return it->second;
+}
+
+void SiteEgress::ensure_drain(net::SiteId dst) {
+  DstState& st = dst_state(dst);
+  if (st.draining || recovering_ || !node_.up()) return;
+  if (st.queue.empty()) return;
+  st.draining = true;
+  node_.cluster().sim().spawn(drain_loop(dst, generation_));
+}
+
+sim::Task<void> SiteEgress::drain_loop(net::SiteId dst,
+                                       std::uint64_t generation) {
+  auto& cluster = node_.cluster();
+  auto& sim = cluster.sim();
+  auto live = [&] {
+    return generation == generation_ && node_.up() && !recovering_;
+  };
+  while (live()) {
+    DstState& st = dst_state(dst);
+    if (st.queue.empty()) break;
+    if (st.partitioned) {
+      // Park instead of burning delivery timeouts against a link the fault
+      // plane has declared down; the heal notification wakes us.
+      if (!st.resume) st.resume = std::make_shared<sim::Event>(sim);
+      auto resume = st.resume;
+      co_await resume->wait();
+      continue;
+    }
+    const NodeId peer = peer_resolver_ ? peer_resolver_(dst) : NodeId{};
+    if (!peer.valid()) {
+      co_await sim.delay(options_.retry_backoff);
+      continue;
+    }
+    if (st.queue.front().spilled) {
+      // Spilled custody is read back off the egress disk before it can go
+      // back on the wire.
+      const std::uint64_t bytes = rec_bundle_bytes(st.queue.front());
+      std::vector<net::Resource*> rs{node_.disk()};
+      co_await cluster.flows().transfer(static_cast<double>(bytes),
+                                        std::move(rs));
+      if (!live()) co_return;
+      if (st.queue.empty()) continue;
+      st.queue.front().spilled = false;
+    }
+    ReplDeliverReq req;
+    {
+      CustodyBundle& b = st.queue.front();
+      req.src_site = site_;
+      req.bundle_id = b.id;
+      req.kind = static_cast<std::uint8_t>(b.kind);
+      req.blob = b.blob;
+      req.version = b.version;
+      req.bytes = b.bytes;
+      req.chunk = b.chunk;
+      req.target = b.target;
+      req.payload = b.payload;
+      req.queued_at = b.enqueued_at;
+      req.catch_up = b.catch_up;
+      if (++b.forwards > 1) {
+        st.queue.note_reforward();
+        obs::count("repl.reforwards");
+      }
+    }
+    obs::Span span;
+    if (auto* ts = obs::sink()) {
+      span = ts->span("repl.deliver", "repl", 0,
+                      {"dst", static_cast<std::int64_t>(dst)},
+                      {"bundle", static_cast<std::int64_t>(req.bundle_id)});
+    }
+    rpc::CallOptions copts;
+    copts.timeout = options_.custody_timeout;
+    auto r = co_await cluster.call<ReplDeliverReq, ReplDeliverResp>(
+        node_, peer, std::move(req), copts);
+    if (!live()) co_return;
+    if (r.ok()) {
+      span.end("ok");
+      if (r.value().duplicate) obs::count("repl.duplicates");
+      if (!st.queue.empty()) {
+        const CustodyBundle done = st.queue.release_front();
+        obs::count("repl.delivered");
+        obs::observe("repl.custody.hold_ms",
+                     simtime::to_millis(sim.now() - done.enqueued_at), 0.0,
+                     1.0e7, 200);
+        EgressRecord rec;
+        rec.kind = EgressRecord::Kind::release;
+        rec.dst = dst;
+        rec.bundle_id = done.id;
+        journal_async(std::move(rec));
+      }
+      update_depth_gauge();
+    } else {
+      // Custody timeout (or peer down): custody is retained and the bundle
+      // re-forwarded after a backoff. The receiver dedups re-deliveries.
+      span.end(errc_name(r.error().code));
+      obs::count("repl.attempt_failures");
+      co_await sim.delay(options_.retry_backoff);
+    }
+  }
+  if (generation == generation_) dst_state(dst).draining = false;
+}
+
+void SiteEgress::update_depth_gauge() {
+  if (auto* m = obs::metrics()) {
+    m->gauge(depth_gauge_name_)
+        .set(static_cast<double>(queue_depth()), node_.cluster().sim().now());
+  }
+}
+
+// ------------------------------------------------------------------ handlers
+
+void SiteEgress::register_handlers() {
+  node_.serve<ReplDeliverReq, ReplDeliverResp>(
+      [this](const ReplDeliverReq& req, const rpc::Envelope&) {
+        return handle_deliver(req);
+      });
+  node_.serve<ReplMapReq, ReplMapResp>(
+      [this](const ReplMapReq& req, const rpc::Envelope&) {
+        return handle_map(req);
+      });
+}
+
+sim::Task<Result<ReplDeliverResp>> SiteEgress::handle_deliver(
+    ReplDeliverReq req) {
+  if (recovering_) co_return Error{Errc::unavailable, "egress recovering"};
+  obs::Span span;
+  if (auto* ts = obs::sink()) {
+    span = ts->span("repl.apply", "repl", 0,
+                    {"src", static_cast<std::int64_t>(req.src_site)},
+                    {"bundle", static_cast<std::int64_t>(req.bundle_id)});
+  }
+  auto& sim = node_.cluster().sim();
+  if (static_cast<BundleKind>(req.kind) == BundleKind::chunk) {
+    std::set<std::uint64_t>& seen = applied_bundles_[req.src_site];
+    if (seen.count(req.bundle_id) > 0) {
+      span.end("duplicate");
+      co_return ReplDeliverResp{true};
+    }
+    // Land the replica on the local provider before taking custody; a
+    // failure leaves custody with the sender (it re-forwards later).
+    blob::PutChunkReq put;
+    put.key = req.chunk;
+    put.payload = req.payload;
+    auto stored = co_await node_.cluster().call<blob::PutChunkReq,
+                                                blob::PutChunkResp>(
+        node_, req.target, std::move(put));
+    if (!stored.ok()) {
+      span.end(errc_name(stored.error().code));
+      co_return stored.error();
+    }
+    seen.insert(req.bundle_id);
+    EgressRecord rec;
+    rec.kind = EgressRecord::Kind::apply;
+    rec.bundle_id = req.bundle_id;
+    rec.dst = req.src_site;
+    if (!co_await commit_now(std::move(rec))) {
+      co_return Error{Errc::unavailable, "crashed before handoff"};
+    }
+  } else {
+    // Dedup by version id: a re-forwarded publication is acked (the sender
+    // releases custody) but applied exactly once.
+    if (!map_.note_applied(req.blob, req.version)) {
+      ++duplicates_;
+      span.end("duplicate");
+      co_return ReplDeliverResp{true};
+    }
+    EgressRecord rec;
+    rec.kind = EgressRecord::Kind::apply;
+    rec.blob = req.blob;
+    rec.version = req.version;
+    if (!co_await commit_now(std::move(rec))) {
+      co_return Error{Errc::unavailable, "crashed before handoff"};
+    }
+  }
+  ++applies_;
+  obs::count("repl.applied");
+  obs::observe("repl.staleness_ms", simtime::to_millis(sim.now() - req.queued_at),
+               0.0, 1.0e7, 200);
+  span.end("ok");
+  if (progress_) progress_();
+  co_return ReplDeliverResp{false};
+}
+
+sim::Task<bool> SiteEgress::commit_now(EgressRecord rec) {
+  // Durable handoff: the apply record is journaled and fsynced *before*
+  // the ack goes back — acked custody survives a crash of this node.
+  if (!journal_.enabled()) co_return true;
+  const std::uint64_t bytes = record_bytes(rec);
+  const std::uint64_t seq = journal_.append(std::move(rec), bytes);
+  if (!co_await blob::journal_fsync(node_, journal_.options().disk, bytes)) {
+    co_return false;
+  }
+  journal_.seal(seq);
+  maybe_checkpoint();
+  co_return true;
+}
+
+sim::Task<Result<ReplMapResp>> SiteEgress::handle_map(ReplMapReq req) {
+  if (recovering_) co_return Error{Errc::unavailable, "egress recovering"};
+  obs::Span span;
+  if (auto* ts = obs::sink()) {
+    span = ts->span("repl.reconcile", "repl", 0,
+                    {"from", static_cast<std::int64_t>(req.from_site)});
+  }
+  const VersionMap remote = VersionMap::decode_wire(req.map);
+  ReplMapResp resp;
+  // Whatever the remote is missing and nobody holds custody of any more is
+  // re-synthesized from the origin's retained history as catch-up bundles,
+  // scheduled through the ordinary custody queue (drained at link rate).
+  for (const MissingRange& mr : remote.missing_from(map_)) {
+    auto rit = map_.regions().find(mr.blob);
+    if (rit == map_.regions().end()) continue;
+    const CustodyQueue& q = dst_state(req.from_site).queue;
+    for (auto vit = rit->second.applied.lower_bound(mr.from);
+         vit != rit->second.applied.end() && *vit <= mr.to; ++vit) {
+      if (q.holds_publish(BlobId{mr.blob}, *vit)) continue;
+      enqueue_publish(req.from_site, BlobId{mr.blob}, *vit,
+                      published_bytes(BlobId{mr.blob}, *vit),
+                      /*catch_up=*/true);
+      ++resp.catch_up_enqueued;
+    }
+  }
+  resp.map = map_.encode_wire();
+  if (resp.catch_up_enqueued > 0) {
+    obs::count("repl.reconcile.catchup_bundles", resp.catch_up_enqueued);
+  }
+  span.end("ok");
+  co_return resp;
+}
+
+// ---------------------------------------------------------------- reconciler
+
+sim::Task<std::optional<std::uint64_t>> SiteEgress::reconcile_with(
+    NodeId origin_node) {
+  if (recovering_ || !node_.up()) co_return std::nullopt;
+  ReplMapReq req;
+  req.from_site = site_;
+  req.map = map_.encode_wire();
+  rpc::CallOptions copts;
+  copts.timeout = options_.custody_timeout;
+  auto r = co_await node_.cluster().call<ReplMapReq, ReplMapResp>(
+      node_, origin_node, std::move(req), copts);
+  if (!r.ok()) co_return std::nullopt;
+  map_.merge_latest(VersionMap::decode_wire(r.value().map));
+  if (progress_) progress_();
+  co_return r.value().catch_up_enqueued;
+}
+
+// ---------------------------------------------------------------- inspection
+
+std::size_t SiteEgress::queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& [dst, st] : dsts_) n += st.queue.size();
+  return n;
+}
+
+std::size_t SiteEgress::queue_depth(net::SiteId dst) const {
+  auto it = dsts_.find(dst);
+  return it == dsts_.end() ? 0 : it->second.queue.size();
+}
+
+std::uint64_t SiteEgress::queued_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [dst, st] : dsts_) n += st.queue.queued_bytes();
+  return n;
+}
+
+const CustodyQueueStats* SiteEgress::queue_stats(net::SiteId dst) const {
+  auto it = dsts_.find(dst);
+  return it == dsts_.end() ? nullptr : &it->second.queue.stats();
+}
+
+CustodyQueueStats SiteEgress::total_stats() const {
+  CustodyQueueStats total;
+  for (const auto& [dst, st] : dsts_) {
+    const CustodyQueueStats& s = st.queue.stats();
+    total.enqueued += s.enqueued;
+    total.released += s.released;
+    total.dropped += s.dropped;
+    total.spilled += s.spilled;
+    total.reforwards += s.reforwards;
+    total.peak_depth = std::max(total.peak_depth, s.peak_depth);
+  }
+  return total;
+}
+
+std::uint64_t SiteEgress::published_bytes(BlobId blob,
+                                          blob::Version v) const {
+  auto it = sizes_.find(blob.value);
+  if (it == sizes_.end()) return 0;
+  auto vit = it->second.find(v);
+  return vit == it->second.end() ? 0 : vit->second;
+}
+
+std::uint64_t SiteEgress::digest() const {
+  // Same mix recipe as the version map digest.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(site_);
+  mix(map_.digest());
+  mix(dsts_.size());
+  for (const auto& [dst, st] : dsts_) {
+    mix(dst);
+    mix(st.queue.size());
+    for (const CustodyBundle& b : st.queue.bundles()) {
+      mix(b.id);
+      mix(static_cast<std::uint64_t>(b.kind));
+      mix(b.blob.value);
+      mix(b.version);
+      mix(b.bytes);
+    }
+  }
+  mix(applied_bundles_.size());
+  for (const auto& [peer, ids] : applied_bundles_) {
+    mix(peer);
+    mix(ids.size());
+  }
+  return h;
+}
+
+}  // namespace bs::repl

@@ -1,0 +1,73 @@
+// Wire messages of the geo-replication plane. Two verbs:
+//   repl.deliver      — one custody bundle, egress → remote egress; the
+//                       remote journals + fsyncs the apply before replying,
+//                       so a reply IS the durable custody handoff.
+//   repl.map_exchange — version-map exchange, remote egress → origin; the
+//                       origin computes missing ranges, queues catch-up
+//                       bundles, and replies with its own (authoritative)
+//                       map so the remote learns the true frontier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blob/blob_types.hpp"
+#include "common/types.hpp"
+#include "net/topology.hpp"
+#include "repl/version_map.hpp"
+
+namespace bs::repl {
+
+struct ReplDeliverReq {
+  static constexpr const char* kName = "repl.deliver";
+  /// Mirrored bytes land on the remote egress disk (durable handoff).
+  static constexpr bool kPayloadToDisk = true;
+
+  net::SiteId src_site{0};
+  std::uint64_t bundle_id{0};
+  std::uint8_t kind{0};  ///< BundleKind
+  BlobId blob{};
+  blob::Version version{0};
+  std::uint64_t bytes{0};  ///< modelled payload size (publish bundles)
+  blob::ChunkKey chunk{};
+  NodeId target{};
+  blob::Payload payload{};
+  SimTime queued_at{0};  ///< when custody was taken (staleness metric)
+  bool catch_up{false};
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    return 96 + (payload.size > 0 ? payload.size : bytes);
+  }
+};
+
+struct ReplDeliverResp {
+  bool duplicate{false};
+
+  [[nodiscard]] std::uint64_t wire_size() const { return 24; }
+};
+
+struct ReplMapReq {
+  static constexpr const char* kName = "repl.map_exchange";
+
+  net::SiteId from_site{0};
+  std::vector<VersionMap::WireRegion> map;
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    std::uint64_t total = 32;
+    for (const VersionMap::WireRegion& r : map) total += r.wire_size();
+    return total;
+  }
+};
+
+struct ReplMapResp {
+  std::vector<VersionMap::WireRegion> map;  ///< the origin's map
+  std::uint64_t catch_up_enqueued{0};  ///< bundles queued toward the caller
+
+  [[nodiscard]] std::uint64_t wire_size() const {
+    std::uint64_t total = 32;
+    for (const VersionMap::WireRegion& r : map) total += r.wire_size();
+    return total;
+  }
+};
+
+}  // namespace bs::repl

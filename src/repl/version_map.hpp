@@ -1,0 +1,134 @@
+// Per-site divergence tracking for the geo-replication plane, following
+// RethinkDB's version_map_t / version_range_t shape: each site keeps, per
+// blob ("region"), the set of published versions it has durably applied
+// locally plus the newest globally-published version it has heard of. A
+// VersionRange collapses that into [earliest, latest] — earliest is the
+// coherent frontier (every published version up to it is applied), latest
+// the newest known publication — and `is_coherent()` (earliest == latest)
+// is exactly the post-heal check: the site holds everything the origin has
+// published. Reconciliation exchanges maps, computes the missing ranges and
+// schedules catch-up transfers for them.
+//
+// All state lives in ordered containers: maps are journaled, exchanged over
+// the wire and folded into digests, so iteration order is part of the
+// deterministic replay contract (bslint det-custody-order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "blob/blob_types.hpp"
+
+namespace bs::repl {
+
+/// Uncertainty window of one site for one blob. `earliest` is the newest
+/// version through which the site is known caught-up (every published
+/// version <= earliest is applied or retired); `latest` the newest
+/// publication it must reach.
+struct VersionRange {
+  blob::Version earliest{0};
+  blob::Version latest{0};
+
+  [[nodiscard]] bool is_coherent() const { return earliest == latest; }
+  [[nodiscard]] bool operator==(const VersionRange& o) const {
+    return earliest == o.earliest && latest == o.latest;
+  }
+  [[nodiscard]] bool operator!=(const VersionRange& o) const {
+    return !(*this == o);
+  }
+};
+
+/// A half-open run of missing versions [from, to] (inclusive) of one blob,
+/// plus how many published versions actually fall inside it (version
+/// numbers have gaps where writes aborted).
+struct MissingRange {
+  std::uint64_t blob{0};
+  blob::Version from{0};
+  blob::Version to{0};
+  std::uint64_t count{0};
+
+  [[nodiscard]] bool operator==(const MissingRange& o) const {
+    return blob == o.blob && from == o.from && to == o.to && count == o.count;
+  }
+};
+
+class VersionMap {
+ public:
+  /// Per-blob region state. `applied` holds published versions durably
+  /// applied at this site; `retired` versions no longer owed (trimmed away
+  /// at the origin before this site caught up).
+  struct Region {
+    blob::Version latest_known{0};
+    std::set<blob::Version> applied;
+    std::set<blob::Version> retired;
+  };
+
+  /// Advance the newest-known publication of a blob (monotonic).
+  void note_published(BlobId blob, blob::Version v);
+
+  /// Record a durable local apply. Returns false when the version was
+  /// already applied — the exactly-once dedup check for re-forwarded
+  /// custody bundles.
+  bool note_applied(BlobId blob, blob::Version v);
+
+  /// Mark a version no longer owed (trimmed at the origin).
+  void retire(BlobId blob, blob::Version v);
+
+  /// Drop a blob's region entirely (blob deleted).
+  void drop_region(BlobId blob);
+
+  [[nodiscard]] bool has_applied(BlobId blob, blob::Version v) const;
+  [[nodiscard]] blob::Version latest_known(BlobId blob) const;
+
+  /// The uncertainty window of `blob` at this site, measured against the
+  /// origin's map (whose applied set is the authoritative published set).
+  [[nodiscard]] VersionRange range_against(const VersionMap& origin,
+                                           BlobId blob) const;
+
+  /// True iff every region is coherent against the origin: this site has
+  /// applied (or been excused from) every version the origin has published.
+  [[nodiscard]] bool is_coherent_against(const VersionMap& origin) const;
+
+  /// Published versions present in `origin` but absent here, coalesced into
+  /// inclusive ranges in (blob, version) order — the catch-up work list.
+  [[nodiscard]] std::vector<MissingRange> missing_from(
+      const VersionMap& origin) const;
+
+  /// Fold the origin's latest_known frontier into this map (what a map
+  /// exchange teaches the remote side).
+  void merge_latest(const VersionMap& other);
+
+  /// Wire form of one region for map-exchange RPCs.
+  struct WireRegion {
+    std::uint64_t blob{0};
+    blob::Version latest_known{0};
+    std::vector<blob::Version> applied;  ///< ascending
+    std::vector<blob::Version> retired;  ///< ascending
+
+    [[nodiscard]] std::uint64_t wire_size() const {
+      return 24 + 8 * (applied.size() + retired.size());
+    }
+  };
+  [[nodiscard]] std::vector<WireRegion> encode_wire() const;
+  static VersionMap decode_wire(const std::vector<WireRegion>& regions);
+
+  /// Order-sensitive digest over the full map (determinism suites).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  [[nodiscard]] const std::map<std::uint64_t, Region>& regions() const {
+    return regions_;
+  }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] std::uint64_t applied_count() const;
+
+  void clear() { regions_.clear(); }
+
+ private:
+  Region& region(BlobId b) { return regions_[b.value]; }
+
+  std::map<std::uint64_t, Region> regions_;  ///< by BlobId value
+};
+
+}  // namespace bs::repl

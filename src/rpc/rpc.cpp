@@ -114,9 +114,29 @@ sim::Task<void> Cluster::transmit(Node& a, Node& b, std::uint64_t bytes,
         simtime::seconds(static_cast<double>(bytes) / rate));
   } else {
     std::vector<net::Resource*> rs{a.nic_tx(), b.nic_rx()};
+    if (net::Resource* wan = wan_link(a.site(), b.site())) {
+      rs.push_back(wan);
+    }
     if (extra != nullptr) rs.push_back(extra);
     co_await flows_.transfer(static_cast<double>(bytes), std::move(rs));
   }
+}
+
+net::Resource* Cluster::wan_link(net::SiteId a, net::SiteId b) {
+  if (a == b || topology_.wan_bandwidth() <= 0) return nullptr;
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  const std::uint64_t key = (hi << 32) | lo;
+  auto it = wan_links_.find(key);
+  if (it == wan_links_.end()) {
+    it = wan_links_
+             .emplace(key, flows_.create_resource(
+                               "wan." + std::to_string(lo) + "-" +
+                                   std::to_string(hi),
+                               topology_.wan_bandwidth()))
+             .first;
+  }
+  return it->second;
 }
 
 // bslint: allow(coro-ref-param): see rpc.hpp — cluster-owned node

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -346,10 +347,15 @@ class Cluster {
   sim::Task<void> transmit(Node& a, Node& b, std::uint64_t bytes,
                            net::Resource* extra);
 
+  /// Lazily-created shared backbone resource for a distinct site pair;
+  /// nullptr when the topology leaves WAN bandwidth uncapped or a == b.
+  net::Resource* wan_link(net::SiteId a, net::SiteId b);
+
   sim::Simulation& sim_;
   net::Topology topology_;
   net::FlowScheduler flows_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::uint64_t, net::Resource*> wan_links_;  ///< by site pair key
   LinkFaultFn link_fault_;
   RetryPolicy default_retry_{};
   Rng retry_rng_;

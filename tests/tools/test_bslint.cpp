@@ -260,6 +260,92 @@ TEST(BslintDeterminism, JournalEncodeOnlyAppliesUnderSrc) {
   EXPECT_FALSE(has_rule(scan("bench/x.cpp", text), "det-journal-encode"));
 }
 
+TEST(BslintDeterminism, FlagsCustodyBundleEncoderIteratingUnordered) {
+  // The custody checkpoint walks the dedup index straight into durable
+  // records: both the encoder rule and the repl-wide container ban fire.
+  auto fs = scan(
+      "src/repl/egress.cpp",
+      "std::unordered_map<SiteId, IdSet> applied_;\n"
+      "std::vector<Entry> encode_checkpoint() {\n"
+      "  std::vector<Entry> image;\n"
+      "  for (auto& [peer, ids] : applied_) image.push_back(enc(peer, ids));\n"
+      "  return image;\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(fs, "det-journal-encode"));
+  EXPECT_TRUE(has_rule(fs, "det-custody-order"));
+}
+
+TEST(BslintDeterminism, QueueOrderCustodyEncoderIsClean) {
+  // Checkpointing in queue order from sequential containers is the blessed
+  // shape — no encoder or custody-order findings.
+  auto fs = scan(
+      "src/repl/egress.cpp",
+      "std::map<SiteId, Dst> dsts_;\n"
+      "std::vector<Entry> encode_checkpoint() {\n"
+      "  std::vector<Entry> image;\n"
+      "  for (const auto& [dst, st] : dsts_) {\n"
+      "    for (const Bundle& b : st.queue.bundles()) {\n"
+      "      image.push_back(enc(dst, b));\n"
+      "    }\n"
+      "  }\n"
+      "  return image;\n"
+      "}\n");
+  EXPECT_FALSE(has_rule(fs, "det-journal-encode"));
+  EXPECT_FALSE(has_rule(fs, "det-custody-order"));
+}
+
+// ---------------------------------------------- D: det-custody-order
+
+TEST(BslintDeterminism, FlagsUnorderedDeclarationInReplPlane) {
+  // Declaration alone is the finding — the scanner cannot prove a walk
+  // never reaches the wire, so src/repl bans hash-ordered state outright.
+  auto fs = scan("src/repl/version_map.cpp",
+                 "std::unordered_map<BlobId, Range> regions_;\n");
+  ASSERT_TRUE(has_rule(fs, "det-custody-order"));
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(BslintDeterminism, FlagsIteratorWalkOverIncludedUnorderedMember) {
+  // No range-for (det-unordered-iter's shape) — an explicit begin() walk
+  // over an unordered member is still hash order reaching the wire.
+  auto fs = scan("src/repl/reconciler.cpp",
+                 "std::unordered_set<uint64_t> pending_;\n"
+                 "void emit() {\n"
+                 "  auto it = pending_.begin();\n"
+                 "  while (it != pending_.end()) send(*it++);\n"
+                 "}\n");
+  bool walk_flagged = false;
+  for (const auto& f : fs) {
+    if (f.rule == "det-custody-order" && f.line == 3) walk_flagged = true;
+  }
+  EXPECT_TRUE(walk_flagged);  // beyond the line-1 declaration finding
+}
+
+TEST(BslintDeterminism, OrderedReplStateIsClean) {
+  EXPECT_TRUE(scan("src/repl/egress.cpp",
+                   "std::map<SiteId, IdSet> applied_;\n"
+                   "std::deque<Bundle> queue_;\n"
+                   "void f() { for (auto& [k, v] : applied_) use(k); }\n")
+                  .empty());
+}
+
+TEST(BslintDeterminism, CustodyOrderOnlyAppliesUnderSrcRepl) {
+  const char* text = "std::unordered_map<int, int> m_;\n";
+  EXPECT_FALSE(has_rule(scan("src/blob/x.cpp", text), "det-custody-order"));
+  EXPECT_FALSE(has_rule(scan("tests/repl/x.cpp", text), "det-custody-order"));
+}
+
+TEST(BslintDeterminism, SuppressedCustodyOrderCounts) {
+  ScanStats stats;
+  auto fs = scan("src/repl/x.cpp",
+                 "// bslint: allow(det-custody-order): scratch index, never "
+                 "serialized\n"
+                 "std::unordered_set<uint64_t> scratch_;\n",
+                 &stats);
+  EXPECT_TRUE(fs.empty());
+  EXPECT_EQ(stats.suppressed, 1);
+}
+
 // -------------------------------------------------- C: coro-ref-param
 
 TEST(BslintCoro, FlagsTaskCoroutineWithReferenceParam) {

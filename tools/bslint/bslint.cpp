@@ -41,6 +41,13 @@ const std::vector<RuleDesc>& rule_table() {
        "replayed records must be byte-identical across runs: encode from a "
        "sorted snapshot and serialize values — never hash-table iteration "
        "order, reinterpret_cast bytes or pointer addresses"},
+      {"det-custody-order", 'D',
+       "hash-ordered container in the replication plane",
+       "src/repl serializes container walks straight onto the wire (custody "
+       "bundles, version-map replies, checkpoint records), so its state must "
+       "live in ordered containers (std::map/std::set/deque) — hash-table "
+       "order would make custody traffic and chaos digests diverge across "
+       "replays"},
       {"coro-ref-param", 'C',
        "reference/view parameter on a Task-returning coroutine",
        "coroutine parameters are copied into the frame only if by-value; a "
@@ -476,6 +483,7 @@ class Scanner {
     check_includes();
     check_idents();
     check_unordered_loops();
+    check_custody_order();
     check_journal_encoders();
     check_task_functions();
     check_lambdas();
@@ -635,6 +643,33 @@ class Scanner {
                  "loop over unordered container '" + t[j].text + "'");
           break;
         }
+      }
+    }
+  }
+
+  /// det-custody-order: the replication plane encodes container walks into
+  /// RPC payloads, journal records and chaos digests, and a token scanner
+  /// cannot prove any particular walk never reaches the wire — so under
+  /// src/repl the *declaration* of a hash-ordered container is the finding,
+  /// not just its iteration. Iterator walks over unordered members pulled in
+  /// from included headers are flagged too (det-unordered-iter only sees
+  /// range-style `for` loops).
+  void check_custody_order() {
+    if (!starts_with(path_, "src/repl/")) return;
+    const auto& t = lex_.toks;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_unordered_type(t[i])) {
+        report(t[i].line, "det-custody-order",
+               "replication-plane state declared as '" + t[i].text + "'");
+        continue;
+      }
+      if (t[i].kind == Tk::ident && unordered_.count(t[i].text) != 0u &&
+          i + 3 < t.size() &&
+          (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
+          (is_ident(t[i + 2], "begin") || is_ident(t[i + 2], "cbegin")) &&
+          is_punct(t[i + 3], "(")) {
+        report(t[i].line, "det-custody-order",
+               "iterator walk over unordered container '" + t[i].text + "'");
       }
     }
   }
