@@ -45,8 +45,12 @@ SiteEgress::SiteEgress(rpc::Node& node, net::SiteId site,
 void SiteEgress::wipe_state() {
   map_.clear();
   sizes_.clear();
-  applied_bundles_.clear();
+  applied_chunks_.clear();
   for (auto& [dst, st] : dsts_) st.queue.clear();
+  // next_bundle_id_ is deliberately kept: ids stay monotonic across the
+  // outage so bundles enqueued while the node is down never collide with
+  // replayed ones. Recovery still restores the high-water mark from the
+  // journal (bundle_hwm checkpoint record + release-record ids).
   update_depth_gauge();
 }
 
@@ -61,11 +65,13 @@ std::uint64_t SiteEgress::record_bytes(const EgressRecord& rec) {
                        ? rec.bundle.payload.size
                        : rec.bundle.bytes);
     case EgressRecord::Kind::apply:
+    case EgressRecord::Kind::apply_chunk:
       return 48;
     case EgressRecord::Kind::publish:
       return 48;
     default:
-      return 40;  // release / retire / drop_blob: key-sized tombstones
+      // release / retire / drop_blob / frontier / bundle_hwm: key-sized
+      return 40;
   }
 }
 
@@ -79,16 +85,25 @@ void SiteEgress::apply_record(const EgressRecord& rec) {
       break;
     }
     case EgressRecord::Kind::release: {
+      // Released ids also advance the high-water mark: a released bundle's
+      // enqueue record may already be compacted out of the checkpoint, and
+      // its id must never be re-issued.
+      next_bundle_id_ = std::max(next_bundle_id_, rec.bundle_id);
       CustodyQueue& q = dst_state(rec.dst).queue;
       if (!q.empty() && q.front().id == rec.bundle_id) q.release_front();
       break;
     }
     case EgressRecord::Kind::apply:
-      if (rec.bundle_id != 0) {
-        applied_bundles_[rec.dst].insert(rec.bundle_id);
-      } else {
-        map_.note_applied(rec.blob, rec.version);
-      }
+      map_.note_applied(rec.blob, rec.version);
+      break;
+    case EgressRecord::Kind::apply_chunk:
+      applied_chunks_.insert({rec.chunk, rec.target});
+      break;
+    case EgressRecord::Kind::frontier:
+      map_.note_published(rec.blob, rec.version);
+      break;
+    case EgressRecord::Kind::bundle_hwm:
+      next_bundle_id_ = std::max(next_bundle_id_, rec.bundle_id);
       break;
     case EgressRecord::Kind::publish:
       map_.note_applied(rec.blob, rec.version);
@@ -111,11 +126,30 @@ void SiteEgress::apply_record(const EgressRecord& rec) {
 std::vector<blob::Journal<SiteEgress::EgressRecord>::Entry>
 SiteEgress::encode_checkpoint() const {
   // The image re-creates the exact state apply_record() would rebuild:
-  // origin bookkeeping first (publish/retire), then remote applies, then
-  // the chunk-dedup sets, then the parked bundles in queue order. All
-  // source containers are ordered, so the image is deterministic.
+  // the bundle-id high-water mark first, then origin bookkeeping
+  // (frontier/publish/retire), then remote applies, then the chunk-dedup
+  // set, then the parked bundles in queue order. All source containers
+  // are ordered, so the image is deterministic.
   std::vector<blob::Journal<EgressRecord>::Entry> image;
+  {
+    // Without this, released bundles compacted out of the checkpoint would
+    // let recovery restart ids below ids already seen on the wire.
+    EgressRecord rec;
+    rec.kind = EgressRecord::Kind::bundle_hwm;
+    rec.bundle_id = next_bundle_id_;
+    image.push_back({rec, record_bytes(rec)});
+  }
   for (const auto& [blob, region] : map_.regions()) {
+    if (region.latest_known != 0) {
+      // latest_known can run ahead of the applied set (merge_latest from a
+      // map exchange); image it so a recovered remote does not under-report
+      // its known frontier until the next exchange.
+      EgressRecord rec;
+      rec.kind = EgressRecord::Kind::frontier;
+      rec.blob = BlobId{blob};
+      rec.version = region.latest_known;
+      image.push_back({rec, record_bytes(rec)});
+    }
     for (blob::Version v : region.applied) {
       EgressRecord rec;
       rec.blob = BlobId{blob};
@@ -141,14 +175,12 @@ SiteEgress::encode_checkpoint() const {
       image.push_back({rec, record_bytes(rec)});
     }
   }
-  for (const auto& [peer, ids] : applied_bundles_) {
-    for (std::uint64_t id : ids) {
-      EgressRecord rec;
-      rec.kind = EgressRecord::Kind::apply;
-      rec.bundle_id = id;
-      rec.dst = peer;
-      image.push_back({rec, record_bytes(rec)});
-    }
+  for (const auto& [key, target] : applied_chunks_) {
+    EgressRecord rec;
+    rec.kind = EgressRecord::Kind::apply_chunk;
+    rec.chunk = key;
+    rec.target = target;
+    image.push_back({rec, record_bytes(rec)});
   }
   for (const auto& [dst, st] : dsts_) {
     for (const CustodyBundle& b : st.queue.bundles()) {
@@ -400,12 +432,15 @@ sim::Task<void> SiteEgress::drain_loop(net::SiteId dst,
     if (st.queue.front().spilled) {
       // Spilled custody is read back off the egress disk before it can go
       // back on the wire.
+      const std::uint64_t spill_id = st.queue.front().id;
       const std::uint64_t bytes = rec_bundle_bytes(st.queue.front());
       std::vector<net::Resource*> rs{node_.disk()};
       co_await cluster.flows().transfer(static_cast<double>(bytes),
                                         std::move(rs));
       if (!live()) co_return;
-      if (st.queue.empty()) continue;
+      // drop_oldest can evict the front during the read-back; only the
+      // bundle actually read off disk is marked memory-resident.
+      if (st.queue.empty() || st.queue.front().id != spill_id) continue;
       st.queue.front().spilled = false;
     }
     ReplDeliverReq req;
@@ -435,13 +470,17 @@ sim::Task<void> SiteEgress::drain_loop(net::SiteId dst,
     }
     rpc::CallOptions copts;
     copts.timeout = options_.custody_timeout;
+    const std::uint64_t delivered_id = req.bundle_id;
     auto r = co_await cluster.call<ReplDeliverReq, ReplDeliverResp>(
         node_, peer, std::move(req), copts);
     if (!live()) co_return;
     if (r.ok()) {
       span.end("ok");
       if (r.value().duplicate) obs::count("repl.duplicates");
-      if (!st.queue.empty()) {
+      // drop_oldest can evict the in-flight front while the RPC runs;
+      // release only the bundle that was actually delivered (same guard
+      // apply_record uses on replay).
+      if (!st.queue.empty() && st.queue.front().id == delivered_id) {
         const CustodyBundle done = st.queue.release_front();
         obs::count("repl.delivered");
         obs::observe("repl.custody.hold_ms",
@@ -496,8 +535,11 @@ sim::Task<Result<ReplDeliverResp>> SiteEgress::handle_deliver(
   }
   auto& sim = node_.cluster().sim();
   if (static_cast<BundleKind>(req.kind) == BundleKind::chunk) {
-    std::set<std::uint64_t>& seen = applied_bundles_[req.src_site];
-    if (seen.count(req.bundle_id) > 0) {
+    // Dedup by replica identity, not sender bundle id: the ack then stays
+    // truthful ("this replica exists durably here") even if the sender
+    // restarts its id sequence after a crash or store wipe.
+    const std::pair<blob::ChunkKey, NodeId> key{req.chunk, req.target};
+    if (applied_chunks_.count(key) > 0) {
       span.end("duplicate");
       co_return ReplDeliverResp{true};
     }
@@ -513,11 +555,11 @@ sim::Task<Result<ReplDeliverResp>> SiteEgress::handle_deliver(
       span.end(errc_name(stored.error().code));
       co_return stored.error();
     }
-    seen.insert(req.bundle_id);
+    applied_chunks_.insert(key);
     EgressRecord rec;
-    rec.kind = EgressRecord::Kind::apply;
-    rec.bundle_id = req.bundle_id;
-    rec.dst = req.src_site;
+    rec.kind = EgressRecord::Kind::apply_chunk;
+    rec.chunk = req.chunk;
+    rec.target = req.target;
     if (!co_await commit_now(std::move(rec))) {
       co_return Error{Errc::unavailable, "crashed before handoff"};
     }
@@ -579,10 +621,13 @@ sim::Task<Result<ReplMapResp>> SiteEgress::handle_map(ReplMapReq req) {
     for (auto vit = rit->second.applied.lower_bound(mr.from);
          vit != rit->second.applied.end() && *vit <= mr.to; ++vit) {
       if (q.holds_publish(BlobId{mr.blob}, *vit)) continue;
-      enqueue_publish(req.from_site, BlobId{mr.blob}, *vit,
-                      published_bytes(BlobId{mr.blob}, *vit),
-                      /*catch_up=*/true);
-      ++resp.catch_up_enqueued;
+      const EnqueueOutcome out =
+          enqueue_publish(req.from_site, BlobId{mr.blob}, *vit,
+                          published_bytes(BlobId{mr.blob}, *vit),
+                          /*catch_up=*/true);
+      // dropped_new means the bundle never became resident — nothing was
+      // actually scheduled towards the caller.
+      if (out != EnqueueOutcome::dropped_new) ++resp.catch_up_enqueued;
     }
   }
   resp.map = map_.encode_wire();
@@ -606,7 +651,18 @@ sim::Task<std::optional<std::uint64_t>> SiteEgress::reconcile_with(
   auto r = co_await node_.cluster().call<ReplMapReq, ReplMapResp>(
       node_, origin_node, std::move(req), copts);
   if (!r.ok()) co_return std::nullopt;
-  map_.merge_latest(VersionMap::decode_wire(r.value().map));
+  // Fold the origin's frontier in and journal each advance, so the learned
+  // latest_known survives a crash instead of waiting on the next exchange.
+  const VersionMap origin_map = VersionMap::decode_wire(r.value().map);
+  for (const auto& [blob, region] : origin_map.regions()) {
+    if (region.latest_known <= map_.latest_known(BlobId{blob})) continue;
+    map_.note_published(BlobId{blob}, region.latest_known);
+    EgressRecord rec;
+    rec.kind = EgressRecord::Kind::frontier;
+    rec.blob = BlobId{blob};
+    rec.version = region.latest_known;
+    journal_async(std::move(rec));
+  }
   if (progress_) progress_();
   co_return r.value().catch_up_enqueued;
 }
@@ -677,10 +733,12 @@ std::uint64_t SiteEgress::digest() const {
       mix(b.bytes);
     }
   }
-  mix(applied_bundles_.size());
-  for (const auto& [peer, ids] : applied_bundles_) {
-    mix(peer);
-    mix(ids.size());
+  mix(applied_chunks_.size());
+  for (const auto& [key, target] : applied_chunks_) {
+    mix(key.blob.value);
+    mix(key.version);
+    mix(key.index);
+    mix(target.value);
   }
   return h;
 }

@@ -22,6 +22,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "blob/journal.hpp"
@@ -116,6 +117,11 @@ class SiteEgress {
   /// Size table lookup (tests + catch-up synthesis).
   [[nodiscard]] std::uint64_t published_bytes(BlobId blob,
                                               blob::Version v) const;
+  /// Newest bundle id ever issued (tests: must never regress across a
+  /// crash+recovery, or released ids could be re-issued onto the wire).
+  [[nodiscard]] std::uint64_t bundle_id_hwm() const {
+    return next_bundle_id_;
+  }
 
   /// Order-sensitive digest over map + queue state (determinism suites).
   [[nodiscard]] std::uint64_t digest() const;
@@ -123,20 +129,25 @@ class SiteEgress {
  private:
   struct EgressRecord {
     enum class Kind : std::uint8_t {
-      enqueue,   ///< bundle parked (full bundle payload in the WAL)
-      release,   ///< custody handed off (queue head, by bundle id)
-      apply,     ///< durable local apply of a remote publication/chunk
-      publish,   ///< origin bookkeeping: version published, size retained
-      retire,    ///< version trimmed
-      drop_blob  ///< blob deleted
+      enqueue,      ///< bundle parked (full bundle payload in the WAL)
+      release,      ///< custody handed off (queue head, by bundle id)
+      apply,        ///< durable local apply of a remote publication
+      apply_chunk,  ///< durable local apply of a remote chunk replica
+      publish,      ///< origin bookkeeping: version published, size retained
+      retire,       ///< version trimmed
+      drop_blob,    ///< blob deleted
+      frontier,     ///< newest-known publication learned via map exchange
+      bundle_hwm    ///< bundle-id high-water mark (checkpoint image)
     };
     Kind kind{Kind::enqueue};
     CustodyBundle bundle{};      ///< enqueue
-    std::uint64_t bundle_id{0};  ///< release
+    std::uint64_t bundle_id{0};  ///< release / bundle_hwm
     net::SiteId dst{0};          ///< enqueue/release destination
-    BlobId blob{};               ///< apply/publish/retire/drop_blob
+    BlobId blob{};               ///< apply/publish/retire/drop_blob/frontier
     blob::Version version{0};
-    std::uint64_t bytes{0};  ///< publish: modelled version size
+    std::uint64_t bytes{0};      ///< publish: modelled version size
+    blob::ChunkKey chunk{};      ///< apply_chunk: replica identity
+    NodeId target{};             ///< apply_chunk: receiving provider
   };
 
   struct DstState {
@@ -190,9 +201,11 @@ class SiteEgress {
   /// Origin size table: blob -> version -> modelled bytes.
   std::map<std::uint64_t, std::map<blob::Version, std::uint64_t>> sizes_;
   std::map<net::SiteId, DstState> dsts_;
-  /// Bundle ids already applied, per source site (chunk-bundle dedup; the
-  /// publish dedup is the version map itself).
-  std::map<net::SiteId, std::set<std::uint64_t>> applied_bundles_;
+  /// Chunk replicas durably applied here, keyed by replica identity
+  /// (chunk key, target provider) rather than sender bundle id, so the
+  /// dedup survives bundle-id reuse after a sender crash or store wipe
+  /// (the publish dedup is the version map itself).
+  std::set<std::pair<blob::ChunkKey, NodeId>> applied_chunks_;
 
   blob::Journal<EgressRecord> journal_;
   blob::RecoveryStats rec_stats_;

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "blob/messages.hpp"
 #include "fault/fault_plane.hpp"
 #include "repl/plane.hpp"
 #include "test_util.hpp"
@@ -154,6 +155,91 @@ TEST(CustodyProperties, CraftedDuplicateDeliverIsRecognised) {
   EXPECT_TRUE(second.value().duplicate);
   EXPECT_EQ(rig.plane->egress(1).applies(), 1u);
   EXPECT_EQ(rig.plane->egress(1).duplicates_dropped(), 1u);
+}
+
+TEST(CustodyProperties, ChunkDedupIsByReplicaIdentityNotBundleId) {
+  // The receiver must dedup chunk bundles by what they carry, not by the
+  // sender's bundle id: a sender that crashes and restarts its id sequence
+  // may legitimately reuse an id for brand-new data, and a re-forward may
+  // arrive under a fresh id after a custody timeout.
+  Rig rig;
+  int stores = 0;
+  rpc::Node& target = rig.plane->egress(2).node();
+  target.serve<blob::PutChunkReq, blob::PutChunkResp>(
+      [&stores](const blob::PutChunkReq&,
+                const rpc::Envelope&) -> sim::Task<Result<blob::PutChunkResp>> {
+        ++stores;
+        co_return blob::PutChunkResp{};
+      });
+
+  auto deliver = [&](std::uint64_t bundle_id, std::uint64_t chunk_index) {
+    repl::ReplDeliverReq req;
+    req.src_site = 0;
+    req.bundle_id = bundle_id;
+    req.kind = static_cast<std::uint8_t>(repl::BundleKind::chunk);
+    req.blob = kBlob;
+    req.version = 1;
+    req.chunk = blob::ChunkKey{kBlob, 1, chunk_index};
+    req.target = target.id();
+    req.payload.size = kBytes;
+    req.bytes = kBytes;
+    rpc::Node& src = rig.plane->egress(0).node();
+    const NodeId dst = rig.plane->egress(1).node().id();
+    return test::run_task(
+        rig.sim, rig.cluster.call<repl::ReplDeliverReq, repl::ReplDeliverResp>(
+                     src, dst, std::move(req)));
+  };
+
+  // First delivery stores the replica and takes custody.
+  auto first = deliver(/*bundle_id=*/1, /*chunk_index=*/0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().duplicate);
+  EXPECT_EQ(stores, 1);
+
+  // Re-forward of the same replica under a fresh id: duplicate, not stored.
+  auto retry = deliver(/*bundle_id=*/999, /*chunk_index=*/0);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry.value().duplicate);
+  EXPECT_EQ(stores, 1);
+
+  // New data under a reused id: must be stored, never silently absorbed.
+  auto fresh = deliver(/*bundle_id=*/1, /*chunk_index=*/1);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().duplicate);
+  EXPECT_EQ(stores, 2);
+}
+
+TEST(CustodyProperties, BundleIdsNeverRegressAcrossCheckpointedRecovery) {
+  // Released bundles are compacted out of the checkpoint; the image's
+  // id high-water-mark record must keep recovery from re-issuing their
+  // ids onto the wire.
+  repl::ReplOptions ro;
+  ro.egress.journal.enabled = true;
+  ro.egress.journal.checkpoint_records = 8;  // force frequent checkpoints
+  Rig rig(ro);
+
+  for (blob::Version v = 1; v <= 10; ++v) rig.publish(v);
+  rig.settle(simtime::seconds(30));
+  ASSERT_TRUE(rig.plane->coherent());
+  ASSERT_EQ(rig.plane->egress(0).queue_depth(), 0u);
+  const std::uint64_t hwm = rig.plane->egress(0).bundle_id_hwm();
+  ASSERT_EQ(hwm, 20u);  // 10 versions x 2 remote sites
+
+  const NodeId origin_node = rig.plane->egress(0).node().id();
+  rig.fp.crash(origin_node);
+  rig.settle(simtime::seconds(2));
+  rig.fp.restart(origin_node);
+  rig.settle(simtime::seconds(10));
+  EXPECT_EQ(rig.plane->egress(0).recovery_stats().recoveries, 1u);
+  EXPECT_GE(rig.plane->egress(0).bundle_id_hwm(), hwm);
+
+  // Post-recovery publishes get fresh ids and still apply exactly once.
+  for (blob::Version v = 11; v <= 12; ++v) rig.publish(v);
+  rig.settle(simtime::seconds(30));
+  EXPECT_TRUE(rig.plane->coherent());
+  EXPECT_EQ(rig.plane->egress(0).bundle_id_hwm(), hwm + 4);
+  EXPECT_EQ(rig.plane->egress(1).applies(), 12u);
+  EXPECT_EQ(rig.plane->egress(1).duplicates_dropped(), 0u);
 }
 
 TEST(CustodyProperties, AckedCustodySurvivesCrashAndRestart) {
