@@ -23,6 +23,10 @@
 #     duration and divergence sweeps over the custody plane, all in
 #     simulated time) and emit build/BENCH_repl.json. The committed
 #     repo-root BENCH_repl.json is the curated snapshot of the same run.
+#   run_benches.sh lint         — time the bslint two-pass analyzer over the
+#     whole tree (cold cache, warm cache, --no-cache) and verify the three
+#     runs emit byte-identical reports; emit build/BENCH_lint.json. The
+#     committed repo-root BENCH_lint.json is the curated snapshot.
 # Suites compose: `run_benches.sh sim-kernel recovery` runs both.
 set -eu
 cd "$(dirname "$0")/.."
@@ -86,6 +90,48 @@ run_repl() {
   echo "wrote $out"
 }
 
+run_lint() {
+  out=build/BENCH_lint.json
+  bslint=build/tools/bslint/bslint
+  cache=build/bslint-bench-cache
+  args="--root . --baseline tools/bslint/baseline.txt src tests bench"
+  rm -rf "$cache"
+  wall_ms() { # $1 = label, rest = command; appends "label ms" to the log
+    label=$1; shift
+    start=$(date +%s%N)
+    "$@" > "build/lint_$label.txt" || true  # findings exit 1; not an error here
+    end=$(date +%s%N)
+    echo "$label $(( (end - start) / 1000000 ))" >> build/lint_wall_ms.txt
+  }
+  rm -f build/lint_wall_ms.txt
+  wall_ms cold  $bslint --cache-dir "$cache" $args
+  wall_ms warm  $bslint --cache-dir "$cache" $args
+  wall_ms nocache $bslint --no-cache $args
+  cmp -s build/lint_cold.txt build/lint_warm.txt || {
+    echo "lint bench: cold and warm outputs differ" >&2; exit 1; }
+  cmp -s build/lint_cold.txt build/lint_nocache.txt || {
+    echo "lint bench: cached and --no-cache outputs differ" >&2; exit 1; }
+  python3 - "$out" <<'PY'
+import json, sys
+wall = {}
+for line in open("build/lint_wall_ms.txt"):
+    name, ms = line.split()
+    wall[name] = int(ms)
+summary = open("build/lint_cold.txt").read().strip().splitlines()[-1]
+doc = {
+    "description": "bslint two-pass analyzer wall time over src/ tests/ "
+                   "bench/ (cold index cache, warm cache, --no-cache); the "
+                   "three runs are verified byte-identical before timing is "
+                   "reported",
+    "wall_time_ms": wall,
+    "summary_line": summary,
+}
+json.dump(doc, open(sys.argv[1], "w"), indent=2)
+print("wrote", sys.argv[1])
+PY
+  rm -f build/lint_wall_ms.txt build/lint_cold.txt build/lint_warm.txt     build/lint_nocache.txt
+}
+
 if [ $# -gt 0 ]; then
   for suite in "$@"; do
     case "$suite" in
@@ -93,7 +139,8 @@ if [ $# -gt 0 ]; then
       sim-lanes)  run_sim_lanes ;;
       recovery)   run_recovery ;;
       repl)       run_repl ;;
-      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery repl)" >&2
+      lint)       run_lint ;;
+      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery repl lint)" >&2
          exit 2 ;;
     esac
   done

@@ -270,8 +270,12 @@ sim::Task<Result<void>> Executor::trim_blob(BlobId blob,
 }
 
 sim::Task<Result<void>> Executor::delete_blob(BlobId blob) {
-  if (auto r = co_await ctx_.client->remove(blob); !r.ok()) {
-    co_return r.error();
+  // Hoisted out of the leading if-condition: GCC 12 lays an if-condition
+  // await temporary out before _Coro_resume_fn when it opens the frame
+  // (coro-first-await-if; tools/frame_scan checks the compiled binaries).
+  auto removed = co_await ctx_.client->remove(blob);
+  if (!removed.ok()) {
+    co_return removed.error();
   }
   auto& cluster = ctx_.node->cluster();
   for (auto& p : ctx_.deployment->providers()) {

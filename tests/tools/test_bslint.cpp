@@ -694,9 +694,9 @@ TEST(BslintSuppression, SuppressionsInsideStringsAreIgnored) {
 
 TEST(BslintBaseline, FormatIsSortedAndStable) {
   std::vector<Finding> in = {
-      {"b.cpp", 9, "det-random", "m"},
-      {"a.cpp", 12, "det-wallclock", "m"},
-      {"a.cpp", 3, "hyg-iostream", "m"},
+      {"b.cpp", 9, "det-random", "m", 1, ""},
+      {"a.cpp", 12, "det-wallclock", "m", 1, ""},
+      {"a.cpp", 3, "hyg-iostream", "m", 1, ""},
   };
   const std::string text = format_baseline(in);
   std::vector<std::string> bad;
@@ -772,7 +772,7 @@ TEST_F(BslintCliTest, FindingsExitOneWithDiagnosticAndHint) {
   write("src/bad.cpp", "int r = rand();\n");
   std::string out;
   EXPECT_EQ(cli({"src"}, &out), 1);
-  EXPECT_NE(out.find("src/bad.cpp:1: [det-random]"), std::string::npos);
+  EXPECT_NE(out.find("src/bad.cpp:1:9: warning: call to 'rand()' [det-random]"), std::string::npos);
   EXPECT_NE(out.find("hint:"), std::string::npos);
 }
 
@@ -836,7 +836,7 @@ TEST_F(BslintCliTest, HeaderDeclaredUnorderedMemberCaughtInCpp) {
         "void W::f() { for (auto& [k, v] : items_) use(k); }\n");
   std::string out;
   EXPECT_EQ(cli({"src"}, &out), 1);
-  EXPECT_NE(out.find("src/widget.cpp:2: [det-unordered-iter]"),
+  EXPECT_NE(out.find("src/widget.cpp:2:15: warning:"),
             std::string::npos);
 }
 

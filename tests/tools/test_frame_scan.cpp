@@ -1,0 +1,228 @@
+// Unit tests for the frame_scan DWARF-dump parser (tools/frame_scan) on
+// canned `readelf --debug-dump=info` excerpts — the real-binary run is the
+// lint.frame_scan ctest gate; these pin the parser semantics: frame-type
+// recognition, member attribution by DIE depth, the displaced verdict, and
+// the CLI contract (including a shimmed readelf so scan_binary's streaming
+// path is exercised end to end).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "frame_scan.hpp"
+
+namespace bs::framescan {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A structure DIE with two members, in genuine readelf layout.
+std::string frame_dump(const std::string& name, int resume_loc,
+                       int destroy_loc) {
+  std::ostringstream ss;
+  ss << " <5><c2bab>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+     << "    <c2bac>   DW_AT_name        : (indirect string, offset: "
+        "0xb664b): "
+     << name << "\n"
+     << "    <c2bb0>   DW_AT_byte_size   : 88\n"
+     << " <6><c2bb4>: Abbrev Number: 49 (DW_TAG_member)\n"
+     << "    <c2bb5>   DW_AT_name        : (indirect string, offset: "
+        "0x1cd769): _Coro_resume_fn\n"
+     << "    <c2bbd>   DW_AT_type        : <0x15f096>\n"
+     << "    <c2bc1>   DW_AT_data_member_location: " << resume_loc << "\n"
+     << " <6><c2bc2>: Abbrev Number: 49 (DW_TAG_member)\n"
+     << "    <c2bc3>   DW_AT_name        : (indirect string, offset: "
+        "0x1cd770): _Coro_destroy_fn\n"
+     << "    <c2bcb>   DW_AT_data_member_location: " << destroy_loc << "\n"
+     << " <6><c2bcc>: Abbrev Number: 0\n";
+  return ss.str();
+}
+
+TEST(FrameScanParser, RecognizesConformingFrame) {
+  const auto frames = parse_dwarf(frame_dump("_Z4goodv.Frame", 0, 8));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type_name, "_Z4goodv.Frame");
+  EXPECT_EQ(frames[0].byte_size, 88);
+  EXPECT_EQ(frames[0].resume_loc, 0);
+  EXPECT_EQ(frames[0].destroy_loc, 8);
+  EXPECT_FALSE(displaced(frames[0]));
+}
+
+TEST(FrameScanParser, FlagsDisplacedResumeSlot) {
+  // The GCC 12 miscompile signature: resume fn pushed to offset 8.
+  const auto frames = parse_dwarf(frame_dump("_Z3badv.Frame", 8, 16));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(displaced(frames[0]));
+}
+
+TEST(FrameScanParser, IgnoresNonFrameStructs) {
+  // A struct that merely *has* a member named _Coro_resume_fn (e.g. a
+  // hand-rolled handle type) is not a coroutine frame.
+  const auto frames = parse_dwarf(frame_dump("HandleShim", 8, 16));
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(FrameScanParser, MemberMustBeImmediateChild) {
+  // A member at depth 7 belongs to a type nested inside the frame (awaiter
+  // temporaries), not to the frame itself.
+  std::string dump =
+      " <5><100>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <101>   DW_AT_name        : _Z4nestv.Frame\n"
+      "    <105>   DW_AT_byte_size   : 32\n"
+      " <6><110>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <111>   DW_AT_name        : Awaiter\n"
+      " <7><120>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <121>   DW_AT_name        : _Coro_resume_fn\n"
+      "    <125>   DW_AT_data_member_location: 24\n"
+      " <7><126>: Abbrev Number: 0\n"
+      " <6><127>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <128>   DW_AT_name        : _Coro_resume_fn\n"
+      "    <12c>   DW_AT_data_member_location: 0\n"
+      " <6><12d>: Abbrev Number: 0\n";
+  const auto frames = parse_dwarf(dump);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].resume_loc, 0);  // the depth-7 member did not win
+  EXPECT_FALSE(displaced(frames[0]));
+}
+
+TEST(FrameScanParser, SiblingAfterEndOfChildrenDoesNotAttach) {
+  // Once the frame's children end, a later member at the same depth belongs
+  // to some other parent and must not mutate the closed frame.
+  std::string dump =
+      " <5><100>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <101>   DW_AT_name        : _Z4dosev.Frame\n"
+      " <6><110>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <111>   DW_AT_name        : _Coro_resume_fn\n"
+      "    <115>   DW_AT_data_member_location: 0\n"
+      " <6><116>: Abbrev Number: 0\n"
+      " <5><117>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <118>   DW_AT_name        : Other\n"
+      " <6><120>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <121>   DW_AT_name        : _Coro_resume_fn\n"
+      "    <125>   DW_AT_data_member_location: 40\n";
+  const auto frames = parse_dwarf(dump);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].resume_loc, 0);
+}
+
+TEST(FrameScanParser, ExprlocMemberLocationParses) {
+  // Some abbrevs encode the location as a DW_OP_plus_uconst exprloc.
+  std::string dump =
+      " <5><100>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <101>   DW_AT_name        : _Z4exprv.Frame\n"
+      " <6><110>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <111>   DW_AT_name        : _Coro_resume_fn\n"
+      "    <115>   DW_AT_data_member_location: 2 byte block: 23 8 "
+      "\t(DW_OP_plus_uconst: 8)\n";
+  const auto frames = parse_dwarf(dump);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].resume_loc, 8);
+  EXPECT_TRUE(displaced(frames[0]));
+}
+
+TEST(FrameScanParser, MissingResumeMemberIsNotDisplaced) {
+  std::string dump =
+      " <5><100>: Abbrev Number: 110 (DW_TAG_structure_type)\n"
+      "    <101>   DW_AT_name        : _Z4barev.Frame\n"
+      " <6><110>: Abbrev Number: 49 (DW_TAG_member)\n"
+      "    <111>   DW_AT_name        : payload\n"
+      "    <115>   DW_AT_data_member_location: 16\n";
+  const auto frames = parse_dwarf(dump);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].resume_loc, -1);
+  EXPECT_FALSE(displaced(frames[0]));
+}
+
+TEST(FrameScanParser, MultipleFramesAccumulate) {
+  const std::string dump =
+      frame_dump("_Z1av.Frame", 0, 8) + frame_dump("_Z1bv.Frame", 8, 16);
+  const auto frames = parse_dwarf(dump);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_FALSE(displaced(frames[0]));
+  EXPECT_TRUE(displaced(frames[1]));
+}
+
+// --------------------------------------------------------------- the CLI
+
+class FrameScanCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("frame_scan_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+    // A readelf shim: ignores --debug-dump=info and cats the "binary",
+    // which in these tests is a canned dump text file.
+    shim_ = root_ / "readelf_shim.sh";
+    std::ofstream out(shim_);
+    out << "#!/bin/sh\ncat \"$2\"\n";
+    out.close();
+    fs::permissions(shim_, fs::perms::owner_all);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path write_dump(const std::string& name, const std::string& text) {
+    const fs::path p = root_ / name;
+    std::ofstream out(p, std::ios::binary);
+    out << text;
+    return p;
+  }
+
+  int cli(std::vector<std::string> args, std::string* out_text = nullptr) {
+    std::vector<std::string> full = {"frame_scan"};
+    for (auto& a : args) full.push_back(std::move(a));
+    std::vector<const char*> argv;
+    argv.reserve(full.size());
+    for (const auto& a : full) argv.push_back(a.c_str());
+    std::ostringstream out;
+    std::ostringstream err;
+    const int rc =
+        scan_main(static_cast<int>(argv.size()), argv.data(), out, err);
+    if (out_text != nullptr) *out_text = out.str() + err.str();
+    return rc;
+  }
+
+  fs::path root_;
+  fs::path shim_;
+};
+
+TEST_F(FrameScanCliTest, ConformingBinaryExitsZero) {
+  const auto dump = write_dump("good.txt", frame_dump("_Z1fv.Frame", 0, 8));
+  std::string out;
+  EXPECT_EQ(cli({"--readelf", shim_.string(), dump.string()}, &out), 0);
+  EXPECT_NE(out.find("1 coroutine frame(s), 0 displaced"),
+            std::string::npos)
+      << out;
+}
+
+TEST_F(FrameScanCliTest, DisplacedFrameExitsOneAndNamesIt) {
+  const auto dump = write_dump("bad.txt", frame_dump("_Z1gv.Frame", 8, 16));
+  std::string out;
+  EXPECT_EQ(cli({"--readelf", shim_.string(), dump.string()}, &out), 1);
+  EXPECT_NE(out.find("DISPLACED _Z1gv.Frame"), std::string::npos) << out;
+}
+
+TEST_F(FrameScanCliTest, RequireFramesRejectsFramelessBinary) {
+  const auto dump = write_dump("empty.txt", "no frames here\n");
+  std::string out;
+  EXPECT_EQ(cli({"--readelf", shim_.string(), dump.string()}, &out), 0);
+  EXPECT_EQ(cli({"--readelf", shim_.string(), "--require-frames",
+                 dump.string()},
+                &out),
+            1);
+  EXPECT_NE(out.find("refusing to pass vacuously"), std::string::npos);
+}
+
+TEST_F(FrameScanCliTest, UsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(cli({}, &out), 2);                    // no binaries
+  EXPECT_EQ(cli({"--no-such-flag", "x"}, &out), 2);
+  EXPECT_EQ(cli({"--readelf"}, &out), 2);         // missing value
+  EXPECT_EQ(cli({"--readelf", "/nonexistent/readelf", "x"}, &out), 2);
+}
+
+}  // namespace
+}  // namespace bs::framescan

@@ -1,12 +1,17 @@
 #include "bslint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
-#include <set>
 #include <sstream>
+
+#include "cache.hpp"
+#include "flow.hpp"
+#include "graph.hpp"
+#include "index.hpp"
+#include "lexer.hpp"
 
 namespace bs::lint {
 
@@ -64,6 +69,19 @@ const std::vector<RuleDesc>& rule_table() {
        "string_view bound to a call result inside a coroutine",
        "string_view does not extend temporary lifetime; materialize a "
        "std::string (or bind to a stable lvalue) before suspending"},
+      {"coro-first-await-if", 'C',
+       "co_await inside the if-condition of a coroutine's first statement",
+       "GCC 12 miscompiles this exact shape: the if-condition temporary is "
+       "laid out before _Coro_resume_fn, displacing the coroutine frame ABI "
+       "(see DESIGN.md and tools/frame_scan). Hoist the await: "
+       "`const auto v = co_await ...; if (v) { ... }`"},
+      {"coro-ref-escape", 'C',
+       "temporary bound to a reference/view parameter of a Task coroutine "
+       "at a call site",
+       "the temporary dies at the end of the full expression; unless the "
+       "call is directly co_awaited the suspended coroutine reads a dangling "
+       "reference — materialize a named value that outlives the final "
+       "co_await, or pass by value"},
       {"perf-large-byvalue", 'P',
        "container passed by value into a coroutine frame",
        "a by-value container parameter is deep-copied into the frame when "
@@ -71,7 +89,7 @@ const std::vector<RuleDesc>& rule_table() {
        "shared_ptr<const ...> (copy-free fan-out), or allow() with proof "
        "that every caller moves"},
       {"par-cross-site-schedule", 'P',
-       "un-sited schedule of a lambda capturing shard state",
+       "un-sited schedule reachable from site-sharded context",
        "an event touching a site shard must go through schedule_on_site() "
        "or schedule_par() so it executes in the owning site's lane; a bare "
        "schedule_at/schedule_in runs it in the *current* lane, breaking the "
@@ -101,382 +119,13 @@ const std::vector<RuleDesc>& rule_table() {
   return kRules;
 }
 
-// --------------------------------------------------------------- tokenizer
-
-enum class Tk : std::uint8_t { ident, punct, num, str, chr, pp };
-
-struct Tok {
-  Tk kind;
-  std::string text;
-  int line;
-};
-
-struct Suppression {
-  std::set<std::string> line_rules;  // filled per line below
-};
-
-struct LexOut {
-  std::vector<Tok> toks;
-  // lines carrying at least one code token (not comment/blank)
-  std::set<int> code_lines;
-  // line -> rules allowed on that line and the next code line
-  std::map<int, std::set<std::string>> allow;
-  std::set<std::string> allow_file;
-  // parse problems found in suppression comments: (line, rule-id, bad?)
-  std::vector<Finding> comment_findings;
-  // raw #include targets: (line, header-name, angled?)
-  struct Include {
-    int line;
-    std::string name;
-    bool angled;
-  };
-  std::vector<Include> includes;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-void trim(std::string& s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.erase(s.begin());
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.pop_back();
-  }
-}
-
-/// Parses a `bslint:` suppression comment body. Grammar:
-///   bslint: allow(rule[, rule...])[: rationale]
-///   bslint: allow-file(rule[, rule...])[: rationale]
-void parse_suppression(const std::string& path, std::string body, int line,
-                       LexOut& out) {
-  const auto pos = body.find("bslint:");
-  if (pos == std::string::npos) return;
-  body.erase(0, pos + 7);
-  trim(body);
-  bool file_scope = false;
-  if (body.rfind("allow-file", 0) == 0) {
-    file_scope = true;
-    body.erase(0, 10);
-  } else if (body.rfind("allow", 0) == 0) {
-    body.erase(0, 5);
-  } else {
-    out.comment_findings.push_back(
-        {path, line, "hyg-bad-allow",
-         "malformed bslint comment (expected allow(...) or allow-file(...))"});
-    return;
-  }
-  trim(body);
-  if (body.empty() || body.front() != '(') {
-    out.comment_findings.push_back(
-        {path, line, "hyg-bad-allow", "missing rule list after allow"});
-    return;
-  }
-  const auto close = body.find(')');
-  if (close == std::string::npos) {
-    out.comment_findings.push_back(
-        {path, line, "hyg-bad-allow", "unterminated rule list"});
-    return;
-  }
-  std::string list = body.substr(1, close - 1);
-  std::string rest = body.substr(close + 1);
-  trim(rest);
-  // Split the rule list on commas.
-  std::vector<std::string> ids;
-  std::string cur;
-  for (char c : list) {
-    if (c == ',') {
-      ids.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  ids.push_back(cur);
-  bool any_valid = false;
-  for (std::string& id : ids) {
-    trim(id);
-    if (id.empty()) continue;
-    if (!rule_known(id)) {
-      out.comment_findings.push_back(
-          {path, line, "hyg-bad-allow", "unknown rule '" + id + "'"});
-      continue;
-    }
-    any_valid = true;
-    if (file_scope) {
-      out.allow_file.insert(id);
-    } else {
-      out.allow[line].insert(id);
-    }
-  }
-  if (ids.size() == 1 && ids.front().empty()) {
-    out.comment_findings.push_back(
-        {path, line, "hyg-bad-allow", "empty rule list"});
-    return;
-  }
-  // Rationale: non-empty text after `): `.
-  std::string rationale = rest;
-  if (!rationale.empty() && rationale.front() == ':') rationale.erase(0, 1);
-  trim(rationale);
-  if (any_valid && rationale.empty()) {
-    out.comment_findings.push_back(
-        {path, line, "hyg-bare-allow", "suppression has no rationale"});
-  }
-}
-
-LexOut lex(const std::string& path, std::string_view src) {
-  LexOut out;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  int line = 1;
-  bool at_line_start = true;  // only whitespace seen since the newline
-  auto peek = [&](std::size_t k) -> char {
-    return i + k < n ? src[i + k] : '\0';
-  };
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '/' && peek(1) == '/') {
-      std::size_t e = i;
-      while (e < n && src[e] != '\n') ++e;
-      parse_suppression(path, std::string(src.substr(i + 2, e - i - 2)), line,
-                        out);
-      i = e;
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      std::size_t e = i + 2;
-      const int start_line = line;
-      while (e + 1 < n && !(src[e] == '*' && src[e + 1] == '/')) {
-        if (src[e] == '\n') ++line;
-        ++e;
-      }
-      parse_suppression(path, std::string(src.substr(i + 2, e - i - 2)),
-                        start_line, out);
-      i = e + 2;
-      continue;
-    }
-    if (c == '#' && at_line_start) {
-      // Preprocessor logical line (with \-continuations). Not tokenized as
-      // code; include targets are extracted for the header rules.
-      std::string text;
-      while (i < n) {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          i += 2;
-          ++line;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        text += src[i++];
-      }
-      const int pp_line = line;
-      std::size_t p = 1;
-      while (p < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[p]))) {
-        ++p;
-      }
-      if (text.compare(p, 7, "include") == 0) {
-        p += 7;
-        while (p < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[p]))) {
-          ++p;
-        }
-        if (p < text.size() && (text[p] == '<' || text[p] == '"')) {
-          const bool angled = text[p] == '<';
-          const char closer = angled ? '>' : '"';
-          const auto e = text.find(closer, p + 1);
-          if (e != std::string::npos) {
-            out.includes.push_back(
-                {pp_line, text.substr(p + 1, e - p - 1), angled});
-          }
-        }
-      }
-      out.code_lines.insert(pp_line);
-      out.toks.push_back({Tk::pp, std::move(text), pp_line});
-      at_line_start = true;  // the newline is still pending
-      continue;
-    }
-    at_line_start = false;
-    if (c == 'R' && peek(1) == '"') {
-      // Raw string literal R"delim( ... )delim"
-      std::size_t d = i + 2;
-      std::string delim;
-      while (d < n && src[d] != '(') delim += src[d++];
-      const std::string closer = ")" + delim + "\"";
-      const auto e = src.find(closer, d);
-      const std::size_t stop = e == std::string_view::npos
-                                   ? n
-                                   : e + closer.size();
-      for (std::size_t k = i; k < stop; ++k) {
-        if (src[k] == '\n') ++line;
-      }
-      out.toks.push_back({Tk::str, "", line});
-      i = stop;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char q = c;
-      std::size_t e = i + 1;
-      while (e < n && src[e] != q) {
-        if (src[e] == '\\') ++e;
-        if (src[e] == '\n') ++line;  // unterminated tolerance
-        ++e;
-      }
-      // String contents are kept: det-journal-encode greps literals for
-      // pointer format specifiers.
-      out.toks.push_back({q == '"' ? Tk::str : Tk::chr,
-                          std::string(src.substr(i, e + 1 - i)), line});
-      i = e + 1;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t e = i;
-      while (e < n && ident_char(src[e])) ++e;
-      out.toks.push_back({Tk::ident, std::string(src.substr(i, e - i)), line});
-      i = e;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t e = i;
-      while (e < n && (ident_char(src[e]) || src[e] == '.' ||
-                       ((src[e] == '+' || src[e] == '-') && e > i &&
-                        (src[e - 1] == 'e' || src[e - 1] == 'E')))) {
-        ++e;
-      }
-      out.toks.push_back({Tk::num, std::string(src.substr(i, e - i)), line});
-      i = e;
-      continue;
-    }
-    // Punctuation; only the pairs the rules care about are fused.
-    if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>') ||
-        (c == '&' && peek(1) == '&')) {
-      out.toks.push_back({Tk::punct, std::string(src.substr(i, 2)), line});
-      i += 2;
-      continue;
-    }
-    out.toks.push_back({Tk::punct, std::string(1, c), line});
-    ++i;
-  }
-  for (const Tok& t : out.toks) out.code_lines.insert(t.line);
-  return out;
-}
-
-// ------------------------------------------------------------ token helpers
-
-/// Index of the matching closer for the opener at `open` (e.g. '(' -> ')').
-/// Returns toks.size() when unbalanced.
-std::size_t match_forward(const std::vector<Tok>& t, std::size_t open,
-                          const char* o, const char* c) {
-  int depth = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != Tk::punct) continue;
-    if (t[i].text == o) ++depth;
-    if (t[i].text == c && --depth == 0) return i;
-  }
-  return t.size();
-}
-
-/// Matches template angle brackets starting at `open` (which must be `<`).
-/// Treats `(`/`)` nesting opaquely; `;` and `{` abort (not a template list).
-std::size_t match_angles(const std::vector<Tok>& t, std::size_t open) {
-  int depth = 0;
-  int parens = 0;
-  for (std::size_t i = open; i < t.size(); ++i) {
-    if (t[i].kind != Tk::punct) continue;
-    const std::string& s = t[i].text;
-    if (s == "(") ++parens;
-    if (s == ")") --parens;
-    if (parens > 0) continue;
-    if (s == "<") ++depth;
-    if (s == ">" && --depth == 0) return i;
-    if (s == ";" || s == "{") break;
-  }
-  return t.size();
-}
-
-bool is_punct(const Tok& t, const char* s) {
-  return t.kind == Tk::punct && t.text == s;
-}
-bool is_ident(const Tok& t, const char* s) {
-  return t.kind == Tk::ident && t.text == s;
-}
-
-// ----------------------------------------------------------- path predicates
-
-bool starts_with(std::string_view s, std::string_view p) {
-  return s.substr(0, p.size()) == p;
-}
-
-struct Scope {
-  bool in_src;
-  bool in_tests;
-  bool in_bench;
-  bool is_header;
-};
-
-Scope scope_of(std::string_view path) {
-  Scope s{};
-  s.in_src = starts_with(path, "src/");
-  s.in_tests = starts_with(path, "tests/");
-  s.in_bench = starts_with(path, "bench/");
-  s.is_header = path.size() > 4 && (path.substr(path.size() - 4) == ".hpp" ||
-                                    path.substr(path.size() - 2) == ".h");
-  return s;
-}
-
-// ---------------------------------------------------------------- harvesting
-
-constexpr const char* kUnorderedTypes[] = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
-
-bool is_unordered_type(const Tok& t) {
-  if (t.kind != Tk::ident) return false;
-  for (const char* u : kUnorderedTypes) {
-    if (t.text == u) return true;
-  }
-  return false;
-}
-
-/// Collects identifiers declared with an unordered container type:
-///   std::unordered_map<K, V> name ...   (members, locals, parameters)
-void harvest_unordered(const std::vector<Tok>& t, std::set<std::string>& out) {
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (!is_unordered_type(t[i])) continue;
-    std::size_t j = i + 1;
-    if (j >= t.size() || !is_punct(t[j], "<")) continue;
-    j = match_angles(t, j);
-    if (j >= t.size()) continue;
-    ++j;  // past '>'
-    while (j < t.size() &&
-           (is_punct(t[j], "&") || is_punct(t[j], "*") ||
-            is_punct(t[j], "&&") || is_ident(t[j], "const"))) {
-      ++j;
-    }
-    if (j < t.size() && t[j].kind == Tk::ident) out.insert(t[j].text);
-  }
-}
-
 // ------------------------------------------------------------- the scanner
 
 class Scanner {
  public:
-  Scanner(std::string_view path, std::string_view text, IncludeResolver* inc)
+  Scanner(std::string_view path, LexOut lexed, IncludeResolver* inc)
       : path_(path), scope_(scope_of(path)), inc_(inc),
-        lex_(lex(path_, text)) {}
+        lex_(std::move(lexed)) {}
 
   std::vector<Finding> scan(ScanStats* stats) {
     harvest();
@@ -489,6 +138,7 @@ class Scanner {
     check_lambdas();
     check_par_schedules();
     check_view_temps();
+    check_first_await_if();
     check_obs_guards();
     check_using_namespace();
     for (const Finding& f : lex_.comment_findings) report_raw(f);
@@ -499,37 +149,23 @@ class Scanner {
     return std::move(findings_);
   }
 
+  /// Identifiers declared with an unordered container type in this file and
+  /// its project include closure (shared with the index builder).
+  const std::set<std::string>& unordered_idents() const { return unordered_; }
+
  private:
-  void report(int line, const char* rule, std::string message) {
-    report_raw({path_, line, rule, std::move(message)});
+  void report(int line, int col, const char* rule, std::string message) {
+    Finding f;
+    f.path = path_;
+    f.line = line;
+    f.col = col;
+    f.rule = rule;
+    f.message = std::move(message);
+    report_raw(std::move(f));
   }
 
   void report_raw(Finding f) {
-    if (lex_.allow_file.count(f.rule) != 0u) {
-      ++suppressed_;
-      return;
-    }
-    // An allow() comment covers its own line and the next *code* line, so
-    // it can trail the offending line, sit right above it, or sit above it
-    // at the end of a multi-line comment block.
-    auto allowed_at = [&](int l) {
-      auto it = lex_.allow.find(l);
-      return it != lex_.allow.end() && it->second.count(f.rule) != 0u;
-    };
-    int l = f.line;
-    if (allowed_at(l)) {
-      ++suppressed_;
-      return;
-    }
-    --l;  // walk up through comment/blank lines, then one code line
-    while (l > 0 && lex_.code_lines.count(l) == 0u) {
-      if (allowed_at(l)) {
-        ++suppressed_;
-        return;
-      }
-      --l;
-    }
-    if (l > 0 && allowed_at(l)) {
+    if (line_allows(lex_, f.line, f.rule)) {
       ++suppressed_;
       return;
     }
@@ -557,76 +193,37 @@ class Scanner {
     for (const auto& in : lex_.includes) {
       if (!in.angled) continue;
       if (scope_.in_src && kThreadHeaders.count(in.name) != 0u) {
-        report(in.line, "det-thread", "#include <" + in.name + ">");
+        report(in.line, 1, "det-thread", "#include <" + in.name + ">");
       }
       if ((scope_.in_src || scope_.in_tests || scope_.in_bench) &&
           kClockHeaders.count(in.name) != 0u) {
-        report(in.line, "det-wallclock", "#include <" + in.name + ">");
+        report(in.line, 1, "det-wallclock", "#include <" + in.name + ">");
       }
       if ((scope_.in_src || scope_.in_tests || scope_.in_bench) &&
           in.name == "random") {
-        report(in.line, "det-random", "#include <random>");
+        report(in.line, 1, "det-random", "#include <random>");
       }
-      const bool iostream_ok = starts_with(path_, "src/viz/") ||
-                               starts_with(path_, "examples/") ||
-                               starts_with(path_, "tools/");
+      const bool iostream_ok = path_starts_with(path_, "src/viz/") ||
+                               path_starts_with(path_, "examples/") ||
+                               path_starts_with(path_, "tools/");
       if (in.name == "iostream" && !iostream_ok) {
-        report(in.line, "hyg-iostream", "#include <iostream>");
+        report(in.line, 1, "hyg-iostream", "#include <iostream>");
       }
     }
   }
 
   void check_idents() {
     if (!scope_.in_src && !scope_.in_tests && !scope_.in_bench) return;
-    static const std::map<std::string, const char*> kBannedIdents = {
-        {"system_clock", "det-wallclock"},
-        {"steady_clock", "det-wallclock"},
-        {"high_resolution_clock", "det-wallclock"},
-        {"gettimeofday", "det-wallclock"},
-        {"clock_gettime", "det-wallclock"},
-        {"timespec_get", "det-wallclock"},
-        {"localtime", "det-wallclock"},
-        {"gmtime", "det-wallclock"},
-        {"mktime", "det-wallclock"},
-        {"random_device", "det-random"},
-        {"mt19937", "det-random"},
-        {"mt19937_64", "det-random"},
-        {"minstd_rand", "det-random"},
-        {"default_random_engine", "det-random"},
-        {"srand", "det-random"},
-        {"random_shuffle", "det-random"},
-    };
     const auto& t = lex_.toks;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (t[i].kind != Tk::ident) continue;
-      auto it = kBannedIdents.find(t[i].text);
-      if (it != kBannedIdents.end()) {
-        report(t[i].line, it->second, "use of '" + t[i].text + "'");
+      std::string what;
+      if (const char* rule = banned_det_ident(t, i, &what)) {
+        report(t[i].line, t[i].col, rule, std::move(what));
         continue;
       }
       if (scope_.in_src && is_ident(t[i], "this_thread")) {
-        report(t[i].line, "det-thread", "use of std::this_thread");
-        continue;
-      }
-      // `time(...)`/`rand()` only when clearly the C library call: either
-      // std::-qualified or a bare call (not a member / project function).
-      if ((t[i].text == "time" || t[i].text == "rand") && i + 1 < t.size() &&
-          is_punct(t[i + 1], "(")) {
-        const bool member =
-            i > 0 && (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->"));
-        const bool std_qualified =
-            i >= 2 && is_punct(t[i - 1], "::") && is_ident(t[i - 2], "std");
-        const bool other_qualified = i > 0 && is_punct(t[i - 1], "::");
-        const bool nullary_or_null =
-            i + 2 < t.size() &&
-            (is_punct(t[i + 2], ")") || is_ident(t[i + 2], "nullptr") ||
-             is_ident(t[i + 2], "NULL") ||
-             (t[i + 2].kind == Tk::num && t[i + 2].text == "0"));
-        if (std_qualified || (!member && !other_qualified && nullary_or_null)) {
-          report(t[i].line,
-                 t[i].text == "time" ? "det-wallclock" : "det-random",
-                 "call to '" + t[i].text + "()'");
-        }
+        report(t[i].line, t[i].col, "det-thread", "use of std::this_thread");
       }
     }
   }
@@ -639,7 +236,7 @@ class Scanner {
       const std::size_t close = match_forward(t, i + 1, "(", ")");
       for (std::size_t j = i + 2; j < close; ++j) {
         if (t[j].kind == Tk::ident && unordered_.count(t[j].text) != 0u) {
-          report(t[i].line, "det-unordered-iter",
+          report(t[i].line, t[i].col, "det-unordered-iter",
                  "loop over unordered container '" + t[j].text + "'");
           break;
         }
@@ -655,11 +252,11 @@ class Scanner {
   /// from included headers are flagged too (det-unordered-iter only sees
   /// range-style `for` loops).
   void check_custody_order() {
-    if (!starts_with(path_, "src/repl/")) return;
+    if (!path_starts_with(path_, "src/repl/")) return;
     const auto& t = lex_.toks;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (is_unordered_type(t[i])) {
-        report(t[i].line, "det-custody-order",
+        report(t[i].line, t[i].col, "det-custody-order",
                "replication-plane state declared as '" + t[i].text + "'");
         continue;
       }
@@ -668,7 +265,7 @@ class Scanner {
           (is_punct(t[i + 1], ".") || is_punct(t[i + 1], "->")) &&
           (is_ident(t[i + 2], "begin") || is_ident(t[i + 2], "cbegin")) &&
           is_punct(t[i + 3], "(")) {
-        report(t[i].line, "det-custody-order",
+        report(t[i].line, t[i].col, "det-custody-order",
                "iterator walk over unordered container '" + t[i].text + "'");
       }
     }
@@ -680,6 +277,8 @@ class Scanner {
   /// sequence would serialize hash-table layout and diverge on replay — and
   /// (b) pointer-identity serialization (reinterpret_cast, uintptr_t,
   /// "%p"), which bakes unreplayable addresses into durable records.
+  /// The flow pass (flow.cpp) extends the same contract to everything
+  /// transitively reachable from an encoder.
   void check_journal_encoders() {
     if (!scope_.in_src) return;
     const auto& t = lex_.toks;
@@ -711,7 +310,7 @@ class Scanner {
             if (t[m].kind == Tk::ident &&
                 (unordered_.count(t[m].text) != 0u ||
                  is_unordered_type(t[m]))) {
-              report(t[k].line, "det-journal-encode",
+              report(t[k].line, t[k].col, "det-journal-encode",
                      "journal encoder '" + name +
                          "' iterates unordered container '" + t[m].text +
                          "'");
@@ -721,12 +320,12 @@ class Scanner {
         } else if (is_ident(t[k], "reinterpret_cast") ||
                    is_ident(t[k], "uintptr_t") ||
                    is_ident(t[k], "intptr_t")) {
-          report(t[k].line, "det-journal-encode",
+          report(t[k].line, t[k].col, "det-journal-encode",
                  "journal encoder '" + name +
                      "' serializes pointer identity ('" + t[k].text + "')");
         } else if (t[k].kind == Tk::str &&
                    t[k].text.find("%p") != std::string::npos) {
-          report(t[k].line, "det-journal-encode",
+          report(t[k].line, t[k].col, "det-journal-encode",
                  "journal encoder '" + name +
                      "' formats a pointer address (\"%p\")");
         }
@@ -752,7 +351,8 @@ class Scanner {
   /// Findings are attributed to `name_line` (the declarator) so one allow()
   /// above the signature covers a multi-line parameter list.
   void check_param_list(std::size_t open, std::size_t close,
-                        const std::string& name, int name_line) {
+                        const std::string& name, int name_line,
+                        int name_col) {
     const auto& t = lex_.toks;
     // Handler idiom: the RPC dispatch wrapper owns the request shared_ptr
     // and the Envelope for the entire co_await of the handler, so handler
@@ -805,10 +405,10 @@ class Scanner {
     }
     flush_param();
     for (const std::string& m : messages) {
-      report(name_line, "coro-ref-param", m);
+      report(name_line, name_col, "coro-ref-param", m);
     }
     for (const std::string& m : perf_messages) {
-      report(name_line, "perf-large-byvalue", m);
+      report(name_line, name_col, "perf-large-byvalue", m);
     }
   }
 
@@ -831,18 +431,20 @@ class Scanner {
       std::size_t j = after;
       std::string name;
       int name_line = 0;
+      int name_col = 1;
       while (j < t.size() &&
              (t[j].kind == Tk::ident || is_punct(t[j], "::"))) {
         if (t[j].kind == Tk::ident) {
           name = t[j].text;
           name_line = t[j].line;
+          name_col = t[j].col;
         }
         ++j;
       }
       if (name.empty() || j >= t.size() || !is_punct(t[j], "(")) continue;
       const std::size_t close = match_forward(t, j, "(", ")");
       if (close >= t.size()) continue;
-      check_param_list(j, close, name, name_line);
+      check_param_list(j, close, name, name_line, name_col);
     }
   }
 
@@ -919,16 +521,18 @@ class Scanner {
       }
       if (!coroutine) continue;
       if (is_serve_argument(i)) continue;
-      report(t[i].line, "coro-lambda-capture",
+      report(t[i].line, t[i].col, "coro-lambda-capture",
              "lambda coroutine captures " + what);
     }
   }
 
-  /// par-cross-site-schedule: a schedule_at/schedule_in call whose callback
-  /// lambda captures shard state (any capture-list identifier containing
-  /// "shard"). Such events must carry a site tag — schedule_on_site() or
-  /// schedule_par() — so they execute in the lane that owns the shard;
-  /// un-sited they land in whatever lane the caller happens to run in.
+  /// par-cross-site-schedule (token level): a schedule_at/schedule_in call
+  /// whose callback lambda captures shard state (any capture-list identifier
+  /// containing "shard"). Such events must carry a site tag —
+  /// schedule_on_site() or schedule_par() — so they execute in the lane that
+  /// owns the shard; un-sited they land in whatever lane the caller happens
+  /// to run in. The flow pass extends this to whole call chains from
+  /// par-tagged roots.
   void check_par_schedules() {
     if (!scope_.in_src) return;
     const auto& t = lex_.toks;
@@ -954,7 +558,7 @@ class Scanner {
         for (std::size_t k = j + 1; k < cap_close; ++k) {
           if (t[k].kind == Tk::ident &&
               t[k].text.find("shard") != std::string::npos) {
-            report(t[i].line, "par-cross-site-schedule",
+            report(t[i].line, t[i].col, "par-cross-site-schedule",
                    t[i].text + "() lambda captures '" + t[k].text + "'");
             reported = true;
             break;
@@ -965,26 +569,50 @@ class Scanner {
     }
   }
 
-  void check_view_temps() {
-    if (!scope_.in_src) return;
+  /// Brace blocks that open a callable body: `{` preceded by a parameter
+  /// list `)` (allowing cv/ref/noexcept specifiers and a trailing return
+  /// type in between). Control-flow blocks are excluded by looking at the
+  /// keyword before the matching `(`.
+  std::vector<std::pair<std::size_t, std::size_t>> callable_bodies() const {
     const auto& t = lex_.toks;
-    // Enclosing-function map: for each token, the body range of the nearest
-    // function-shaped brace block (opened right after ')' or a specifier).
     std::vector<std::pair<std::size_t, std::size_t>> bodies;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (!is_punct(t[i], "{") || i == 0) continue;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      if (!is_punct(t[i], "{")) continue;
+      // Walk back over specifiers and a trailing return type to the ')'.
       std::size_t p = i - 1;
-      while (p > 0 &&
-             (is_ident(t[p], "override") || is_ident(t[p], "noexcept") ||
-              is_ident(t[p], "const") || is_ident(t[p], "mutable") ||
-              is_ident(t[p], "final"))) {
+      while (p > 0 && (t[p].kind == Tk::ident || is_punct(t[p], "::") ||
+                       is_punct(t[p], "<") || is_punct(t[p], ">") ||
+                       is_punct(t[p], ",") || is_punct(t[p], "->") ||
+                       is_punct(t[p], "&") || is_punct(t[p], "&&") ||
+                       is_punct(t[p], "*"))) {
         --p;
       }
       if (!is_punct(t[p], ")")) continue;
+      // Matching '(' for that ')'.
+      int depth = 1;
+      std::size_t q = p;
+      while (q > 0 && depth > 0) {
+        --q;
+        if (is_punct(t[q], ")")) ++depth;
+        if (is_punct(t[q], "(")) --depth;
+      }
+      if (depth != 0) continue;
+      if (q > 0 && t[q - 1].kind == Tk::ident &&
+          (is_ident(t[q - 1], "if") || is_ident(t[q - 1], "for") ||
+           is_ident(t[q - 1], "while") || is_ident(t[q - 1], "switch") ||
+           is_ident(t[q - 1], "catch"))) {
+        continue;  // control block, not a callable body
+      }
       const std::size_t close = match_forward(t, i, "{", "}");
       if (close < t.size()) bodies.emplace_back(i, close);
     }
-    for (const auto& [open, close] : bodies) {
+    return bodies;
+  }
+
+  void check_view_temps() {
+    if (!scope_.in_src) return;
+    const auto& t = lex_.toks;
+    for (const auto& [open, close] : callable_bodies()) {
       std::vector<std::size_t> awaits;
       for (std::size_t k = open + 1; k < close; ++k) {
         if (is_ident(t[k], "co_await")) awaits.push_back(k);
@@ -1004,15 +632,41 @@ class Scanner {
           ++e;
         }
         if (e >= close || e == 0 || !is_punct(t[e - 1], ")")) continue;
-        report(t[k].line, "coro-view-temp",
+        report(t[k].line, t[k].col, "coro-view-temp",
                "string_view '" + t[k + 1].text +
                    "' bound to a call result in a coroutine");
       }
     }
   }
 
+  /// coro-first-await-if: `if (co_await ...)` as the coroutine's first
+  /// statement — the exact shape GCC 12 miscompiles by laying the
+  /// if-condition temporary out before _Coro_resume_fn in the frame
+  /// (observed on the PR 8 reconciliation coroutine; tools/frame_scan
+  /// guards the binary side of the same invariant).
+  void check_first_await_if() {
+    if (!scope_.in_src && !scope_.in_tests && !scope_.in_bench) return;
+    const auto& t = lex_.toks;
+    for (const auto& [open, close] : callable_bodies()) {
+      (void)close;
+      if (open + 2 >= t.size() || !is_ident(t[open + 1], "if") ||
+          !is_punct(t[open + 2], "(")) {
+        continue;
+      }
+      const std::size_t cond_close = match_forward(t, open + 2, "(", ")");
+      for (std::size_t k = open + 3; k < cond_close; ++k) {
+        if (is_ident(t[k], "co_await")) {
+          report(t[open + 1].line, t[open + 1].col, "coro-first-await-if",
+                 "co_await inside the if-condition of the coroutine's first "
+                 "statement");
+          break;
+        }
+      }
+    }
+  }
+
   void check_obs_guards() {
-    if (starts_with(path_, "src/obs/")) return;
+    if (path_starts_with(path_, "src/obs/")) return;
     const auto& t = lex_.toks;
     for (std::size_t i = 0; i + 5 < t.size(); ++i) {
       if (!is_ident(t[i], "obs") || !is_punct(t[i + 1], "::")) continue;
@@ -1021,7 +675,7 @@ class Scanner {
       }
       if (is_punct(t[i + 3], "(") && is_punct(t[i + 4], ")") &&
           is_punct(t[i + 5], "->")) {
-        report(t[i].line, "obs-unguarded",
+        report(t[i].line, t[i].col, "obs-unguarded",
                "obs::" + t[i + 2].text + "() dereferenced without a guard");
       }
     }
@@ -1032,7 +686,7 @@ class Scanner {
     const auto& t = lex_.toks;
     for (std::size_t i = 0; i + 1 < t.size(); ++i) {
       if (is_ident(t[i], "using") && is_ident(t[i + 1], "namespace")) {
-        report(t[i].line, "hyg-using-namespace",
+        report(t[i].line, t[i].col, "hyg-using-namespace",
                "using-directive in a header");
       }
     }
@@ -1061,6 +715,29 @@ bool lintable(const std::filesystem::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ----------------------------------------------------------------- public
@@ -1079,23 +756,28 @@ const RuleDesc* rule_desc(std::string_view id) {
 bool finding_less(const Finding& a, const Finding& b) {
   if (a.path != b.path) return a.path < b.path;
   if (a.line != b.line) return a.line < b.line;
+  if (a.col != b.col) return a.col < b.col;
   if (a.rule != b.rule) return a.rule < b.rule;
-  return a.message < b.message;
+  if (a.message != b.message) return a.message < b.message;
+  return a.chain < b.chain;
 }
 
 IncludeResolver::IncludeResolver(std::string root) : root_(std::move(root)) {}
 
-const std::set<std::string>* IncludeResolver::unordered_idents(
+const IncludeResolver::Entry* IncludeResolver::resolve(
     const std::string& include) {
   auto it = cache_.find(include);
   if (it != cache_.end()) return &it->second;
   if (in_flight_.count(include) != 0u) return nullptr;  // include cycle
   namespace fs = std::filesystem;
   fs::path resolved;
+  std::string rel;
   for (const char* base : {"src", "", "tests", "bench"}) {
     fs::path cand = fs::path(root_) / base / include;
     if (fs::exists(cand)) {
       resolved = cand;
+      rel = base[0] == '\0' ? include
+                            : (fs::path(base) / include).generic_string();
       break;
     }
   }
@@ -1104,21 +786,35 @@ const std::set<std::string>* IncludeResolver::unordered_idents(
   if (!read_file(resolved, &text)) return nullptr;
   in_flight_.insert(include);
   LexOut lexed = lex(include, text);
-  std::set<std::string> ids;
-  harvest_unordered(lexed.toks, ids);
+  Entry entry;
+  entry.paths.insert(rel);
+  harvest_unordered(lexed.toks, entry.ids);
   for (const auto& in : lexed.includes) {
     if (in.angled) continue;
-    if (const auto* nested = unordered_idents(in.name)) {
-      ids.insert(nested->begin(), nested->end());
+    if (const Entry* nested = resolve(in.name)) {
+      entry.ids.insert(nested->ids.begin(), nested->ids.end());
+      entry.paths.insert(nested->paths.begin(), nested->paths.end());
     }
   }
   in_flight_.erase(include);
-  return &cache_.emplace(include, std::move(ids)).first->second;
+  return &cache_.emplace(include, std::move(entry)).first->second;
+}
+
+const std::set<std::string>* IncludeResolver::unordered_idents(
+    const std::string& include) {
+  const Entry* e = resolve(include);
+  return e == nullptr ? nullptr : &e->ids;
+}
+
+const std::set<std::string>* IncludeResolver::closure(
+    const std::string& include) {
+  const Entry* e = resolve(include);
+  return e == nullptr ? nullptr : &e->paths;
 }
 
 std::vector<Finding> scan_source(std::string_view path, std::string_view text,
                                  ScanStats* stats, IncludeResolver* includes) {
-  Scanner s(path, text, includes);
+  Scanner s(path, lex(std::string(path), text), includes);
   return s.scan(stats);
 }
 
@@ -1153,23 +849,104 @@ bool run(const RunOptions& opts, RunResult* result, std::string* error) {
     }
   }
 
+  // Pass-1 cache: load, validate per file by content + include-closure
+  // hashes, rewrite in full afterwards. The cache only short-circuits
+  // lexing/scanning/indexing — pass 2 always runs on the linked index, so
+  // cached and cold runs emit identical bytes.
+  const bool caching = !opts.cache_dir.empty() && !opts.no_cache;
+  const fs::path cache_path = fs::path(opts.cache_dir) / "index.tsv";
+  std::map<std::string, CachedFile> cached;
+  if (caching) {
+    std::string text;
+    if (read_file(cache_path, &text)) {
+      std::map<std::string, CachedFile> parsed;
+      if (parse_cache(text, &parsed)) cached = std::move(parsed);
+    }
+  }
+  std::map<std::string, std::uint64_t> live_hash;  // rel path -> fnv1a64
+  auto hash_of = [&](const std::string& rel) -> std::uint64_t {
+    auto it = live_hash.find(rel);
+    if (it != live_hash.end()) return it->second;
+    std::string text;
+    const std::uint64_t h =
+        read_file(root / rel, &text) ? fnv1a64(text) : 0;
+    live_hash.emplace(rel, h);
+    return h;
+  };
+
   IncludeResolver resolver(root.string());
   std::vector<Finding> all;
+  std::vector<FileIndex> indices;
+  std::vector<CachedFile> next_cache;
   for (const std::string& f : files) {
     std::string text;
     if (!read_file(root / f, &text)) {
       *error = "cannot read: " + f;
       return false;
     }
-    ScanStats stats;
-    auto found = scan_source(f, text, &stats, &resolver);
-    result->suppressed += stats.suppressed;
-    all.insert(all.end(), found.begin(), found.end());
+    const std::uint64_t h = fnv1a64(text);
+    live_hash[f] = h;
+    const auto it = cached.find(f);
+    bool hit = it != cached.end() && it->second.content_hash == h;
+    if (hit) {
+      for (const auto& [dep, dep_hash] : it->second.deps) {
+        if (hash_of(dep) != dep_hash) {
+          hit = false;
+          break;
+        }
+      }
+    }
+    CachedFile entry;
+    if (hit) {
+      entry = it->second;
+      ++result->cache_hits;
+    } else {
+      entry.path = f;
+      entry.content_hash = h;
+      LexOut lexed = lex(f, text);
+      // Dependency set before the LexOut moves into the scanner.
+      std::set<std::string> deps;
+      for (const auto& in : lexed.includes) {
+        if (in.angled) continue;
+        if (const auto* cl = resolver.closure(in.name)) {
+          deps.insert(cl->begin(), cl->end());
+        }
+      }
+      Scanner scanner(f, std::move(lexed), &resolver);
+      ScanStats stats;
+      entry.findings = scanner.scan(&stats);
+      entry.suppressed = stats.suppressed;
+      // The index needs the same LexOut; re-lex (cheap) rather than teach
+      // the scanner to hand its stream back.
+      const LexOut lx2 = lex(f, text);
+      entry.index = build_index(f, lx2, scanner.unordered_idents());
+      for (const std::string& d : deps) {
+        if (d != f) entry.deps.emplace_back(d, hash_of(d));
+      }
+    }
+    result->suppressed += entry.suppressed;
+    all.insert(all.end(), entry.findings.begin(), entry.findings.end());
+    indices.push_back(entry.index);
     ++result->files_scanned;
+    if (!opts.cache_dir.empty() && !opts.no_cache) {
+      next_cache.push_back(std::move(entry));
+    }
   }
-  std::sort(all.begin(), all.end(), finding_less);
+  if (caching) {
+    std::error_code ec;
+    fs::create_directories(fs::path(opts.cache_dir), ec);
+    std::ofstream out(cache_path, std::ios::binary);
+    if (out) out << serialize_cache(std::move(next_cache));
+  }
 
-  // Baseline split.
+  // Pass 2: link and run the flow rules.
+  FlowResult flow = flow_analyze(link_index(std::move(indices)));
+  result->suppressed += flow.suppressed;
+  all.insert(all.end(), flow.findings.begin(), flow.findings.end());
+  std::sort(all.begin(), all.end(), finding_less);
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  // Baseline split (keys ignore the chain: path:line:rule).
   std::set<std::string> baseline_keys;
   if (!opts.baseline_path.empty() && !opts.fix_baseline) {
     std::string text;
@@ -1214,12 +991,15 @@ bool run(const RunOptions& opts, RunResult* result, std::string* error) {
 std::string format_baseline(std::vector<Finding> findings) {
   std::sort(findings.begin(), findings.end(), finding_less);
   std::string out =
-      "# bslint baseline v1 — grandfathered findings (path:line:rule).\n"
+      "# bslint baseline v2 — grandfathered findings "
+      "(path:line:rule[|call chain]).\n"
       "# Regenerate with `bslint --fix-baseline`; entries are sorted so the\n"
       "# file never produces noisy diffs. Prefer fixing or inline allow()\n"
       "# comments with a rationale over baselining new findings.\n";
   for (const Finding& f : findings) {
-    out += f.path + ":" + std::to_string(f.line) + ":" + f.rule + "\n";
+    out += f.path + ":" + std::to_string(f.line) + ":" + f.rule;
+    if (!f.chain.empty()) out += "|" + f.chain;
+    out += "\n";
   }
   return out;
 }
@@ -1235,13 +1015,21 @@ std::vector<Finding> parse_baseline(std::string_view text,
     pos = e + 1;
     trim(line);
     if (line.empty() || line.front() == '#') continue;
-    // path:line:rule — split on the *last* two colons (paths may not
-    // contain colons in this repo, but be precise anyway).
+    // Optional `|call chain` suffix, then path:line:rule split on the
+    // *last* two colons (paths may not contain colons in this repo, but be
+    // precise anyway).
+    std::string chain;
+    if (const auto bar = line.find('|'); bar != std::string::npos) {
+      chain = line.substr(bar + 1);
+      line.erase(bar);
+      trim(line);
+    }
     const auto c2 = line.rfind(':');
     const auto c1 = c2 == std::string::npos ? std::string::npos
                                             : line.rfind(':', c2 - 1);
     bool ok = c1 != std::string::npos && c1 > 0 && c2 > c1 + 1;
     Finding f;
+    f.chain = std::move(chain);
     if (ok) {
       f.path = line.substr(0, c1);
       f.rule = line.substr(c2 + 1);
@@ -1266,6 +1054,7 @@ int lint_main(int argc, const char* const* argv, std::ostream& out,
   RunOptions opts;
   bool quiet = false;
   bool list_rules = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     auto need_value = [&](const char* flag) -> const char* {
@@ -1283,14 +1072,39 @@ int lint_main(int argc, const char* const* argv, std::ostream& out,
       const char* v = need_value("--baseline");
       if (v == nullptr) return 2;
       opts.baseline_path = v;
+    } else if (a == "--cache-dir") {
+      const char* v = need_value("--cache-dir");
+      if (v == nullptr) return 2;
+      opts.cache_dir = v;
+    } else if (a == "--no-cache") {
+      opts.no_cache = true;
     } else if (a == "--fix-baseline") {
       opts.fix_baseline = true;
+    } else if (a == "--format" || a.rfind("--format=", 0) == 0) {
+      std::string_view v;
+      if (a == "--format") {
+        const char* val = need_value("--format");
+        if (val == nullptr) return 2;
+        v = val;
+      } else {
+        v = a.substr(9);
+      }
+      if (v == "json") {
+        json = true;
+      } else if (v == "gcc") {
+        json = false;
+      } else {
+        err << "bslint: unknown format '" << v << "' (gcc, json)\n";
+        return 2;
+      }
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--list-rules") {
       list_rules = true;
     } else if (a == "--help" || a == "-h") {
       out << "usage: bslint [--root DIR] [--baseline FILE] [--fix-baseline]\n"
+             "              [--format=gcc|json] [--cache-dir DIR] "
+             "[--no-cache]\n"
              "              [--list-rules] [--quiet] PATH...\n"
              "Paths are files or directories relative to --root.\n"
              "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n";
@@ -1322,10 +1136,41 @@ int lint_main(int argc, const char* const* argv, std::ostream& out,
     err << "bslint: " << error << "\n";
     return 2;
   }
+  if (json) {
+    out << "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : res.fresh) {
+      out << (first ? "" : ",") << "\n    {\"path\": \""
+          << json_escape(f.path) << "\", \"line\": " << f.line
+          << ", \"col\": " << f.col << ", \"rule\": \""
+          << json_escape(f.rule) << "\", \"message\": \""
+          << json_escape(f.message) << "\", \"chain\": \""
+          << json_escape(f.chain) << "\"}";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "],\n  \"stale_baseline\": [";
+    first = true;
+    for (const std::string& s : res.stale) {
+      out << (first ? "" : ",") << "\n    \"" << json_escape(s) << "\"";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "],\n"
+        << "  \"baselined\": " << res.baselined.size() << ",\n"
+        << "  \"suppressed\": " << res.suppressed << ",\n"
+        << "  \"files_scanned\": " << res.files_scanned << ",\n"
+        << "  \"cache_hits\": " << res.cache_hits << ",\n"
+        << "  \"baseline_rewritten\": "
+        << (opts.fix_baseline ? "true" : "false") << "\n}\n";
+    if (opts.fix_baseline) return 0;
+    return res.fresh.empty() ? 0 : 1;
+  }
   if (!quiet) {
     for (const Finding& f : res.fresh) {
-      out << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message
-          << "\n";
+      out << f.path << ":" << f.line << ":" << f.col << ": warning: "
+          << f.message << " [" << f.rule << "]\n";
+      if (!f.chain.empty()) {
+        out << "    note: call chain: " << f.chain << "\n";
+      }
       if (const RuleDesc* r = rule_desc(f.rule)) {
         out << "    hint: " << r->hint << "\n";
       }

@@ -1,12 +1,27 @@
 // bslint — project-specific static analysis for the deterministic simulation
-// substrate. A token-level scanner (no libclang; builds wherever the project
-// does) enforcing four rule families over src/, tests/ and bench/:
+// substrate. A dependency-free two-pass analyzer (no libclang; builds
+// wherever the project does):
+//
+//   pass 1 — token rules per file, plus a lightweight symbol index of every
+//            function/coroutine definition under src/ (qualified names,
+//            parameter shapes, call sites, direct determinism facts);
+//   pass 2 — flow rules over the linked cross-translation-unit call graph:
+//            reachability findings that carry the full call chain
+//            (`a() -> b() -> use of 'mt19937'`), so a wall clock two calls
+//            below a journal encoder or an un-sited schedule reached
+//            indirectly from a par-tagged functor no longer hides behind a
+//            function boundary. See index.hpp / graph.hpp / flow.hpp.
+//
+// Rule families over src/, tests/ and bench/:
 //
 //   D (determinism)       det-wallclock, det-random, det-thread,
-//                         det-unordered-iter
-//   C (coroutine safety)  coro-ref-param, coro-lambda-capture, coro-view-temp
+//                         det-unordered-iter, det-journal-encode,
+//                         det-custody-order   (+ flow variants with chains)
+//   C (coroutine safety)  coro-ref-param, coro-lambda-capture,
+//                         coro-view-temp, coro-first-await-if,
+//                         coro-ref-escape
 //   O (observability)     obs-unguarded
-//   P (performance)       perf-large-byvalue
+//   P (performance)       perf-large-byvalue, par-cross-site-schedule
 //   H (hygiene)           hyg-iostream, hyg-using-namespace, hyg-bare-allow,
 //                         hyg-bad-allow
 //
@@ -16,14 +31,22 @@
 // comment and blank lines are skipped), or per file with
 //   // bslint: allow-file(rule): rationale
 // A suppression without a rationale — or naming an unknown rule — is itself
-// a finding, so etiquette is machine-checked. Grandfathered findings live in
-// a checked-in baseline (path:line:rule, sorted); `--fix-baseline`
-// regenerates it deterministically so churn never produces noisy diffs.
+// a finding, so etiquette is machine-checked. A suppressed fact is treated
+// as a discharged proof obligation: the flow pass does not re-report it
+// through caller chains. `// bslint: par-root: rationale` above a function
+// definition tags it as a par-flow root (see flow.hpp).
 //
-// The scanner is deliberately token-level: it trades soundness for zero
-// build-time dependencies. Known blind spots (range-for over a *function
-// call* returning an unordered container, macro bodies, aliased container
-// types) are documented in DESIGN.md; the curated .clang-tidy config covers
+// Grandfathered findings live in a checked-in baseline
+// (path:line:rule[|chain], sorted); `--fix-baseline` regenerates it
+// deterministically so churn never produces noisy diffs. Pass-1 results are
+// cached per file keyed by content hash (--cache-dir; see cache.hpp);
+// output is byte-identical across cold, warm and --no-cache runs.
+//
+// The analyzer is deliberately token-level and over-approximate: it trades
+// soundness for zero build-time dependencies. Call sites resolve by
+// unqualified name against every same-named definition; unresolved calls
+// are conservative unknown edges that never suppress a finding. Known blind
+// spots are documented in DESIGN.md; the curated .clang-tidy config covers
 // the type-aware half of the same invariants where clang is available.
 #pragma once
 
@@ -54,6 +77,8 @@ struct Finding {
   int line{0};       ///< 1-based
   std::string rule;
   std::string message;
+  int col{1};         ///< 1-based byte column; 1 when not token-precise
+  std::string chain;  ///< flow findings: `root() -> mid() -> <detail>`
 
   friend bool operator==(const Finding&, const Finding&) = default;
 };
@@ -65,10 +90,11 @@ struct ScanStats {
   int suppressed{0};  ///< findings silenced by allow()/allow-file()
 };
 
-/// Memoized loader that resolves project-quoted `#include "x.hpp"` lines and
-/// harvests identifiers declared with an unordered container type, so a .cpp
-/// iterating a member declared in its header is still caught by
-/// det-unordered-iter.
+/// Memoized loader that resolves project-quoted `#include "x.hpp"` lines,
+/// harvests identifiers declared with an unordered container type (so a
+/// .cpp iterating a member declared in its header is still caught by
+/// det-unordered-iter), and reports the resolved include closure for cache
+/// dependency tracking.
 class IncludeResolver {
  public:
   /// `root` is the repo root; quoted includes resolve against root and
@@ -79,15 +105,26 @@ class IncludeResolver {
   /// bounded depth). Returns nullptr when the file cannot be resolved.
   const std::set<std::string>* unordered_idents(const std::string& include);
 
+  /// Root-relative paths of `include`'s file plus its quoted-include
+  /// closure — the cache key's dependency set. nullptr when unresolved.
+  const std::set<std::string>* closure(const std::string& include);
+
  private:
+  struct Entry {
+    std::set<std::string> ids;
+    std::set<std::string> paths;
+  };
+  const Entry* resolve(const std::string& include);
+
   std::string root_;
-  std::map<std::string, std::set<std::string>> cache_;
+  std::map<std::string, Entry> cache_;
   std::set<std::string> in_flight_;  // cycle guard
 };
 
-/// Scans one buffer. `path` must be root-relative (it selects rule scopes:
-/// e.g. det-thread only applies under src/). `includes` may be null (header
-/// harvesting is then limited to the buffer itself).
+/// Scans one buffer with the pass-1 token rules. `path` must be
+/// root-relative (it selects rule scopes: e.g. det-thread only applies
+/// under src/). `includes` may be null (header harvesting is then limited
+/// to the buffer itself). Flow rules need the whole tree: use run().
 std::vector<Finding> scan_source(std::string_view path, std::string_view text,
                                  ScanStats* stats = nullptr,
                                  IncludeResolver* includes = nullptr);
@@ -101,6 +138,10 @@ struct RunOptions {
   std::vector<std::string> paths;
   std::string baseline_path;  ///< root-relative; empty = no baseline
   bool fix_baseline{false};
+  /// Pass-1 cache directory (any path; created on demand). Empty = no
+  /// cache. The cache never changes output bytes — only wall time.
+  std::string cache_dir;
+  bool no_cache{false};  ///< ignore and do not rewrite the cache
 };
 
 struct RunResult {
@@ -109,14 +150,16 @@ struct RunResult {
   std::vector<std::string> stale;  ///< baseline lines with no live finding
   int suppressed{0};
   int files_scanned{0};
+  int cache_hits{0};  ///< files whose pass-1 results came from the cache
 };
 
-/// Runs the scanner over opts.paths. Returns false (with *error set) on I/O
+/// Runs both passes over opts.paths. Returns false (with *error set) on I/O
 /// or usage problems; analysis findings are NOT errors.
 bool run(const RunOptions& opts, RunResult* result, std::string* error);
 
-/// Canonical baseline serialization: header line + `path:line:rule`, sorted
-/// by (path, line, rule) — regeneration is churn-free by construction.
+/// Canonical baseline serialization: header + `path:line:rule[|chain]`,
+/// sorted by (path, line, rule) — regeneration is churn-free by
+/// construction. The chain field is informational: matching ignores it.
 std::string format_baseline(std::vector<Finding> findings);
 
 /// Parses a baseline file body. Unparseable lines are reported in *bad.
@@ -125,7 +168,9 @@ std::vector<Finding> parse_baseline(std::string_view text,
 
 /// CLI entry point (main() delegates here; tests drive it directly).
 /// Exit codes: 0 clean / all findings baselined, 1 fresh findings,
-/// 2 usage or I/O error.
+/// 2 usage or I/O error. `--format=gcc` (default) prints
+/// `path:line:col: warning: message [rule]` with call-chain and hint notes;
+/// `--format=json` prints one stable JSON document.
 int lint_main(int argc, const char* const* argv, std::ostream& out,
               std::ostream& err);
 

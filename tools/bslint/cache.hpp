@@ -1,0 +1,53 @@
+// bslint index cache — persists the per-file results of pass 1 (token-rule
+// findings + symbol index) keyed by content hash, so the tier-1 lint gate
+// only re-lexes files that actually changed. The flow pass (pass 2) always
+// runs fresh over the linked index: it is cheap, and recomputing it from
+// cached per-file indices guarantees cached and cold runs produce the same
+// findings byte for byte — the fixture suite asserts exactly that.
+//
+// A cache entry is valid only when the file's own content hash AND the
+// content hashes of every file in its quoted-include closure match: the
+// include closure feeds the unordered-identifier harvest, so a header edit
+// must invalidate its includers. The header line carries the rule-table size
+// so adding a rule invalidates every entry wholesale.
+//
+// The cache file is rewritten in full, sorted by path, after every run —
+// deterministic bytes, no append-order drift.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bslint.hpp"
+#include "index.hpp"
+
+namespace bs::lint {
+
+std::uint64_t fnv1a64(std::string_view s);
+
+struct CachedFile {
+  std::string path;
+  std::uint64_t content_hash{0};
+  /// Quoted-include closure: (root-relative path, content hash at scan
+  /// time). All must still match for the entry to be a hit.
+  std::vector<std::pair<std::string, std::uint64_t>> deps;
+  std::vector<Finding> findings;  ///< token-rule findings, post-suppression
+  int suppressed{0};
+  FileIndex index;
+};
+
+/// Serializes entries sorted by path. Round-trips exactly through
+/// parse_cache (the byte-identity gate depends on it).
+std::string serialize_cache(std::vector<CachedFile> entries);
+
+/// Parses a cache file body. Returns false (out untouched) on a version or
+/// rule-table mismatch or any malformed record — a stale cache is simply a
+/// cold run, never an error.
+bool parse_cache(std::string_view text,
+                 std::map<std::string, CachedFile>* out);
+
+}  // namespace bs::lint

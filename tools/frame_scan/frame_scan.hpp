@@ -1,0 +1,87 @@
+// frame_scan — coroutine frame ABI verifier for compiled binaries.
+//
+// The coroutine ABI requires the resume pointer at offset 0 of every frame
+// (std::coroutine_handle<>::resume() indirects through it blindly). GCC 12
+// has a code-generation bug where a coroutine whose *first statement* awaits
+// inside an if-condition gets the condition temporary (`__ifcd_N`) laid out
+// *before* `_Coro_resume_fn`, displacing the slot to offset 8 — resuming
+// such a frame through a type-erased handle jumps through garbage. PR 8
+// established the invariant by hand with readelf; this tool automates the
+// check so the tier-1 lint gate re-proves it on every build (bslint's
+// coro-first-await-if rule rejects the triggering source shape; this is the
+// binary-side half of the same contract).
+//
+// It parses `readelf --debug-dump=info` text (no ELF/DWARF library — the
+// binutils the project is built with are always present): GCC names every
+// coroutine frame type `<mangled-fn>.Frame`, and each frame member carries
+// a DW_AT_data_member_location. A frame whose `_Coro_resume_fn` member sits
+// at a nonzero offset is displaced. Dumps are hundreds of MB for the bigger
+// test binaries, so the parser is a line-push state machine — nothing is
+// buffered beyond the current DIE.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bs::framescan {
+
+/// One coroutine frame type recovered from the debug info.
+struct Frame {
+  std::string type_name;  ///< mangled function name + ".Frame"
+  long byte_size{-1};
+  long resume_loc{-1};   ///< offset of _Coro_resume_fn; -1 when absent
+  long destroy_loc{-1};  ///< offset of _Coro_destroy_fn; -1 when absent
+};
+
+/// True when the frame violates the resume-slot contract: the
+/// `_Coro_resume_fn` member exists but does not sit at offset 0.
+bool displaced(const Frame& f);
+
+/// Line-push DWARF-dump parser. Feed the text of
+/// `readelf --debug-dump=info` one line at a time, then take the frames.
+/// Tracks only DW_TAG_structure_type DIEs whose DW_AT_name ends in ".Frame"
+/// and their *immediate* DW_TAG_member children (nested types inside a
+/// frame are ignored, matching how GCC nests awaiter temporaries).
+class DwarfParser {
+ public:
+  void feed_line(std::string_view line);
+
+  /// Finalizes the in-flight DIE and returns the frames seen so far.
+  std::vector<Frame> take();
+
+ private:
+  struct Die {
+    int depth{0};
+    std::string tag;
+    std::string name;
+    long byte_size{-1};
+    long member_loc{-1};
+    bool live{false};
+  };
+  void commit();
+
+  Die pending_;
+  // Innermost-first stack of open frame structs: (DIE depth, frames_ index).
+  std::vector<std::pair<int, std::size_t>> open_;
+  std::vector<Frame> frames_;
+};
+
+/// Convenience for tests and small dumps.
+std::vector<Frame> parse_dwarf(std::string_view dump);
+
+/// Parses the dump of one binary by running readelf (argument is the
+/// readelf executable name/path). Returns false on process failure.
+bool scan_binary(const std::string& readelf, const std::string& binary,
+                 std::vector<Frame>* out);
+
+/// CLI entry point (main() delegates; tests drive it directly).
+///   frame_scan [--readelf PATH] [--require-frames] [--dump] BINARY...
+/// Exit codes: 0 all frames conforming, 1 displaced frame found (or
+/// --require-frames given and a binary contains no frames at all — a
+/// stripped binary must not pass vacuously), 2 usage or I/O error.
+int scan_main(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err);
+
+}  // namespace bs::framescan

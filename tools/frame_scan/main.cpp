@@ -1,0 +1,7 @@
+#include <iostream>
+
+#include "frame_scan.hpp"
+
+int main(int argc, char** argv) {
+  return bs::framescan::scan_main(argc, argv, std::cout, std::cerr);
+}
