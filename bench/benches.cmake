@@ -61,6 +61,16 @@ add_test(NAME bench-smoke.bench_reconciliation
 set_tests_properties(bench-smoke.bench_reconciliation
                      PROPERTIES LABELS "bench-smoke")
 
+# Custom-main S3-gateway bench (not google-benchmark); --smoke runs a
+# single dedup ratio and delta size and fails on any ordering violation
+# (dedup cuts provider bytes, concurrent parts beat sequential, deltas
+# ship fewer wire bytes) or digest drift across suite replays.
+bs_add_bench(bench_gateway bs_cloud bs_workload)
+add_test(NAME bench-smoke.bench_gateway
+         COMMAND bench_gateway --smoke)
+set_tests_properties(bench-smoke.bench_gateway
+                     PROPERTIES LABELS "bench-smoke")
+
 bs_add_bench(bench_ablation_allocation bs_workload bs_viz)
 bs_add_bench(bench_ablation_cache bs_mon bs_viz bs_workload)
 bs_add_bench(bench_ablation_replication bs_core bs_mon bs_workload bs_viz)

@@ -23,6 +23,10 @@
 #     duration and divergence sweeps over the custody plane, all in
 #     simulated time) and emit build/BENCH_repl.json. The committed
 #     repo-root BENCH_repl.json is the curated snapshot of the same run.
+#   run_benches.sh gateway      — run bench_gateway (trace-replay dedup
+#     sweep, sequential-vs-concurrent multipart parts, delta-vs-full
+#     overwrite, all in simulated time) and emit build/BENCH_gateway.json.
+#     The committed repo-root BENCH_gateway.json is the curated snapshot.
 #   run_benches.sh lint         — time the bslint two-pass analyzer over the
 #     whole tree (cold cache, warm cache, --no-cache) and verify the three
 #     runs emit byte-identical reports; emit build/BENCH_lint.json. The
@@ -90,6 +94,12 @@ run_repl() {
   echo "wrote $out"
 }
 
+run_gateway() {
+  out=build/BENCH_gateway.json
+  ./build/bench/bench_gateway > "$out"
+  echo "wrote $out"
+}
+
 run_lint() {
   out=build/BENCH_lint.json
   bslint=build/tools/bslint/bslint
@@ -139,8 +149,9 @@ if [ $# -gt 0 ]; then
       sim-lanes)  run_sim_lanes ;;
       recovery)   run_recovery ;;
       repl)       run_repl ;;
+      gateway)    run_gateway ;;
       lint)       run_lint ;;
-      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery repl lint)" >&2
+      *) echo "unknown suite: $suite (known: sim-kernel sim-lanes recovery repl gateway lint)" >&2
          exit 2 ;;
     esac
   done

@@ -147,6 +147,53 @@ sim::Task<Result<WriteReceipt>> BlobClient::append(BlobId blob,
                     ClientOpInfo::Op::append);
 }
 
+// bslint: allow(perf-large-byvalue): every caller moves its freshly split
+// chunk batch; Payload bodies are shared_ptr-backed either way
+sim::Task<Result<WriteReceipt>> BlobClient::append_chunks(
+    BlobId blob, std::uint64_t chunk_size, std::vector<Payload> chunks) {
+  if (chunks.empty() || chunk_size == 0) {
+    co_return Error{Errc::invalid_argument, "empty chunked append"};
+  }
+  Payload claim;
+  claim.checksum = fnv1a_u64(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const bool last = i + 1 == chunks.size();
+    if (chunks[i].size == 0 || chunks[i].size > chunk_size ||
+        (!last && chunks[i].size != chunk_size)) {
+      co_return Error{Errc::invalid_argument,
+                      "chunk payload does not fill its slot"};
+    }
+    claim.checksum = hash_combine(claim.checksum, chunks[i].checksum);
+  }
+  // Claimed blob extent: full slots for all but the last payload, so each
+  // payload owns exactly one chunk of the new version.
+  claim.size = (chunks.size() - 1) * chunk_size + chunks.back().size;
+  co_return co_await write_impl(blob, kAppendOffset, std::move(claim),
+                                ClientOpInfo::Op::append, std::move(chunks));
+}
+
+// bslint: allow(perf-large-byvalue): replicas is replication-factor sized
+// (a handful of node ids)
+sim::Task<Result<bool>> BlobClient::chunk_present(
+    ChunkKey key, std::vector<NodeId> replicas) {
+  Error last{Errc::unavailable, "no replicas to probe"};
+  bool answered = false;
+  for (NodeId target : replicas) {
+    HasChunkReq req;
+    req.key = key;
+    auto r = co_await node_.cluster().call<HasChunkReq, HasChunkResp>(
+        node_, target, req, opts(config_.rpc_timeout));
+    if (r.ok()) {
+      if (r.value().present) co_return true;
+      answered = true;
+    } else {
+      last = r.error();
+    }
+  }
+  if (answered) co_return false;
+  co_return last;
+}
+
 // bslint: allow(coro-ref-param): see client.hpp — plan outlives the
 // awaited WaitGroup
 sim::Task<Result<void>> BlobClient::put_chunk_replicated(
@@ -230,8 +277,11 @@ sim::Task<Result<void>> BlobClient::put_metadata(
   co_return ok_result();
 }
 
+// bslint: allow(perf-large-byvalue): presplit is moved by its only
+// non-empty caller (append_chunks); the default is empty
 sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
-    BlobId blob, std::uint64_t offset, Payload data, ClientOpInfo::Op op) {
+    BlobId blob, std::uint64_t offset, Payload data, ClientOpInfo::Op op,
+    std::vector<Payload> presplit) {
   auto& cluster = node_.cluster();
   auto& sim = cluster.sim();
   const SimTime t0 = sim.now();
@@ -281,20 +331,34 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
   const std::uint64_t n_chunks = plan.start.chunk_count;
   info.version = plan.start.version;
 
-  // 2. Split the payload into per-chunk payloads.
+  // 2. Split the payload into per-chunk payloads (or adopt the caller's
+  // pre-split chunks, one payload per slot).
+  if (!presplit.empty() && presplit.size() != n_chunks) {
+    AbortWriteReq ab;
+    ab.blob = blob;
+    ab.version = plan.start.version;
+    (void)co_await cluster.call<AbortWriteReq, AbortWriteResp>(
+        node_, endpoints_.version_manager, ab,
+        opts(config_.rpc_timeout, op_span.id()));
+    co_return fail({Errc::invalid_argument,
+                    "pre-split chunk count does not match blob chunk size"});
+  }
   plan.chunk_payloads.reserve(n_chunks);
   plan.leaves.resize(n_chunks);
   for (std::uint64_t i = 0; i < n_chunks; ++i) {
-    const std::uint64_t lo = i * cs;
-    const std::uint64_t len = std::min(cs, data.size - lo);
     Payload p;
-    if (data.bytes) {
+    if (!presplit.empty()) {
+      p = std::move(presplit[i]);
+    } else if (data.bytes) {
+      const std::uint64_t lo = i * cs;
+      const std::uint64_t len = std::min(cs, data.size - lo);
       std::vector<std::uint8_t> slice(
           data.bytes->begin() + static_cast<std::ptrdiff_t>(lo),
           data.bytes->begin() + static_cast<std::ptrdiff_t>(lo + len));
       p = Payload::from_bytes(std::move(slice));
     } else {
-      p.size = len;
+      const std::uint64_t lo = i * cs;
+      p.size = std::min(cs, data.size - lo);
       p.checksum = hash_combine(data.checksum, i);
     }
     ChunkDescriptor& leaf = plan.leaves[i];
@@ -393,6 +457,7 @@ sim::Task<Result<WriteReceipt>> BlobClient::write_impl(
   receipt.duration = sim.now() - t0;
   receipt.put_retries = plan.retries;
   receipt.rebuilds = rebuilds;
+  receipt.chunks = std::move(plan.leaves);
 
   info.duration = receipt.duration;
   info.outcome = Errc::ok;

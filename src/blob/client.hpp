@@ -44,6 +44,10 @@ struct WriteReceipt {
   SimDuration duration{0};
   std::uint32_t put_retries{0};
   std::uint32_t rebuilds{0};
+  /// Per-chunk descriptors (key, size, checksum, replica set) of the
+  /// committed write, in chunk order. Content-addressed layers use these to
+  /// index where each chunk landed.
+  std::vector<ChunkDescriptor> chunks;
 
   [[nodiscard]] double throughput_bps() const {
     const double s = simtime::to_seconds(duration);
@@ -117,6 +121,25 @@ class BlobClient {
   /// Appends `data` after the current end (chunk-aligned up).
   sim::Task<Result<WriteReceipt>> append(BlobId blob, Payload data);
 
+  /// Appends pre-split chunk payloads as one new version: payload i lands
+  /// in its own chunk slot (all but the last must be exactly `chunk_size`;
+  /// the last may be shorter). Used by content-addressed callers that need
+  /// to control chunk boundaries; the receipt's `chunks` give each chunk's
+  /// key and replica set.
+  // bslint: allow(perf-large-byvalue): every caller moves its freshly
+  // split chunk batch; Payload bodies are shared_ptr-backed either way
+  sim::Task<Result<WriteReceipt>> append_chunks(BlobId blob,
+                                                std::uint64_t chunk_size,
+                                                std::vector<Payload> chunks);
+
+  /// Probes the chunk's replicas for presence. True as soon as one replica
+  /// holds it; false when every reachable replica answered and none does;
+  /// an error only when no replica could be asked.
+  // bslint: allow(perf-large-byvalue): replicas is replication-factor
+  // sized (a handful of node ids)
+  sim::Task<Result<bool>> chunk_present(ChunkKey key,
+                                        std::vector<NodeId> replicas);
+
   /// Reads [offset, offset+length) of `version` (default: latest published).
   sim::Task<Result<ReadResult>> read(BlobId blob, std::uint64_t offset,
                                      std::uint64_t length,
@@ -139,10 +162,15 @@ class BlobClient {
  private:
   struct WritePlan;
 
+  /// `presplit` non-empty routes each payload into its own chunk slot
+  /// (append_chunks); empty means `data` is sliced at chunk boundaries.
+  // bslint: allow(perf-large-byvalue): presplit is moved by its only
+  // non-empty caller (append_chunks); the default is empty
   sim::Task<Result<WriteReceipt>> write_impl(BlobId blob,
                                              std::uint64_t offset,
                                              Payload data,
-                                             ClientOpInfo::Op op);
+                                             ClientOpInfo::Op op,
+                                             std::vector<Payload> presplit = {});
   /// Stores one chunk on `replication` providers, re-allocating around
   /// failures. On success fills `desc.replicas`. The WritePlan is an
   /// in/out param owned by write_impl's frame, which joins the WaitGroup

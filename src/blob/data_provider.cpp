@@ -133,6 +133,20 @@ void DataProvider::register_handlers() {
       [this](const RemoveChunkReq& req, const rpc::Envelope&) {
         return handle_remove(req);
       });
+  node_.serve<HasChunkReq, HasChunkResp>(
+      [this](const HasChunkReq& req,
+             const rpc::Envelope&) -> sim::Task<Result<HasChunkResp>> {
+        if (recovering_) {
+          co_return Error{Errc::unavailable, "store recovering"};
+        }
+        HasChunkResp resp;
+        auto it = chunks_.find(req.key);
+        if (it != chunks_.end()) {
+          resp.present = true;
+          resp.size = it->second.size;
+        }
+        co_return resp;
+      });
   node_.serve<ReplicateChunkReq, ReplicateChunkResp>(
       [this](const ReplicateChunkReq& req, const rpc::Envelope&) {
         return handle_replicate(req);

@@ -50,6 +50,20 @@ struct RemoveChunkResp {
   [[nodiscard]] std::uint64_t wire_size() const { return 17; }
 };
 
+/// Presence probe: does this provider hold the chunk? Used by
+/// content-addressed layers (the cloud gateway's dedup index) to verify a
+/// recovered index entry still resolves before skipping a store.
+struct HasChunkReq {
+  static constexpr const char* kName = "blob.has_chunk";
+  ChunkKey key;
+  [[nodiscard]] std::uint64_t wire_size() const { return 40; }
+};
+struct HasChunkResp {
+  bool present{false};
+  std::uint64_t size{0};
+  [[nodiscard]] std::uint64_t wire_size() const { return 25; }
+};
+
 struct ProviderStatusReq {
   static constexpr const char* kName = "blob.provider_status";
   [[nodiscard]] std::uint64_t wire_size() const { return 16; }

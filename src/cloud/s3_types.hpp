@@ -45,10 +45,28 @@ struct ObjectInfo {
   std::uint64_t etag{0};  ///< content checksum
   SimTime last_modified{0};
   ClientId owner{};
-  BlobId blob{};
-  blob::Version version{0};
+  BlobId blob{};          ///< backing store blob (shared chunk store)
+  blob::Version version{0};  ///< per-object revision, bumped on overwrite
 
   [[nodiscard]] std::uint64_t wire_size() const { return 64 + key.size(); }
+};
+
+/// One entry of an object manifest: a content-addressed chunk and where it
+/// lives in the shared chunk-store blob. `hash` is the dedup index key;
+/// identical hashes across tenants and object versions share one stored
+/// chunk (refcounted in the gateway's ChunkIndex).
+struct ChunkRef {
+  std::uint64_t hash{0};
+  std::uint64_t size{0};      ///< payload bytes (≤ gateway chunk size)
+  std::uint64_t checksum{0};  ///< chunk content checksum
+  BlobId store_blob{};
+  blob::Version store_version{0};
+  std::uint64_t store_index{0};  ///< absolute chunk index in the store blob
+
+  [[nodiscard]] blob::ChunkKey store_key() const {
+    return blob::ChunkKey{store_blob, store_version, store_index};
+  }
+  [[nodiscard]] std::uint64_t wire_size() const { return 48; }
 };
 
 struct BucketInfo {

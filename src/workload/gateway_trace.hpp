@@ -1,0 +1,64 @@
+// Trace-replay workload for the S3 gateway: multiple tenants with mixed
+// object sizes, zipf hot-key skew, multipart-heavy ingest, and
+// overwrite-heavy delta traffic. The op stream is a pure function of the
+// seed, and every response folds into a per-tenant digest (combined in
+// tenant order), so two replays of the same trace — including across
+// stepper modes — must produce identical digests.
+#pragma once
+
+#include "cloud/gateway.hpp"
+#include "common/rng.hpp"
+
+namespace bs::workload {
+
+struct GatewayTraceConfig {
+  std::uint32_t tenants{4};
+  std::uint32_t keys_per_tenant{32};
+  std::uint32_t ops_per_tenant{64};
+  /// Must match the gateway's object_chunk_size: delta ops and per-chunk
+  /// content checksums are computed at this granularity.
+  std::uint64_t chunk_size{4 * units::MB};
+  std::uint64_t min_object_chunks{1};
+  std::uint64_t max_object_chunks{8};
+  double hot_key_skew{0.9};  ///< zipf s over a tenant's key space
+  /// Probability a fresh upload goes through the multipart path.
+  double multipart_fraction{0.25};
+  std::uint32_t multipart_parts{4};
+  /// Probability an overwrite of an existing object ships a delta instead
+  /// of the full payload.
+  double delta_fraction{0.6};
+  double delta_change_ratio{0.25};  ///< fraction of chunks changed per delta
+  /// Probability a chunk's content comes from the cross-tenant shared pool
+  /// (the dedup opportunity); otherwise the content is tenant-unique.
+  double shared_content_ratio{0.5};
+  std::uint64_t shared_pool{64};  ///< distinct shared chunk contents
+  SimDuration think_time{simtime::millis(20)};
+  std::uint64_t first_tenant_id{1000};
+  std::uint64_t rng_seed{42};
+};
+
+struct GatewayTraceStats {
+  std::uint64_t puts{0};
+  std::uint64_t multipart_puts{0};
+  std::uint64_t delta_puts{0};
+  std::uint64_t gets{0};
+  std::uint64_t lists{0};
+  std::uint64_t deletes{0};
+  std::uint64_t failures{0};
+  std::uint64_t logical_bytes{0};  ///< object bytes presented to the gateway
+  std::uint64_t wire_bytes{0};     ///< payload bytes actually shipped to it
+  std::uint64_t digest{0};         ///< per-tenant digests, tenant order
+};
+
+class GatewayTrace {
+ public:
+  /// Replays the whole trace against the gateway: one sequential actor per
+  /// tenant (each under its own ClientId), joined before returning.
+  // bslint: allow(coro-ref-param): the harness owns node and stats for the
+  // full run and this task is joined before teardown
+  static sim::Task<void> run(rpc::Node& client_node, NodeId gateway,
+                             GatewayTraceConfig config,
+                             GatewayTraceStats* stats);
+};
+
+}  // namespace bs::workload

@@ -115,11 +115,13 @@ TEST_F(S3SecurityTest, AbusiveGatewayUserIsBlockedOthersUnaffected) {
   auto ok = as<S3PutObjectReq, S3PutObjectResp>(tenant, put);
   EXPECT_TRUE(ok.ok()) << ok.error().to_string();
 
-  // And the abuser's gateway requests now die at BlobSeer admission.
+  // And the abuser's gateway requests now die at BlobSeer admission. The
+  // content must be fresh: a dedup-resident chunk would be served from the
+  // gateway's index without ever reaching a provider.
   S3PutObjectReq denied;
   denied.bucket = "b301";
   denied.key = "nope";
-  denied.payload = blob::Payload::synthetic(units::MB, 1);
+  denied.payload = blob::Payload::synthetic(units::MB, 999);
   auto blocked = as<S3PutObjectReq, S3PutObjectResp>(abuser, denied);
   EXPECT_FALSE(blocked.ok());
 }

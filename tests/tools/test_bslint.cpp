@@ -329,10 +329,29 @@ TEST(BslintDeterminism, OrderedReplStateIsClean) {
                   .empty());
 }
 
-TEST(BslintDeterminism, CustodyOrderOnlyAppliesUnderSrcRepl) {
+TEST(BslintDeterminism, CustodyOrderOnlyAppliesToWireEncodingPlanes) {
   const char* text = "std::unordered_map<int, int> m_;\n";
   EXPECT_FALSE(has_rule(scan("src/blob/x.cpp", text), "det-custody-order"));
   EXPECT_FALSE(has_rule(scan("tests/repl/x.cpp", text), "det-custody-order"));
+  EXPECT_FALSE(has_rule(scan("tests/cloud/x.cpp", text),
+                        "det-custody-order"));
+}
+
+TEST(BslintDeterminism, FlagsUnorderedDeclarationInCloudPlane) {
+  // The gateway checkpoints its dedup index and serializes list_objects
+  // pages straight from container walks, so src/cloud carries the same
+  // ordered-state ban as src/repl.
+  auto fs = scan("src/cloud/gateway.cpp",
+                 "std::unordered_map<uint64_t, Entry> index_;\n");
+  ASSERT_TRUE(has_rule(fs, "det-custody-order"));
+  EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(BslintDeterminism, OrderedCloudStateIsClean) {
+  EXPECT_TRUE(scan("src/cloud/dedup_index.cpp",
+                   "std::map<uint64_t, Entry> entries_;\n"
+                   "void f() { for (auto& [h, e] : entries_) use(h); }\n")
+                  .empty());
 }
 
 TEST(BslintDeterminism, SuppressedCustodyOrderCounts) {

@@ -47,12 +47,12 @@ const std::vector<RuleDesc>& rule_table() {
        "sorted snapshot and serialize values — never hash-table iteration "
        "order, reinterpret_cast bytes or pointer addresses"},
       {"det-custody-order", 'D',
-       "hash-ordered container in the replication plane",
-       "src/repl serializes container walks straight onto the wire (custody "
-       "bundles, version-map replies, checkpoint records), so its state must "
-       "live in ordered containers (std::map/std::set/deque) — hash-table "
-       "order would make custody traffic and chaos digests diverge across "
-       "replays"},
+       "hash-ordered container in a wire-encoding plane",
+       "src/repl and src/cloud serialize container walks straight onto the "
+       "wire (custody bundles, version-map replies, dedup-index checkpoints, "
+       "list_objects pages), so their state must live in ordered containers "
+       "(std::map/std::set/deque) — hash-table order would make wire traffic "
+       "and chaos digests diverge across replays"},
       {"coro-ref-param", 'C',
        "reference/view parameter on a Task-returning coroutine",
        "coroutine parameters are copied into the frame only if by-value; a "
@@ -244,15 +244,18 @@ class Scanner {
     }
   }
 
-  /// det-custody-order: the replication plane encodes container walks into
-  /// RPC payloads, journal records and chaos digests, and a token scanner
-  /// cannot prove any particular walk never reaches the wire — so under
-  /// src/repl the *declaration* of a hash-ordered container is the finding,
-  /// not just its iteration. Iterator walks over unordered members pulled in
-  /// from included headers are flagged too (det-unordered-iter only sees
-  /// range-style `for` loops).
+  /// det-custody-order: the replication and cloud-gateway planes encode
+  /// container walks into RPC payloads, journal records and chaos digests,
+  /// and a token scanner cannot prove any particular walk never reaches the
+  /// wire — so under src/repl and src/cloud the *declaration* of a
+  /// hash-ordered container is the finding, not just its iteration.
+  /// Iterator walks over unordered members pulled in from included headers
+  /// are flagged too (det-unordered-iter only sees range-style `for` loops).
   void check_custody_order() {
-    if (!path_starts_with(path_, "src/repl/")) return;
+    if (!path_starts_with(path_, "src/repl/") &&
+        !path_starts_with(path_, "src/cloud/")) {
+      return;
+    }
     const auto& t = lex_.toks;
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (is_unordered_type(t[i])) {
